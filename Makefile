@@ -1,0 +1,46 @@
+# Codeword-protection reproduction — common targets.
+
+GO ?= go
+
+.PHONY: all build vet test race cover bench table1 table2 faultstudy examples clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+cover:
+	$(GO) test ./internal/... -coverpkg=./internal/... -coverprofile=cover.out
+	$(GO) tool cover -func=cover.out | tail -1
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# The paper's experiments.
+table1:
+	$(GO) run ./cmd/protbench
+
+table2:
+	$(GO) run ./cmd/tpcbbench -ops 100000 -runs 9
+
+faultstudy:
+	$(GO) run ./cmd/faultstudy -campaigns 25
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/corruption_audit
+	$(GO) run ./examples/delete_recovery
+	$(GO) run ./examples/tpcb -ops 2000
+	$(GO) run ./examples/extensible_index
+
+clean:
+	rm -f cover.out test_output.txt bench_output.txt

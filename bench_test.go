@@ -1,0 +1,497 @@
+// Package repro's benchmarks regenerate the paper's evaluation with
+// testing.B harnesses — one benchmark family per published table — plus
+// ablation benches for the design choices DESIGN.md calls out.
+//
+//	go test -bench=. -benchmem
+//
+// Table 1 ("Performance of Protect/Unprotect", §5.1):
+//
+//	BenchmarkMprotectPairs/*
+//
+// Table 2 ("Cost of Corruption Protection", §5.3):
+//
+//	BenchmarkTPCB/*   (ops/sec per scheme; compare ns/op across schemes)
+//
+// Ablations: codeword fold throughput by region size, read precheck cost
+// by region size, read-log record overhead, audit sweep cost.
+package repro
+
+import (
+	"fmt"
+	"os"
+	"testing"
+	"time"
+
+	"repro/internal/benchtab"
+	"repro/internal/core"
+	"repro/internal/heap"
+	"repro/internal/mem"
+	"repro/internal/protect"
+	"repro/internal/recovery"
+	"repro/internal/region"
+	"repro/internal/tpcb"
+	"repro/internal/wal"
+)
+
+// --- Table 1: protect/unprotect pairs ---------------------------------------
+
+// BenchmarkMprotectPairs measures protect+unprotect pairs per second: the
+// real system call on this host, and the paper's four platforms modeled
+// by calibrated simulated protectors. One iteration = one pair.
+func BenchmarkMprotectPairs(b *testing.B) {
+	b.Run("real-mprotect-this-host", func(b *testing.B) {
+		arena, err := mem.NewArena(256*os.Getpagesize(), os.Getpagesize())
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer arena.Close()
+		if !arena.Mmapped() {
+			b.Skip("no mmap on this platform")
+		}
+		prot, err := mem.NewMprotectProtector(arena)
+		if err != nil {
+			b.Skip(err)
+		}
+		pages := arena.NumPages()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			p := mem.PageID(i % pages)
+			if err := prot.Protect(p); err != nil {
+				b.Fatal(err)
+			}
+			if err := prot.Unprotect(p); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		prot.UnprotectAll()
+		b.ReportMetric(float64(time.Second)/float64(b.Elapsed())*float64(b.N), "pairs/s")
+	})
+	for _, p := range benchtab.PaperTable1 {
+		p := p
+		b.Run("simulated-"+p.Platform, func(b *testing.B) {
+			perPair := time.Duration(float64(time.Second) / p.PairsPerSec)
+			sim := mem.NewSimProtector(256, perPair/2)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				id := mem.PageID(i % 256)
+				sim.Protect(id)
+				sim.Unprotect(id)
+			}
+			b.ReportMetric(float64(time.Second)/float64(b.Elapsed())*float64(b.N), "pairs/s")
+			b.ReportMetric(p.PairsPerSec, "paper-pairs/s")
+		})
+	}
+}
+
+// --- Table 2: TPC-B throughput per protection scheme -------------------------
+
+// benchScale keeps setup time moderate while staying out of cache effects;
+// history capacity is generous and recycled so b.N is unbounded.
+var benchScale = tpcb.Scale{Accounts: 20_000, Tellers: 2_000, Branches: 200, HistoryCap: 200_000}
+
+// BenchmarkTPCB runs one TPC-B style operation per iteration under each
+// of the paper's eight protection configurations (Table 2 rows). Relative
+// ns/op across sub-benchmarks reproduces the paper's slowdown column.
+func BenchmarkTPCB(b *testing.B) {
+	for _, spec := range benchtab.Table2Schemes(true /* real mprotect */) {
+		spec := spec
+		b.Run(sanitize(spec.Label), func(b *testing.B) {
+			dir := b.TempDir()
+			db, err := core.Open(core.Config{
+				Dir:       dir,
+				ArenaSize: benchScale.ArenaSize(),
+				Protect:   spec.Protect,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer db.Close()
+			w, err := tpcb.Setup(db, benchScale, 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			w.Recycle = true
+			txn, err := db.Begin()
+			if err != nil {
+				b.Fatal(err)
+			}
+			inTxn := 0
+			callsBefore := db.Stats().ProtectCalls
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := w.Op(txn); err != nil {
+					b.Fatal(err)
+				}
+				if inTxn++; inTxn == tpcb.CommitEvery {
+					if err := txn.Commit(); err != nil {
+						b.Fatal(err)
+					}
+					if txn, err = db.Begin(); err != nil {
+						b.Fatal(err)
+					}
+					inTxn = 0
+				}
+			}
+			b.StopTimer()
+			if err := txn.Commit(); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "ops/s")
+			b.ReportMetric(spec.PaperSlowdown, "paper-%slower")
+			if calls := db.Stats().ProtectCalls - callsBefore; calls > 0 && b.N > 0 {
+				b.ReportMetric(float64(calls)/2/float64(b.N), "pages/op")
+			}
+		})
+	}
+}
+
+// --- Ablations ----------------------------------------------------------------
+
+// BenchmarkCodewordCompute measures full-region codeword computation by
+// region size: the marginal cost of read prechecking per region touched
+// (explains the Precheck 64B/512B/8K ordering in Table 2).
+func BenchmarkCodewordCompute(b *testing.B) {
+	for _, size := range []int{64, 512, 8192} {
+		size := size
+		b.Run(fmt.Sprintf("region-%dB", size), func(b *testing.B) {
+			buf := make([]byte, size)
+			for i := range buf {
+				buf[i] = byte(i)
+			}
+			b.SetBytes(int64(size))
+			b.ResetTimer()
+			var sink region.Codeword
+			for i := 0; i < b.N; i++ {
+				sink ^= region.Compute(buf)
+			}
+			_ = sink
+		})
+	}
+}
+
+// BenchmarkCodewordMaintenance measures the incremental fold at endUpdate
+// for a typical balance update (8 bytes) and a whole record (100 bytes):
+// the marginal cost every codeword scheme pays per physical update.
+func BenchmarkCodewordMaintenance(b *testing.B) {
+	for _, n := range []int{8, 100} {
+		n := n
+		b.Run(fmt.Sprintf("update-%dB", n), func(b *testing.B) {
+			tab, err := region.NewTable(1<<20, 512)
+			if err != nil {
+				b.Fatal(err)
+			}
+			old := make([]byte, n)
+			new_ := make([]byte, n)
+			for i := range new_ {
+				new_[i] = byte(i + 1)
+			}
+			b.SetBytes(int64(n))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				addr := mem.Addr((i * 128) % (1<<20 - 256))
+				if err := tab.ApplyUpdate(addr, old, new_); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAuditSweep measures a full-database audit by region size: the
+// asynchronous detection cost the Data Codeword scheme amortizes into
+// checkpoints.
+func BenchmarkAuditSweep(b *testing.B) {
+	const arenaSize = 1 << 24 // 16 MiB
+	for _, size := range []int{64, 512, 8192} {
+		size := size
+		b.Run(fmt.Sprintf("region-%dB", size), func(b *testing.B) {
+			arena, err := mem.NewArena(arenaSize, 4096, mem.WithHeapBacking())
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer arena.Close()
+			s, err := protect.New(arena, protect.Config{Kind: protect.KindDataCW, RegionSize: size})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.SetBytes(arenaSize)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if bad := s.Audit(); bad != nil {
+					b.Fatal("clean arena failed audit")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkReadPath isolates the per-read cost of each scheme (precheck
+// XOR, read-log record creation, CW capture) without the rest of the
+// workload.
+func BenchmarkReadPath(b *testing.B) {
+	specs := []struct {
+		name string
+		pc   protect.Config
+	}{
+		{"baseline", protect.Config{Kind: protect.KindBaseline}},
+		{"datacw-512", protect.Config{Kind: protect.KindDataCW, RegionSize: 512}},
+		{"precheck-64", protect.Config{Kind: protect.KindPrecheck, RegionSize: 64}},
+		{"precheck-512", protect.Config{Kind: protect.KindPrecheck, RegionSize: 512}},
+		{"precheck-8K", protect.Config{Kind: protect.KindPrecheck, RegionSize: 8192}},
+		{"readlog-512", protect.Config{Kind: protect.KindReadLog, RegionSize: 512}},
+		{"cwreadlog-64", protect.Config{Kind: protect.KindCWReadLog, RegionSize: 64}},
+	}
+	for _, spec := range specs {
+		spec := spec
+		b.Run(spec.name, func(b *testing.B) {
+			db, err := core.Open(core.Config{
+				Dir:       b.TempDir(),
+				ArenaSize: 1 << 22,
+				Protect:   spec.pc,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer db.Close()
+			txn, err := db.Begin()
+			if err != nil {
+				b.Fatal(err)
+			}
+			buf := make([]byte, 100)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				addr := mem.Addr((i * 100) % (1<<22 - 128))
+				if _, err := txn.ReadInto(addr, buf); err != nil {
+					b.Fatal(err)
+				}
+				// Keep the pending read-log records bounded.
+				if len(txn.Entry().Redo) >= 4096 {
+					txn.Entry().Redo = txn.Entry().Redo[:0]
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkHWProtectionByLayout reproduces the paper's §5.3 speculation:
+// "this number [pages touched per operation] may be significantly smaller
+// for a page-based system, which would improve the performance of
+// Hardware Protection". The same TPC-B workload runs under real mprotect
+// with the Dalí off-page-allocation layout and with a page-local layout;
+// compare pages/op and ns/op.
+func BenchmarkHWProtectionByLayout(b *testing.B) {
+	for _, spec := range []struct {
+		name   string
+		layout heap.Layout
+	}{
+		{"dali-separate-alloc", heap.LayoutSeparate},
+		{"page-local-alloc", heap.LayoutPageLocal},
+	} {
+		spec := spec
+		b.Run(spec.name, func(b *testing.B) {
+			scale := benchScale
+			scale.Layout = spec.layout
+			db, err := core.Open(core.Config{
+				Dir:       b.TempDir(),
+				ArenaSize: scale.ArenaSize(),
+				Protect:   protect.Config{Kind: protect.KindHW, HWDeferReprotect: true},
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer db.Close()
+			w, err := tpcb.Setup(db, scale, 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			w.Recycle = true
+			txn, err := db.Begin()
+			if err != nil {
+				b.Fatal(err)
+			}
+			inTxn := 0
+			callsBefore := db.Stats().ProtectCalls
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := w.Op(txn); err != nil {
+					b.Fatal(err)
+				}
+				if inTxn++; inTxn == tpcb.CommitEvery {
+					if err := txn.Commit(); err != nil {
+						b.Fatal(err)
+					}
+					if txn, err = db.Begin(); err != nil {
+						b.Fatal(err)
+					}
+					inTxn = 0
+				}
+			}
+			b.StopTimer()
+			txn.Commit()
+			if calls := db.Stats().ProtectCalls - callsBefore; b.N > 0 {
+				b.ReportMetric(float64(calls)/2/float64(b.N), "pages/op")
+			}
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "ops/s")
+		})
+	}
+}
+
+// BenchmarkCodewordMaintenancePolicy compares immediate codeword
+// maintenance (Data CW) against the deferred-maintenance variant on the
+// update path: the deferred scheme trades codeword-latch work at
+// endUpdate for batched drains.
+func BenchmarkCodewordMaintenancePolicy(b *testing.B) {
+	for _, spec := range []struct {
+		name string
+		kind protect.Kind
+	}{
+		{"immediate", protect.KindDataCW},
+		{"deferred", protect.KindDeferredCW},
+	} {
+		spec := spec
+		b.Run(spec.name, func(b *testing.B) {
+			arena, err := mem.NewArena(1<<22, 4096, mem.WithHeapBacking())
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer arena.Close()
+			s, err := protect.New(arena, protect.Config{Kind: spec.kind, RegionSize: 512})
+			if err != nil {
+				b.Fatal(err)
+			}
+			old := make([]byte, 100)
+			data := make([]byte, 100)
+			for i := range data {
+				data[i] = byte(i)
+			}
+			b.SetBytes(100)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				addr := mem.Addr((i * 128) % (1<<22 - 256))
+				tok, err := s.BeginUpdate(addr, 100)
+				if err != nil {
+					b.Fatal(err)
+				}
+				copy(arena.Slice(addr, 100), data)
+				if err := s.EndUpdate(tok, old, data); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkLogAppendFlush measures system-log append and group-flush
+// throughput, the substrate cost behind the read-logging overhead.
+func BenchmarkLogAppendFlush(b *testing.B) {
+	db, err := core.Open(core.Config{Dir: b.TempDir(), ArenaSize: 1 << 16})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer db.Close()
+	log := db.Log()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		log.Append(benchPhysRecord(i))
+		if i%500 == 499 {
+			if err := log.Flush(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func sanitize(s string) string {
+	out := make([]rune, 0, len(s))
+	for _, r := range s {
+		switch r {
+		case ' ', '/', ',':
+			out = append(out, '-')
+		default:
+			out = append(out, r)
+		}
+	}
+	return string(out)
+}
+
+// benchPhysRecord returns a representative physical record for log benches.
+func benchPhysRecord(i int) *wal.Record {
+	return &wal.Record{Kind: wal.KindPhysRedo, Txn: 1, Addr: mem.Addr(i % 4096), Data: []byte{1, 2, 3, 4, 5, 6, 7, 8}}
+}
+
+// BenchmarkRestartRecovery measures restart recovery wall time as a
+// function of the log suffix replayed (operations since the last
+// checkpoint). One iteration = one full recovery (load checkpoint, redo
+// scan, undo, completion checkpoint).
+func BenchmarkRestartRecovery(b *testing.B) {
+	for _, opsSinceCkpt := range []int{1000, 10000} {
+		opsSinceCkpt := opsSinceCkpt
+		b.Run(fmt.Sprintf("ops-%d", opsSinceCkpt), func(b *testing.B) {
+			scale := tpcb.SmallScale
+			if scale.HistoryCap < opsSinceCkpt {
+				scale.HistoryCap = opsSinceCkpt
+			}
+			cfg := core.Config{
+				Dir:       b.TempDir(),
+				ArenaSize: scale.ArenaSize(),
+				Protect:   protect.Config{Kind: protect.KindReadLog, RegionSize: 512},
+			}
+			db, err := core.Open(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			w, err := tpcb.Setup(db, scale, 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := w.Run(opsSinceCkpt); err != nil {
+				b.Fatal(err)
+			}
+			if err := db.Crash(); err != nil {
+				b.Fatal(err)
+			}
+			// Recovery ends with a checkpoint, so recovering the same
+			// directory twice would replay nothing; each iteration
+			// recovers a fresh copy of the crashed directory instead.
+			var records float64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				iterDir := b.TempDir()
+				copyDirBench(b, cfg.Dir, iterDir)
+				iterCfg := cfg
+				iterCfg.Dir = iterDir
+				b.StartTimer()
+				db2, rep, err := recovery.Open(iterCfg, recovery.Options{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				records = float64(rep.RecordsScanned)
+				b.StopTimer()
+				db2.Crash()
+				b.StartTimer()
+			}
+			b.ReportMetric(records, "records")
+		})
+	}
+}
+
+func copyDirBench(b *testing.B, src, dst string) {
+	entries, err := os.ReadDir(src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		data, err := os.ReadFile(src + "/" + e.Name())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := os.WriteFile(dst+"/"+e.Name(), data, 0o644); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

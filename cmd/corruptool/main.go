@@ -1,0 +1,207 @@
+// Command corruptool runs an end-to-end corruption campaign against a
+// scratch database and walks through the paper's §4 machinery step by
+// step: it populates a TPC-B database under a chosen protection scheme,
+// injects wild writes, lets transactions carry the corruption, detects it
+// (by audit, read precheck, or the codeword-in-read-log variant at
+// restart), crashes the database, runs delete-transaction recovery, and
+// prints which transactions were deleted from history and what data was
+// traced as corrupt.
+//
+// Usage:
+//
+//	corruptool [-scheme readlog|cwreadlog|precheck|datacw] [-faults N] [-carriers N] [-seed N] [-dir DIR]
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/heap"
+	"repro/internal/protect"
+	"repro/internal/recovery"
+	"repro/internal/tpcb"
+)
+
+func main() {
+	schemeName := flag.String("scheme", "readlog", "protection scheme: datacw, precheck, readlog, cwreadlog")
+	faults := flag.Int("faults", 2, "wild writes to inject")
+	carriers := flag.Int("carriers", 3, "carrier transactions (each reads a faulted record and writes elsewhere)")
+	seed := flag.Int64("seed", 1, "fault injection seed")
+	dir := flag.String("dir", "", "database directory (default: a temp dir)")
+	flag.Parse()
+
+	if err := run(*schemeName, *faults, *carriers, *seed, *dir); err != nil {
+		fmt.Fprintln(os.Stderr, "corruptool:", err)
+		os.Exit(1)
+	}
+}
+
+func schemeConfig(name string) (protect.Config, error) {
+	switch name {
+	case "datacw":
+		return protect.Config{Kind: protect.KindDataCW, RegionSize: 512}, nil
+	case "precheck":
+		return protect.Config{Kind: protect.KindPrecheck, RegionSize: 64}, nil
+	case "readlog":
+		return protect.Config{Kind: protect.KindReadLog, RegionSize: 512}, nil
+	case "cwreadlog":
+		return protect.Config{Kind: protect.KindCWReadLog, RegionSize: 64}, nil
+	default:
+		return protect.Config{}, fmt.Errorf("unknown scheme %q", name)
+	}
+}
+
+func run(schemeName string, faults, carriers int, seed int64, dir string) error {
+	pc, err := schemeConfig(schemeName)
+	if err != nil {
+		return err
+	}
+	if dir == "" {
+		d, err := os.MkdirTemp("", "corruptool-*")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(d)
+		dir = d
+	}
+	scale := tpcb.SmallScale
+	cfg := core.Config{Dir: dir, ArenaSize: scale.ArenaSize(), Protect: pc}
+
+	fmt.Printf("== setup: %s scheme, database in %s\n", schemeName, dir)
+	db, err := core.Open(cfg)
+	if err != nil {
+		return err
+	}
+	w, err := tpcb.Setup(db, scale, seed)
+	if err != nil {
+		return err
+	}
+	if err := w.Run(1000); err != nil {
+		return err
+	}
+	// A clean audit here advances Audit_SN past the clean run: recovery
+	// conservatively treats everything after the last clean audit as
+	// potentially corrupt, so audit frequency bounds how many innocent
+	// transactions the delete-transaction model sacrifices.
+	if err := db.Audit(); err != nil {
+		return fmt.Errorf("clean-run audit: %w", err)
+	}
+	fmt.Printf("   loaded %d accounts, ran 1000 clean operations, audited clean\n", scale.Accounts)
+
+	account, _, _, _ := w.Tables()
+	inj := fault.New(db.Arena(), db.Scheme().Protector(), seed)
+	victims := make([]heap.RID, 0, faults)
+	for i := 0; i < faults; i++ {
+		slot := uint32(13 + 7*i)
+		addr := account.RecordAddr(slot) + 12
+		trapped, err := inj.WildWrite(addr, []byte{0xDE, 0xAD})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("== fault %d: wild write at account slot %d (addr %d), trapped=%v\n", i+1, slot, addr, trapped)
+		if !trapped {
+			victims = append(victims, heap.RID{Table: account.ID, Slot: slot})
+		}
+	}
+
+	fmt.Printf("== carriers: %d transactions read faulted records and write elsewhere\n", carriers)
+	var carrierIDs []uint64
+	for i := 0; i < carriers && len(victims) > 0; i++ {
+		txn, err := db.Begin()
+		if err != nil {
+			return err
+		}
+		victim := victims[i%len(victims)]
+		v, err := account.Read(txn, victim)
+		if errors.Is(err, protect.ErrPrecheckFailed) {
+			fmt.Printf("   carrier %d: read precheck PREVENTED the corrupt read: %v\n", i+1, err)
+			txn.Abort()
+			fmt.Println("== prechecking stopped the carry; repairing in place with cache recovery")
+			return cacheRepair(db, account, victims)
+		}
+		if err != nil {
+			txn.Abort()
+			return err
+		}
+		dst := heap.RID{Table: account.ID, Slot: 100 + uint32(i)}
+		if err := account.Update(txn, dst, 0, v[:8]); err != nil {
+			txn.Abort()
+			return err
+		}
+		if err := txn.Commit(); err != nil {
+			return err
+		}
+		carrierIDs = append(carrierIDs, uint64(txn.ID()))
+		fmt.Printf("   carrier %d: txn %d read slot %d and wrote slot %d (COMMITTED)\n",
+			i+1, txn.ID(), victim.Slot, dst.Slot)
+	}
+
+	fmt.Println("== detection: full-database audit")
+	auditErr := db.Audit()
+	var ce *core.CorruptionError
+	switch {
+	case errors.As(auditErr, &ce):
+		fmt.Printf("   audit FAILED: %d corrupt region(s) noted in the log\n", len(ce.Mismatches))
+	case auditErr == nil:
+		fmt.Println("   audit clean (no codewords under this scheme would be a bug; " +
+			"with cwreadlog detection happens at restart instead)")
+	default:
+		return auditErr
+	}
+
+	fmt.Println("== crash: discarding in-memory state")
+	if err := db.Crash(); err != nil {
+		return err
+	}
+
+	fmt.Println("== restart: delete-transaction corruption recovery")
+	db2, rep, err := recovery.Open(cfg, recovery.Options{})
+	if err != nil {
+		return err
+	}
+	defer db2.Close()
+	fmt.Printf("   corruption mode: %v (codeword variant: %v)\n", rep.CorruptionMode, rep.CWMode)
+	fmt.Printf("   scanned %d log records from CK_end=%d, applied %d redo records\n",
+		rep.RecordsScanned, rep.ScanStart, rep.RedoApplied)
+	fmt.Printf("   seeded corrupt data: %v\n", rep.SeedCorrupt)
+	if len(rep.Deleted) == 0 {
+		fmt.Println("   no transactions deleted from history")
+	}
+	for _, d := range rep.Deleted {
+		fmt.Printf("   DELETED txn %d (had committed: %v) — report to the user for manual compensation\n",
+			d.ID, d.Committed)
+	}
+	fmt.Printf("   rolled back (ordinary incomplete): %v\n", rep.RolledBack)
+	fc := rep.FinalCorrupt
+	if len(fc) > 8 {
+		fmt.Printf("   final corrupt data table: %d ranges, first 8: %v\n", len(fc), fc[:8])
+	} else {
+		fmt.Printf("   final corrupt data table: %v\n", fc)
+	}
+
+	if err := db2.Audit(); err != nil {
+		return fmt.Errorf("post-recovery audit failed: %w", err)
+	}
+	fmt.Println("== verification: post-recovery full audit CLEAN; corrupted and carried data restored")
+	_ = carrierIDs
+	return nil
+}
+
+func cacheRepair(db *core.DB, account *heap.Table, victims []heap.RID) error {
+	ranges := make([]recovery.Range, 0, len(victims))
+	for _, v := range victims {
+		ranges = append(ranges, recovery.Range{Start: account.RecordAddr(v.Slot), Len: account.RecSize})
+	}
+	if err := recovery.CacheRecover(db, ranges); err != nil {
+		return err
+	}
+	if err := db.Audit(); err != nil {
+		return fmt.Errorf("audit after cache recovery: %w", err)
+	}
+	fmt.Println("   cache recovery repaired the regions in place; audit CLEAN")
+	return db.Close()
+}

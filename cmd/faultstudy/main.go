@@ -1,0 +1,42 @@
+// Command faultstudy runs randomized fault-injection campaigns against
+// every protection scheme and tabulates the outcomes: trapped by hardware,
+// prevented by read prechecking, detected by audit (or at restart from
+// read-log codewords), recovered to a clean image, or silently surviving.
+// It is this repository's analogue of the Ng & Chen fault-injection study
+// the paper cites to argue that detection and recovery are necessary even
+// where prevention exists.
+//
+// Usage:
+//
+//	faultstudy [-campaigns N] [-txns N] [-seed N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/faultstudy"
+)
+
+func main() {
+	campaigns := flag.Int("campaigns", 20, "campaigns per scheme")
+	txns := flag.Int("txns", 8, "carrier transactions per campaign")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+
+	fmt.Printf("Fault-injection study: %d campaigns/scheme, %d carrier txns each, one wild write per campaign\n\n",
+		*campaigns, *txns)
+	outcomes, err := faultstudy.Run(faultstudy.Config{
+		Campaigns:       *campaigns,
+		TxnsPerCampaign: *txns,
+		Seed:            *seed,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "faultstudy:", err)
+		os.Exit(1)
+	}
+	fmt.Print(faultstudy.FormatOutcomes(outcomes))
+	fmt.Println("\nUNDETECTED > 0 means corruption silently survived in the database image —")
+	fmt.Println("the paper's argument for always enabling at least Data Codeword detection.")
+}

@@ -1,0 +1,17 @@
+// Package repro is a from-scratch Go reproduction of "Using Codewords to
+// Protect Database Data from a Class of Software Errors" (Bohannon,
+// Rastogi, Seshadri, Silberschatz, Sudarshan; ICDE 1999): codeword-based
+// detection and prevention of physical corruption in a main-memory
+// storage manager, limited read logging, and delete-transaction
+// corruption recovery, together with the Dalí-style substrate (multi-level
+// recovery, local logging, ping-pong checkpointing) they build on.
+//
+// The library lives under internal/ (see README.md for the map); this
+// root package holds the benchmark harness that regenerates the paper's
+// evaluation:
+//
+//	go test -bench=. -benchmem
+//
+// See DESIGN.md for the system inventory and per-experiment index, and
+// EXPERIMENTS.md for measured-vs-paper results.
+package repro

@@ -1,0 +1,154 @@
+package benchtab
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/mem"
+	"repro/internal/tpcb"
+)
+
+func TestFormatAligns(t *testing.T) {
+	out := Format([]string{"a", "long-header"}, [][]string{{"xxxxx", "1"}, {"y", "22"}})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines: %q", lines)
+	}
+	if len(lines[0]) != len(lines[1]) {
+		t.Fatal("separator misaligned")
+	}
+	if !strings.Contains(lines[2], "xxxxx") {
+		t.Fatal("row content missing")
+	}
+}
+
+func TestMeasureMprotectPairsSim(t *testing.T) {
+	sim := mem.NewSimProtector(64, 0)
+	pps, err := MeasureMprotectPairs(sim, 64, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pps <= 0 {
+		t.Fatalf("pairs/sec = %f", pps)
+	}
+	if sim.Calls() != 64*3*2 {
+		t.Fatalf("calls = %d", sim.Calls())
+	}
+}
+
+func TestSimulatedPlatformCalibration(t *testing.T) {
+	// A simulated platform's measured throughput should land near the
+	// paper value it was calibrated to. The charging loop can only be
+	// slowed (never sped up) by preemption on a loaded host, so the upper
+	// bound is firm while the lower bound is retried.
+	paperPairs := 15_600.0
+	perPair := time.Duration(float64(time.Second) / paperPairs)
+	var pps float64
+	for attempt := 0; attempt < 4; attempt++ {
+		sim := mem.NewSimProtector(100, perPair/2)
+		var err error
+		pps, err = MeasureMprotectPairs(sim, 100, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pps > paperPairs*1.2 {
+			t.Fatalf("calibrated throughput %.0f exceeds target 15600", pps)
+		}
+		if pps >= paperPairs/2 {
+			return
+		}
+		t.Logf("attempt %d: %.0f pairs/s (host contention), retrying", attempt+1, pps)
+	}
+	t.Skipf("host too contended to calibrate (last: %.0f pairs/s)", pps)
+}
+
+func TestRunTable1SmokeAndOrdering(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	// The paper's qualitative result: the HP is slowest and the
+	// UltraSPARC fastest among the four simulated platforms, despite the
+	// HP's higher integer performance. Scheduler preemption on a shared
+	// single-CPU host can distort a single small sample, so allow a
+	// couple of attempts with a growing sample.
+	var last string
+	for attempt := 0; attempt < 3; attempt++ {
+		rows, err := RunTable1(500*(attempt+1), 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if FormatTable1(rows) == "" {
+			t.Fatal("empty table")
+		}
+		byName := map[string]float64{}
+		for _, r := range rows {
+			byName[r.Platform] = r.PairsPerSec
+		}
+		hp := byName["HP 9000 C110 (simulated)"]
+		ss := byName["SPARCstation 20 (simulated)"]
+		us := byName["UltraSPARC 2 (simulated)"]
+		sgi := byName["SGI Challenge DM (simulated)"]
+		if hp < sgi && sgi < ss && ss < us {
+			return
+		}
+		last = fmt.Sprintf("hp=%.0f sgi=%.0f ss=%.0f us=%.0f", hp, sgi, ss, us)
+		t.Logf("attempt %d: ordering distorted (%s), retrying", attempt+1, last)
+	}
+	t.Fatalf("platform ordering broken after retries: %s", last)
+}
+
+func TestTable2SchemesMatchPaperRows(t *testing.T) {
+	specs := Table2Schemes(false)
+	if len(specs) != 8 {
+		t.Fatalf("specs = %d, want 8", len(specs))
+	}
+	if specs[0].Label != "Baseline" || specs[7].Label != "Data CW w/Precheck, 8K byte" {
+		t.Fatalf("row order wrong: %q ... %q", specs[0].Label, specs[7].Label)
+	}
+	// Paper slowdowns are strictly increasing down the table.
+	for i := 1; i < len(specs); i++ {
+		if specs[i].PaperSlowdown <= specs[i-1].PaperSlowdown {
+			t.Fatalf("paper slowdown not increasing at row %d", i)
+		}
+	}
+}
+
+func TestRunTable2Smoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	rows, err := RunTable2(Table2Params{
+		Scale: tpcb.SmallScale,
+		Ops:   500,
+		Runs:  1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 8 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[0].PctSlower != 0 {
+		t.Fatalf("baseline slowdown = %f", rows[0].PctSlower)
+	}
+	for _, r := range rows {
+		if r.OpsPerSec <= 0 {
+			t.Fatalf("%s: ops/sec = %f", r.Label, r.OpsPerSec)
+		}
+	}
+	// The hardware row must report pages touched per operation (§5.3).
+	var hwPages float64
+	for _, r := range rows {
+		if r.Label == "Memory Protection" {
+			hwPages = r.PagesPerOp
+		}
+	}
+	if hwPages < 3 {
+		t.Fatalf("pages/op = %.1f, expected several pages per operation", hwPages)
+	}
+	if FormatTable2(rows) == "" {
+		t.Fatal("empty table")
+	}
+}

@@ -1,0 +1,124 @@
+// Package check is the database consistency checker: the cross-structure
+// audits a DBA runs after recovery or on a schedule, complementing the
+// codeword audits (which verify bytes against codewords but know nothing
+// of structure). It verifies the heap catalog against allocation bitmaps,
+// hash indexes against the heap records they point to, the checkpoint
+// anchor against the retained log, and the codeword audit itself.
+package check
+
+import (
+	"fmt"
+
+	"repro/internal/ckpt"
+	"repro/internal/core"
+	"repro/internal/hashidx"
+	"repro/internal/heap"
+	"repro/internal/wal"
+)
+
+// Problem is one consistency violation.
+type Problem struct {
+	// Area is "codeword", "heap", "index", "checkpoint" or "att".
+	Area string
+	// Desc describes the violation.
+	Desc string
+}
+
+func (p Problem) String() string { return p.Area + ": " + p.Desc }
+
+// Run checks db and returns every problem found (empty means consistent).
+// The database should be quiescent; concurrent transactions may cause
+// spurious findings.
+func Run(db *core.DB) ([]Problem, error) {
+	var out []Problem
+	add := func(area, format string, args ...any) {
+		out = append(out, Problem{Area: area, Desc: fmt.Sprintf(format, args...)})
+	}
+
+	// Quiescence.
+	if n := db.ATT().Len(); n != 0 {
+		add("att", "%d transactions active; results may be unreliable", n)
+	}
+
+	// Codewords.
+	if bad := db.Scheme().Audit(); len(bad) != 0 {
+		for _, m := range bad {
+			add("codeword", "region mismatch: %v", m)
+		}
+	}
+
+	// Heap structure.
+	hcat, err := heap.Open(db)
+	if err != nil {
+		return nil, err
+	}
+	allocated := make(map[wal.ObjectKey]bool)
+	for _, name := range hcat.Tables() {
+		tb, err := hcat.Table(name)
+		if err != nil {
+			return nil, err
+		}
+		count := 0
+		for slot := uint32(0); slot < uint32(tb.Cap); slot++ {
+			if !tb.Allocated(slot) {
+				continue
+			}
+			count++
+			rid := heap.RID{Table: tb.ID, Slot: slot}
+			allocated[rid.Key()] = true
+			addr := tb.RecordAddr(slot)
+			if err := db.Arena().CheckRange(addr, tb.RecSize); err != nil {
+				add("heap", "table %q slot %d: record out of arena: %v", name, slot, err)
+			}
+		}
+		if got := tb.Count(); got != count {
+			add("heap", "table %q: Count()=%d but scan found %d", name, got, count)
+		}
+	}
+
+	// Index structure.
+	icat, err := hashidx.Open(db)
+	if err != nil {
+		return nil, err
+	}
+	for _, idx := range icat.Indexes() {
+		seenKeys := make(map[uint64]bool)
+		entries, err := idx.Entries()
+		if err != nil {
+			add("index", "index %q: %v", idx.Name, err)
+			continue
+		}
+		for _, e := range entries {
+			if seenKeys[e.Key] {
+				add("index", "index %q: duplicate key %d", idx.Name, e.Key)
+			}
+			seenKeys[e.Key] = true
+			if _, err := hcat.TableByID(e.RID.Table); err == nil {
+				if !allocated[e.RID.Key()] {
+					add("index", "index %q: key %d points at unallocated record %v", idx.Name, e.Key, e.RID)
+				}
+			}
+		}
+		if idx.Count() != len(entries) {
+			add("index", "index %q: Count()=%d but scan found %d", idx.Name, idx.Count(), len(entries))
+		}
+	}
+
+	// Checkpoint anchor vs retained log.
+	if anchor, ok := db.Checkpoints().Anchor(); ok {
+		base, err := wal.LogBase(db.Config().Dir)
+		if err != nil {
+			return nil, err
+		}
+		if anchor.CKEnd < base {
+			add("checkpoint", "anchor CK_end %d precedes the retained log base %d", anchor.CKEnd, base)
+		}
+		if anchor.CKEnd > db.Log().End() {
+			add("checkpoint", "anchor CK_end %d beyond log end %d", anchor.CKEnd, db.Log().End())
+		}
+		if _, err := ckpt.Load(db.Config().Dir); err != nil {
+			add("checkpoint", "current image unloadable: %v", err)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,151 @@
+package check
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/hashidx"
+	"repro/internal/heap"
+	"repro/internal/protect"
+)
+
+func setup(t *testing.T) (*core.DB, *heap.Table, *hashidx.Index) {
+	t.Helper()
+	db, err := core.Open(core.Config{
+		Dir:       t.TempDir(),
+		ArenaSize: 1 << 19,
+		Protect:   protect.Config{Kind: protect.KindDataCW, RegionSize: 64},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	hcat, _ := heap.Open(db)
+	tb, err := hcat.CreateTable("t", 64, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	icat, _ := hashidx.Open(db)
+	ix, err := icat.CreateIndex("i", 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	txn, _ := db.Begin()
+	for k := uint64(0); k < 10; k++ {
+		rid, err := tb.Insert(txn, make([]byte, 64))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ix.Insert(txn, k, rid); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := txn.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	return db, tb, ix
+}
+
+func problemAreas(ps []Problem) map[string]int {
+	m := map[string]int{}
+	for _, p := range ps {
+		m[p.Area]++
+		if p.String() == "" {
+			panic("empty problem string")
+		}
+	}
+	return m
+}
+
+func TestCleanDatabasePasses(t *testing.T) {
+	db, _, _ := setup(t)
+	problems, err := Run(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(problems) != 0 {
+		t.Fatalf("clean database reported: %v", problems)
+	}
+}
+
+func TestDetectsCodewordMismatch(t *testing.T) {
+	db, tb, _ := setup(t)
+	inj := fault.New(db.Arena(), db.Scheme().Protector(), 1)
+	if _, err := inj.WildWrite(tb.RecordAddr(3)+5, []byte{0xEF}); err != nil {
+		t.Fatal(err)
+	}
+	problems, err := Run(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if problemAreas(problems)["codeword"] == 0 {
+		t.Fatalf("codeword corruption missed: %v", problems)
+	}
+}
+
+func TestDetectsDanglingIndexEntry(t *testing.T) {
+	db, tb, ix := setup(t)
+	// Corrupt an index entry's RID to point at an unallocated slot —
+	// through a wild write so codewords flag it too.
+	txn, _ := db.Begin()
+	addr, err := ix.EntryAddr(txn, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	txn.Commit()
+	inj := fault.New(db.Arena(), db.Scheme().Protector(), 2)
+	if _, err := inj.WildWrite(addr+16, []byte{60}); err != nil { // slot 60: unallocated
+		t.Fatal(err)
+	}
+	_ = tb
+	problems, err := Run(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	areas := problemAreas(problems)
+	if areas["index"] == 0 {
+		t.Fatalf("dangling index entry missed: %v", problems)
+	}
+	if areas["codeword"] == 0 {
+		t.Fatalf("wild write missed by codeword audit: %v", problems)
+	}
+}
+
+func TestReportsActiveTransactions(t *testing.T) {
+	db, _, _ := setup(t)
+	txn, _ := db.Begin()
+	problems, err := Run(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if problemAreas(problems)["att"] == 0 {
+		t.Fatalf("active transaction not reported: %v", problems)
+	}
+	txn.Commit()
+}
+
+func TestDetectsCorruptIndexState(t *testing.T) {
+	db, _, ix := setup(t)
+	txn, _ := db.Begin()
+	addr, err := ix.EntryAddr(txn, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	txn.Commit()
+	inj := fault.New(db.Arena(), db.Scheme().Protector(), 3)
+	// Smash the state word to a nonsense value.
+	if _, err := inj.WildWrite(addr, []byte{0x77}); err != nil {
+		t.Fatal(err)
+	}
+	problems, err := Run(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if problemAreas(problems)["index"] == 0 {
+		t.Fatalf("corrupt index state missed: %v", problems)
+	}
+}

@@ -1,0 +1,133 @@
+package core
+
+import (
+	"errors"
+	"sync"
+	"time"
+)
+
+// Auditor runs the paper's asynchronous audits (§3.2): a background
+// process that periodically checks every protection region against its
+// codeword. A clean audit advances Audit_SN, narrowing how much history
+// the delete-transaction model must conservatively suspect; a dirty audit
+// invokes the OnCorruption callback (the paper's reaction is to note the
+// regions and crash the database so corruption recovery runs at restart).
+type Auditor struct {
+	db       *DB
+	interval time.Duration
+	// SliceBytes, when nonzero, audits the database incrementally: each
+	// tick checks the next SliceBytes of the image, and Audit_SN advances
+	// when a full pass completes clean. Zero sweeps the whole database
+	// every tick.
+	SliceBytes int
+	// OnCorruption is invoked (once) when an audit fails. If nil, the
+	// auditor just stops; the error remains observable via Err.
+	OnCorruption func(*CorruptionError)
+
+	mu      sync.Mutex
+	stop    chan struct{}
+	done    chan struct{}
+	err     *CorruptionError
+	sweeps  int
+	stopped bool
+}
+
+// NewAuditor creates an auditor for db sweeping at the given interval.
+func NewAuditor(db *DB, interval time.Duration) *Auditor {
+	return &Auditor{db: db, interval: interval}
+}
+
+// Start launches the background sweep. It may be started once.
+func (a *Auditor) Start() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.stop != nil {
+		return
+	}
+	a.stop = make(chan struct{})
+	a.done = make(chan struct{})
+	go a.run(a.stop, a.done)
+}
+
+func (a *Auditor) run(stop, done chan struct{}) {
+	defer close(done)
+	ticker := time.NewTicker(a.interval)
+	defer ticker.Stop()
+	var pass *AuditPass
+	defer func() {
+		if pass != nil {
+			pass.Abort()
+		}
+	}()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-ticker.C:
+			var err error
+			if pass == nil {
+				pass, err = a.db.BeginAuditPass()
+				if err != nil {
+					return
+				}
+			}
+			stepDone, err := pass.Step(a.SliceBytes)
+			if err != nil {
+				return
+			}
+			if !stepDone {
+				continue
+			}
+			err = pass.Finish()
+			pass = nil
+			a.mu.Lock()
+			a.sweeps++
+			a.mu.Unlock()
+			var ce *CorruptionError
+			switch {
+			case err == nil:
+			case errors.Is(err, ErrClosed):
+				return
+			case errors.As(err, &ce):
+				a.mu.Lock()
+				a.err = ce
+				cb := a.OnCorruption
+				a.mu.Unlock()
+				if cb != nil {
+					cb(ce)
+				}
+				return
+			default:
+				return
+			}
+		}
+	}
+}
+
+// Stop halts the auditor and waits for the sweep goroutine to exit.
+func (a *Auditor) Stop() {
+	a.mu.Lock()
+	if a.stop == nil || a.stopped {
+		a.mu.Unlock()
+		return
+	}
+	a.stopped = true
+	close(a.stop)
+	done := a.done
+	a.mu.Unlock()
+	<-done
+}
+
+// Sweeps reports completed audit sweeps.
+func (a *Auditor) Sweeps() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.sweeps
+}
+
+// Err returns the corruption error that stopped the auditor, if any.
+func (a *Auditor) Err() *CorruptionError {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.err
+}

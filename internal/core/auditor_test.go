@@ -1,0 +1,263 @@
+package core
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/protect"
+	"repro/internal/wal"
+)
+
+func TestAuditorCleanSweeps(t *testing.T) {
+	db := testDB(t, protect.Config{Kind: protect.KindDataCW, RegionSize: 64})
+	a := NewAuditor(db, 5*time.Millisecond)
+	a.Start()
+	a.Start() // idempotent
+	deadline := time.Now().Add(5 * time.Second)
+	for a.Sweeps() < 3 {
+		if time.Now().After(deadline) {
+			t.Fatal("auditor never swept")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	a.Stop()
+	a.Stop() // idempotent
+	if a.Err() != nil {
+		t.Fatalf("clean database reported corruption: %v", a.Err())
+	}
+	// Audit_SN advanced.
+	if db.LastCleanAuditLSN() == 0 && db.AuditSerial() == 0 {
+		t.Fatal("audits not recorded")
+	}
+}
+
+func TestAuditorDetectsCorruption(t *testing.T) {
+	db := testDB(t, protect.Config{Kind: protect.KindDataCW, RegionSize: 64})
+	detected := make(chan *CorruptionError, 1)
+	a := NewAuditor(db, 2*time.Millisecond)
+	a.OnCorruption = func(ce *CorruptionError) { detected <- ce }
+	a.Start()
+	defer a.Stop()
+
+	db.Arena().Bytes()[300] ^= 0x10 // wild write
+
+	select {
+	case ce := <-detected:
+		if len(ce.Mismatches) != 1 || ce.Mismatches[0].Region != 300/64 {
+			t.Fatalf("mismatches: %v", ce.Mismatches)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("auditor never detected the corruption")
+	}
+	if a.Err() == nil {
+		t.Fatal("Err not recorded")
+	}
+}
+
+func TestAuditorStopsOnClose(t *testing.T) {
+	db := testDB(t, protect.Config{Kind: protect.KindDataCW, RegionSize: 64})
+	a := NewAuditor(db, time.Millisecond)
+	a.Start()
+	time.Sleep(5 * time.Millisecond)
+	db.Close()
+	done := make(chan struct{})
+	go func() { a.Stop(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("auditor did not stop after close")
+	}
+}
+
+func TestAuditorConcurrentWithUpdates(t *testing.T) {
+	// Asynchronous audits must never report corruption while prescribed
+	// updates run concurrently (the protection-latch discipline of §3.2).
+	db := testDB(t, protect.Config{Kind: protect.KindDataCW, RegionSize: 128})
+	a := NewAuditor(db, time.Millisecond)
+	failed := make(chan *CorruptionError, 1)
+	a.OnCorruption = func(ce *CorruptionError) {
+		select {
+		case failed <- ce:
+		default:
+		}
+	}
+	a.Start()
+	defer a.Stop()
+
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			txn, err := db.Begin()
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			base := 4096 * g
+			for i := 0; i < 300; i++ {
+				key := wal.ObjectKey(base + i%16)
+				if err := txn.BeginOp(1, key); err != nil {
+					t.Error(err)
+					return
+				}
+				u, err := txn.BeginUpdate(mem64(base+(i%16)*64), 48)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				for j := range u.Bytes() {
+					u.Bytes()[j] = byte(i + j)
+				}
+				if err := u.End(); err != nil {
+					t.Error(err)
+					return
+				}
+				if err := txn.CommitOp(1, key, wal.LogicalUndo{Op: testUndoOp, Key: key,
+					Args: encodeTestUndo(mem64(base+(i%16)*64), make([]byte, 48))}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+			if err := txn.Commit(); err != nil {
+				t.Error(err)
+			}
+		}(g)
+	}
+	wg.Wait()
+	select {
+	case ce := <-failed:
+		t.Fatalf("audit failed during prescribed updates: %v", ce)
+	default:
+	}
+	if err := db.Audit(); err != nil {
+		t.Fatalf("final audit: %v", err)
+	}
+}
+
+func TestAuditPassIncremental(t *testing.T) {
+	db := testDB(t, protect.Config{Kind: protect.KindDataCW, RegionSize: 64})
+	pass, err := db.BeginAuditPass()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A concurrent pass (e.g. the checkpointer's certification audit
+	// overlapping the background auditor) is permitted and independent.
+	p2, err := db.BeginAuditPass()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := finishWholePass(p2); err != nil {
+		t.Fatalf("concurrent pass: %v", err)
+	}
+	steps := 0
+	for {
+		done, err := pass.Step(4096)
+		if err != nil {
+			t.Fatal(err)
+		}
+		steps++
+		if done {
+			break
+		}
+	}
+	if steps != db.Arena().Size()/4096 {
+		t.Fatalf("steps = %d, want %d", steps, db.Arena().Size()/4096)
+	}
+	if err := pass.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	if err := pass.Finish(); err == nil {
+		t.Fatal("double finish accepted")
+	}
+	if db.LastCleanAuditLSN() == 0 && db.AuditSerial() == 0 {
+		t.Fatal("pass did not advance Audit_SN bookkeeping")
+	}
+	// A new pass may begin now; aborting it leaves the door open.
+	p3, err := db.BeginAuditPass()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p3.Abort()
+	p4, err := db.BeginAuditPass()
+	if err != nil {
+		t.Fatalf("pass after abort: %v", err)
+	}
+	p4.Abort()
+}
+
+func finishWholePass(p *AuditPass) error {
+	for {
+		done, err := p.Step(0)
+		if err != nil {
+			return err
+		}
+		if done {
+			return p.Finish()
+		}
+	}
+}
+
+func TestAuditPassDetectsMidPassCorruption(t *testing.T) {
+	db := testDB(t, protect.Config{Kind: protect.KindDataCW, RegionSize: 64})
+	pass, err := db.BeginAuditPass()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pass.Step(4096); err != nil { // covers [0, 4096)
+		t.Fatal(err)
+	}
+	// Corrupt a region the pass has NOT yet reached.
+	db.Arena().Bytes()[8192+17] ^= 0x20
+	for {
+		done, err := pass.Step(4096)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if done {
+			break
+		}
+	}
+	err = pass.Finish()
+	var ce *CorruptionError
+	if !errors.As(err, &ce) {
+		t.Fatalf("mid-pass corruption missed: %v", err)
+	}
+	if ce.Mismatches[0].Region != (8192+17)/64 {
+		t.Fatalf("wrong region: %v", ce.Mismatches)
+	}
+}
+
+func TestAuditorIncrementalSlices(t *testing.T) {
+	db := testDB(t, protect.Config{Kind: protect.KindDataCW, RegionSize: 64})
+	a := NewAuditor(db, time.Millisecond)
+	a.SliceBytes = db.Arena().Size() / 4 // four ticks per pass
+	a.Start()
+	deadline := time.Now().Add(10 * time.Second)
+	for a.Sweeps() < 2 {
+		if time.Now().After(deadline) {
+			t.Fatal("incremental auditor never completed a pass")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	a.Stop()
+	if a.Err() != nil {
+		t.Fatalf("phantom corruption: %v", a.Err())
+	}
+	// Corruption is still caught by the sliced mode.
+	db2 := testDB(t, protect.Config{Kind: protect.KindDataCW, RegionSize: 64})
+	detected := make(chan *CorruptionError, 1)
+	a2 := NewAuditor(db2, time.Millisecond)
+	a2.SliceBytes = db2.Arena().Size() / 8
+	a2.OnCorruption = func(ce *CorruptionError) { detected <- ce }
+	a2.Start()
+	defer a2.Stop()
+	db2.Arena().Bytes()[1234] ^= 0x01
+	select {
+	case <-detected:
+	case <-time.After(10 * time.Second):
+		t.Fatal("sliced auditor never detected corruption")
+	}
+}

@@ -1,0 +1,564 @@
+// Package core is the storage manager facade: it reproduces the Dalí
+// system model the paper's protection schemes are built into (§2). The
+// database is a byte arena directly "mapped" into the application's
+// address space; updates are in place and must be bracketed by the
+// prescribed interface (Txn.BeginUpdate / Update.End); reads of persistent
+// data go through Txn.Read. A protection scheme (package protect) hooks
+// both sides: codeword maintenance and prechecking, read logging, or page
+// protection. Logging, checkpointing and the active transaction table
+// follow the Dalí multi-level recovery design summarized in §2.1.
+//
+// A DB whose directory already holds a checkpoint must be opened through
+// package recovery (restart recovery rebuilds the image from the
+// checkpoint and log); core.Open itself only creates fresh databases.
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/ckpt"
+	"repro/internal/lockmgr"
+	"repro/internal/mem"
+	"repro/internal/protect"
+	"repro/internal/region"
+	"repro/internal/wal"
+)
+
+// Config describes a database instance.
+type Config struct {
+	// Dir is the database directory (system log, checkpoints, anchor).
+	Dir string
+	// ArenaSize is the database image size in bytes (rounded up to pages).
+	ArenaSize int
+	// PageSize is the page size for checkpointing and hardware
+	// protection; default 4096.
+	PageSize int
+	// Protect selects the corruption protection scheme; default Baseline.
+	Protect protect.Config
+	// LockTimeout bounds lock waits (deadlock resolution); default 2s.
+	LockTimeout time.Duration
+	// DisableLogCompaction keeps the full stable log after checkpoints
+	// instead of compacting records below the certified CK_end.
+	DisableLogCompaction bool
+}
+
+// WithDefaults returns cfg with unset fields defaulted.
+func (c Config) WithDefaults() Config {
+	if c.PageSize == 0 {
+		c.PageSize = 4096
+	}
+	if c.LockTimeout == 0 {
+		c.LockTimeout = 2 * time.Second
+	}
+	return c
+}
+
+// CorruptionError reports codeword mismatches found by an audit or a
+// failed read precheck. Per the paper, the system reacts by noting the
+// corrupt regions and "crashing" the database so corruption recovery runs
+// as part of restart recovery (§4.3).
+type CorruptionError struct {
+	Mismatches []region.Mismatch
+}
+
+func (e *CorruptionError) Error() string {
+	return fmt.Sprintf("core: corruption detected in %d region(s): %v", len(e.Mismatches), e.Mismatches)
+}
+
+// ErrClosed is returned by operations on a closed database.
+var ErrClosed = errors.New("core: database is closed")
+
+// Stats aggregates instrumentation counters for the benchmark harness.
+type Stats struct {
+	Txns        uint64
+	Ops         uint64
+	Updates     uint64
+	Reads       uint64
+	ReadRecords uint64
+	Audits      uint64
+	Checkpoints uint64
+	// ProtectCalls is the number of page protect/unprotect calls made by
+	// the hardware scheme (the paper's §5.3 page-touch observation).
+	ProtectCalls uint64
+}
+
+// DB is a database instance.
+type DB struct {
+	cfg    Config
+	arena  *mem.Arena
+	scheme protect.Scheme
+	log    *wal.SystemLog
+	att    *wal.ATT
+	locks  *lockmgr.Manager
+	ckpts  *ckpt.Set
+
+	// barrier is the update barrier: every state-changing bracket
+	// (BeginUpdate..End, operation begin/commit, transaction begin/
+	// commit/abort) holds it shared; the checkpointer takes it exclusive
+	// to capture an update-consistent snapshot.
+	barrier sync.RWMutex
+
+	metaMu   sync.Mutex
+	meta     map[string][]byte
+	nextPage mem.PageID
+
+	attachMu sync.Mutex
+	attach   map[string]any
+
+	auditMu        sync.Mutex
+	auditSN        uint64
+	lastCleanAudit wal.LSN // the paper's Audit_SN
+
+	closed atomic.Bool
+
+	statTxns    atomic.Uint64
+	statOps     atomic.Uint64
+	statUpdates atomic.Uint64
+	statReads   atomic.Uint64
+	statReadRec atomic.Uint64
+	statAudits  atomic.Uint64
+	statCkpts   atomic.Uint64
+}
+
+// Open creates a fresh database in cfg.Dir. It refuses a directory that
+// already contains a checkpoint anchor: existing databases must be opened
+// through package recovery so restart recovery can run.
+func Open(cfg Config) (*DB, error) {
+	cfg = cfg.WithDefaults()
+	if cfg.ArenaSize <= 0 {
+		return nil, fmt.Errorf("core: arena size required")
+	}
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("core: create dir: %w", err)
+	}
+	if _, err := os.Stat(anchorPath(cfg.Dir)); err == nil {
+		return nil, fmt.Errorf("core: %s contains an existing database; open it with recovery.Open", cfg.Dir)
+	}
+	return build(cfg, nil)
+}
+
+func anchorPath(dir string) string { return dir + "/" + ckpt.AnchorFileName }
+
+// build assembles a DB. loaded, when non-nil, carries recovered state
+// (used by package recovery via NewRecovered).
+func build(cfg Config, loaded *RecoveredState) (*DB, error) {
+	arena, err := mem.NewArena(cfg.ArenaSize, cfg.PageSize)
+	if err != nil {
+		return nil, err
+	}
+	if loaded != nil {
+		if len(loaded.Image) != arena.Size() {
+			arena.Close()
+			return nil, fmt.Errorf("core: recovered image is %d bytes but arena is %d", len(loaded.Image), arena.Size())
+		}
+		copy(arena.Bytes(), loaded.Image)
+	}
+	scheme, err := protect.New(arena, cfg.Protect)
+	if err != nil {
+		arena.Close()
+		return nil, err
+	}
+	log, err := wal.OpenSystemLog(cfg.Dir, cfg.PageSize)
+	if err != nil {
+		arena.Close()
+		return nil, err
+	}
+	ckpts, err := ckpt.Open(cfg.Dir, cfg.PageSize)
+	if err != nil {
+		log.Close()
+		arena.Close()
+		return nil, err
+	}
+	log.RegisterDirtyNoter(ckpts)
+
+	db := &DB{
+		cfg:    cfg,
+		arena:  arena,
+		scheme: scheme,
+		log:    log,
+		att:    wal.NewATT(1),
+		locks:  lockmgr.New(cfg.LockTimeout),
+		ckpts:  ckpts,
+		meta:   make(map[string][]byte),
+		attach: make(map[string]any),
+	}
+	if loaded != nil {
+		db.att = wal.NewATT(loaded.NextTxnID)
+		if loaded.Meta != nil {
+			if err := db.decodeMeta(loaded.Meta); err != nil {
+				db.closeInternals()
+				return nil, err
+			}
+		}
+		db.auditSN = loaded.AuditSN
+	}
+	return db, nil
+}
+
+// RecoveredState is the state handed from restart recovery to NewRecovered.
+type RecoveredState struct {
+	// Image is the recovered database image (exactly arena-sized).
+	Image []byte
+	// Meta is the checkpointed metadata blob.
+	Meta []byte
+	// NextTxnID seeds transaction IDs above everything seen in the log.
+	NextTxnID wal.TxnID
+	// AuditSN seeds the audit serial-number counter.
+	AuditSN uint64
+}
+
+// NewRecovered assembles a DB around state produced by restart recovery.
+// The caller (package recovery) is responsible for having rolled back
+// incomplete transactions before calling this; the image is trusted.
+// Codewords (and hardware page protection) are then re-derived from it.
+func NewRecovered(cfg Config, st *RecoveredState) (*DB, error) {
+	cfg = cfg.WithDefaults()
+	db, err := build(cfg, st)
+	if err != nil {
+		return nil, err
+	}
+	if err := db.scheme.Recompute(); err != nil {
+		db.closeInternals()
+		return nil, err
+	}
+	return db, nil
+}
+
+// Config returns the database's configuration.
+func (db *DB) Config() Config { return db.cfg }
+
+// Arena exposes the database image. Writing through it outside the
+// prescribed interface is direct physical corruption (used deliberately
+// by the fault injector).
+func (db *DB) Arena() *mem.Arena { return db.arena }
+
+// Scheme exposes the active protection scheme.
+func (db *DB) Scheme() protect.Scheme { return db.scheme }
+
+// Log exposes the system log.
+func (db *DB) Log() *wal.SystemLog { return db.log }
+
+// ATT exposes the active transaction table.
+func (db *DB) ATT() *wal.ATT { return db.att }
+
+// Locks exposes the lock manager.
+func (db *DB) Locks() *lockmgr.Manager { return db.locks }
+
+// Checkpoints exposes the checkpoint set.
+func (db *DB) Checkpoints() *ckpt.Set { return db.ckpts }
+
+// PageSize reports the page size.
+func (db *DB) PageSize() int { return db.cfg.PageSize }
+
+// Stats returns a snapshot of the instrumentation counters.
+func (db *DB) Stats() Stats {
+	return Stats{
+		Txns:         db.statTxns.Load(),
+		Ops:          db.statOps.Load(),
+		Updates:      db.statUpdates.Load(),
+		Reads:        db.statReads.Load(),
+		ReadRecords:  db.statReadRec.Load(),
+		Audits:       db.statAudits.Load(),
+		Checkpoints:  db.statCkpts.Load(),
+		ProtectCalls: db.scheme.Protector().Calls(),
+	}
+}
+
+// --- metadata and page allocation -----------------------------------------
+
+// SetMeta stores an opaque metadata blob under key. Metadata is persisted
+// with each checkpoint; callers that change metadata (e.g. the heap
+// catalog on table creation) should checkpoint before relying on it
+// surviving a crash.
+func (db *DB) SetMeta(key string, value []byte) {
+	db.metaMu.Lock()
+	defer db.metaMu.Unlock()
+	db.meta[key] = append([]byte(nil), value...)
+}
+
+// Meta returns the metadata blob stored under key.
+func (db *DB) Meta(key string) ([]byte, bool) {
+	db.metaMu.Lock()
+	defer db.metaMu.Unlock()
+	v, ok := db.meta[key]
+	if !ok {
+		return nil, false
+	}
+	return append([]byte(nil), v...), true
+}
+
+// AllocPages reserves n contiguous pages of the arena and returns the
+// first. Allocation state is part of the checkpointed metadata.
+func (db *DB) AllocPages(n int) (mem.PageID, error) {
+	db.metaMu.Lock()
+	defer db.metaMu.Unlock()
+	if int(db.nextPage)+n > db.arena.NumPages() {
+		return 0, fmt.Errorf("core: arena exhausted: need %d pages, %d free",
+			n, db.arena.NumPages()-int(db.nextPage))
+	}
+	first := db.nextPage
+	db.nextPage += mem.PageID(n)
+	return first, nil
+}
+
+// AllocatedPages reports how many pages have been reserved.
+func (db *DB) AllocatedPages() int {
+	db.metaMu.Lock()
+	defer db.metaMu.Unlock()
+	return int(db.nextPage)
+}
+
+// Attach stores a runtime-only object under key (e.g. the heap catalog
+// cache); attachments are not persisted.
+func (db *DB) Attach(key string, v any) {
+	db.attachMu.Lock()
+	defer db.attachMu.Unlock()
+	db.attach[key] = v
+}
+
+// Attachment fetches a runtime attachment.
+func (db *DB) Attachment(key string) (any, bool) {
+	db.attachMu.Lock()
+	defer db.attachMu.Unlock()
+	v, ok := db.attach[key]
+	return v, ok
+}
+
+const allocMetaKey = "\x00core.alloc"
+
+// encodeMeta serializes the metadata map plus allocator state.
+func (db *DB) encodeMeta() []byte {
+	db.metaMu.Lock()
+	defer db.metaMu.Unlock()
+	keys := make([]string, 0, len(db.meta))
+	for k := range db.meta {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b []byte
+	b = binary.AppendUvarint(b, uint64(db.nextPage))
+	b = binary.AppendUvarint(b, uint64(len(keys)))
+	for _, k := range keys {
+		b = binary.AppendUvarint(b, uint64(len(k)))
+		b = append(b, k...)
+		v := db.meta[k]
+		b = binary.AppendUvarint(b, uint64(len(v)))
+		b = append(b, v...)
+	}
+	return b
+}
+
+func (db *DB) decodeMeta(b []byte) error {
+	db.metaMu.Lock()
+	defer db.metaMu.Unlock()
+	pos := 0
+	next, n := binary.Uvarint(b[pos:])
+	if n <= 0 {
+		return fmt.Errorf("core: corrupt metadata")
+	}
+	pos += n
+	db.nextPage = mem.PageID(next)
+	count, n := binary.Uvarint(b[pos:])
+	if n <= 0 {
+		return fmt.Errorf("core: corrupt metadata")
+	}
+	pos += n
+	db.meta = make(map[string][]byte, count)
+	for i := uint64(0); i < count; i++ {
+		klen, n := binary.Uvarint(b[pos:])
+		if n <= 0 || pos+n+int(klen) > len(b) {
+			return fmt.Errorf("core: corrupt metadata key")
+		}
+		pos += n
+		k := string(b[pos : pos+int(klen)])
+		pos += int(klen)
+		vlen, n := binary.Uvarint(b[pos:])
+		if n <= 0 || pos+n+int(vlen) > len(b) {
+			return fmt.Errorf("core: corrupt metadata value")
+		}
+		pos += n
+		db.meta[k] = append([]byte(nil), b[pos:pos+int(vlen)]...)
+		pos += int(vlen)
+	}
+	return nil
+}
+
+// EncodeMetaForCheckpoint exposes metadata serialization to the recovery
+// package (which writes the post-recovery checkpoint).
+func (db *DB) EncodeMetaForCheckpoint() []byte { return db.encodeMeta() }
+
+// --- audit -----------------------------------------------------------------
+
+// Audit runs a full-database codeword audit, bracketed by audit log
+// records. A clean audit advances Audit_SN (the LSN of its begin record).
+// A dirty audit appends an audit-end record carrying the corrupt regions
+// — making them visible to corruption recovery — and returns a
+// *CorruptionError; the expected reaction is to crash the database and
+// run delete-transaction recovery (paper §4.3).
+func (db *DB) Audit() error {
+	pass, err := db.BeginAuditPass()
+	if err != nil {
+		return err
+	}
+	for {
+		done, err := pass.Step(0)
+		if err != nil {
+			pass.Abort()
+			return err
+		}
+		if done {
+			break
+		}
+	}
+	return pass.Finish()
+}
+
+// LastCleanAuditLSN reports the current Audit_SN: the log position at
+// which the last clean audit began.
+func (db *DB) LastCleanAuditLSN() wal.LSN {
+	db.auditMu.Lock()
+	defer db.auditMu.Unlock()
+	return db.lastCleanAudit
+}
+
+// AuditSerial reports the current audit serial number.
+func (db *DB) AuditSerial() uint64 {
+	db.auditMu.Lock()
+	defer db.auditMu.Unlock()
+	return db.auditSN
+}
+
+// --- checkpointing ----------------------------------------------------------
+
+// Checkpoint performs one ping-pong checkpoint: under the update barrier
+// it flushes the log, snapshots the ATT (with local undo logs), metadata
+// and dirty pages; it then writes the inactive image, audits the entire
+// database, and — only if the audit is clean — certifies the image by
+// toggling the anchor. The certified checkpoint is therefore free of both
+// direct and indirect corruption (paper §4.2: if no page has direct
+// corruption after the write, no indirect corruption could have occurred
+// either). A dirty audit leaves the previous checkpoint current and
+// returns *CorruptionError.
+func (db *DB) Checkpoint() error {
+	if db.closed.Load() {
+		return ErrClosed
+	}
+	db.barrier.Lock()
+	if db.closed.Load() { // see Audit: Close drains the barrier
+		db.barrier.Unlock()
+		return ErrClosed
+	}
+	if err := db.log.Flush(); err != nil {
+		db.barrier.Unlock()
+		return err
+	}
+	ckEnd := db.log.StableEnd()
+	attBytes := wal.EncodeEntries(db.att.Snapshot())
+	metaBytes := db.encodeMeta()
+	snap := db.ckpts.Begin(db.arena, attBytes, metaBytes, ckEnd)
+	db.barrier.Unlock()
+
+	if err := db.ckpts.Write(snap, db.arena.Size()); err != nil {
+		return err
+	}
+	if err := db.Audit(); err != nil {
+		return err // CorruptionError: checkpoint not certified
+	}
+	if err := db.ckpts.Certify(snap, db.LastCleanAuditLSN()); err != nil {
+		return err
+	}
+	db.statCkpts.Add(1)
+	// Records below the certified CK_end are no longer needed by any
+	// recovery path (restart and corruption recovery scan from the current
+	// anchor's CK_end); compact them away so the log stays bounded.
+	if !db.cfg.DisableLogCompaction {
+		if err := db.log.Compact(snap.CKEnd); err != nil {
+			return fmt.Errorf("core: log compaction: %w", err)
+		}
+	}
+	return nil
+}
+
+// schemeOpEnd forwards operation-end to schemes that defer work to it
+// (grouped page exposure in the hardware scheme).
+func (db *DB) schemeOpEnd() error {
+	if oe, ok := db.scheme.(protect.OpEnder); ok {
+		return oe.OpEnd()
+	}
+	return nil
+}
+
+// ExclusiveBarrier runs fn while holding the update barrier exclusively:
+// no update bracket, operation boundary or transaction boundary can be in
+// flight. Cache recovery uses this to repair regions in place.
+func (db *DB) ExclusiveBarrier(fn func() error) error {
+	db.barrier.Lock()
+	defer db.barrier.Unlock()
+	return fn()
+}
+
+// --- lifecycle ---------------------------------------------------------------
+
+// Close flushes the log and releases resources. In-flight transactions
+// are abandoned (they will be rolled back by restart recovery on the
+// next open). Close drains in-flight audits and update brackets before
+// unmapping the image, so a background auditor or checkpointer racing
+// Close cannot touch freed memory; transactions must not be used
+// concurrently with Close.
+func (db *DB) Close() error {
+	if !db.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	db.quiesceForClose()
+	err := db.log.Close()
+	if cerr := db.arena.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// quiesceForClose waits out in-flight audits (auditMu) and update/commit
+// brackets (barrier). New ones are already refused: closed is set.
+func (db *DB) quiesceForClose() {
+	db.auditMu.Lock()
+	db.auditMu.Unlock() //nolint:staticcheck // drain, not protect
+	db.barrier.Lock()
+	db.barrier.Unlock() //nolint:staticcheck // drain, not protect
+}
+
+// CloseClean checkpoints and then closes, so the next open recovers
+// instantly from a fresh checkpoint.
+func (db *DB) CloseClean() error {
+	if err := db.Checkpoint(); err != nil {
+		return err
+	}
+	return db.Close()
+}
+
+// Crash simulates a process crash: the in-memory log tail and database
+// image are discarded without flushing. Used by tests and the corruption
+// recovery path (the paper's reaction to a failed audit is to "cause the
+// database to crash").
+func (db *DB) Crash() error {
+	if !db.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	db.quiesceForClose()
+	err := db.log.CloseWithoutFlush()
+	if cerr := db.arena.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+func (db *DB) closeInternals() {
+	db.log.Close()
+	db.arena.Close()
+}

@@ -1,0 +1,44 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/wal"
+)
+
+// UndoHandler logically undoes a committed lower-level operation by
+// executing a compensating operation against t: it must call t.BeginOp,
+// perform its physical updates through the prescribed interface, and
+// finish with t.CommitCompensationOp. Handlers run both during normal
+// transaction rollback and during the undo phase of restart recovery.
+type UndoHandler func(t *Txn, u wal.LogicalUndo) error
+
+var (
+	registryMu sync.RWMutex
+	registry   = make(map[uint8]UndoHandler)
+)
+
+// RegisterUndoOp installs the handler for a logical undo opcode. Storage
+// layers register their opcodes from init functions (see package heap).
+// Registering the same opcode twice panics: opcodes are a global protocol
+// between logging and recovery.
+func RegisterUndoOp(op uint8, h UndoHandler) {
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	if _, dup := registry[op]; dup {
+		panic(fmt.Sprintf("core: duplicate undo opcode %d", op))
+	}
+	registry[op] = h
+}
+
+// undoHandler looks up the handler for op.
+func undoHandler(op uint8) (UndoHandler, error) {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	h, ok := registry[op]
+	if !ok {
+		return nil, fmt.Errorf("core: no undo handler registered for opcode %d", op)
+	}
+	return h, nil
+}

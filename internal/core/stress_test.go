@@ -1,0 +1,235 @@
+package core
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/lockmgr"
+	"repro/internal/mem"
+	"repro/internal/protect"
+	"repro/internal/wal"
+)
+
+// TestConcurrentTxnsCheckpointerAuditor exercises the full latching and
+// barrier discipline at once: worker transactions update disjoint key
+// ranges, the checkpointer quiesces and snapshots, and the background
+// auditor sweeps — no audit may fail and no update may be lost.
+func TestConcurrentTxnsCheckpointerAuditor(t *testing.T) {
+	for _, pc := range []protect.Config{
+		{Kind: protect.KindDataCW, RegionSize: 128},
+		{Kind: protect.KindPrecheck, RegionSize: 128},
+	} {
+		pc := pc
+		t.Run(pc.Kind.String(), func(t *testing.T) {
+			db, err := Open(Config{
+				Dir:       t.TempDir(),
+				ArenaSize: 1 << 18,
+				Protect:   pc,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer db.Close()
+
+			auditor := NewAuditor(db, time.Millisecond)
+			auditor.Start()
+
+			stop := make(chan struct{})
+			var ckptErr error
+			var ckptWG sync.WaitGroup
+			ckptWG.Add(1)
+			go func() {
+				defer ckptWG.Done()
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					if err := db.Checkpoint(); err != nil {
+						ckptErr = err
+						return
+					}
+					time.Sleep(2 * time.Millisecond)
+				}
+			}()
+
+			const workers = 6
+			const txnsPerWorker = 15
+			const opsPerTxn = 20
+			var wg sync.WaitGroup
+			for g := 0; g < workers; g++ {
+				wg.Add(1)
+				go func(g int) {
+					defer wg.Done()
+					base := mem.Addr(g * 32 * 1024)
+					for tn := 0; tn < txnsPerWorker; tn++ {
+						txn, err := db.Begin()
+						if err != nil {
+							t.Error(err)
+							return
+						}
+						for i := 0; i < opsPerTxn; i++ {
+							key := wal.ObjectKey(uint64(g)<<32 | uint64(i%8))
+							if err := txn.Lock(key, lockmgr.Exclusive); err != nil {
+								t.Error(err)
+								txn.Abort()
+								return
+							}
+							addr := base + mem.Addr((i%8)*256)
+							if err := txn.BeginOp(1, key); err != nil {
+								t.Error(err)
+								return
+							}
+							u, err := txn.BeginUpdate(addr, 64)
+							if err != nil {
+								t.Error(err)
+								return
+							}
+							before := append([]byte(nil), u.Bytes()...)
+							for j := range u.Bytes() {
+								u.Bytes()[j] = byte(g*31 + tn*7 + i + j)
+							}
+							if err := u.End(); err != nil {
+								t.Error(err)
+								return
+							}
+							if err := txn.CommitOp(1, key, wal.LogicalUndo{
+								Op: testUndoOp, Key: key, Args: encodeTestUndo(addr, before),
+							}); err != nil {
+								t.Error(err)
+								return
+							}
+							if _, err := txn.Read(addr, 64); err != nil {
+								t.Errorf("read after own write: %v", err)
+								return
+							}
+						}
+						// A third of the transactions roll back.
+						if tn%3 == 0 {
+							if err := txn.Abort(); err != nil {
+								t.Error(err)
+								return
+							}
+						} else if err := txn.Commit(); err != nil {
+							t.Error(err)
+							return
+						}
+					}
+				}(g)
+			}
+			wg.Wait()
+			close(stop)
+			ckptWG.Wait()
+			auditor.Stop()
+
+			if ckptErr != nil {
+				t.Fatalf("checkpointer failed: %v", ckptErr)
+			}
+			if ce := auditor.Err(); ce != nil {
+				t.Fatalf("auditor detected phantom corruption: %v", ce)
+			}
+			if err := db.Audit(); err != nil {
+				t.Fatalf("final audit: %v", err)
+			}
+			st := db.Stats()
+			if st.Txns != workers*txnsPerWorker {
+				t.Fatalf("txns = %d", st.Txns)
+			}
+			if st.Checkpoints == 0 {
+				t.Fatal("no checkpoints completed")
+			}
+		})
+	}
+}
+
+// TestConcurrentReadersAndWriterPrecheck runs readers prechecking regions
+// a writer is concurrently updating through the prescribed interface: the
+// precheck must never fire (no false positives from in-flight updates,
+// thanks to the exclusive protection latch).
+func TestConcurrentReadersAndWriterPrecheck(t *testing.T) {
+	db := testDB(t, protect.Config{Kind: protect.KindPrecheck, RegionSize: 64})
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		txn, err := db.Begin()
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		defer txn.Commit()
+		i := 0
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			key := wal.ObjectKey(i % 4)
+			addr := mem.Addr((i % 4) * 512)
+			if err := txn.BeginOp(1, key); err != nil {
+				t.Error(err)
+				return
+			}
+			u, err := txn.BeginUpdate(addr, 200)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			before := append([]byte(nil), u.Bytes()...)
+			for j := range u.Bytes() {
+				u.Bytes()[j] = byte(i + j)
+			}
+			if err := u.End(); err != nil {
+				t.Error(err)
+				return
+			}
+			if err := txn.CommitOp(1, key, wal.LogicalUndo{
+				Op: testUndoOp, Key: key, Args: encodeTestUndo(addr, before),
+			}); err != nil {
+				t.Error(err)
+				return
+			}
+			i++
+		}
+	}()
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			txn, err := db.Begin()
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer txn.Commit()
+			for i := 0; i < 500; i++ {
+				addr := mem.Addr(((r + i) % 4) * 512)
+				if _, err := txn.Read(addr, 200); err != nil {
+					if errors.Is(err, protect.ErrPrecheckFailed) {
+						t.Errorf("false-positive precheck: %v", err)
+					} else {
+						t.Error(err)
+					}
+					return
+				}
+			}
+		}(r)
+	}
+	// Wait for readers, then stop the writer.
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	go func() {
+		time.Sleep(100 * time.Millisecond)
+		close(stop)
+	}()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("stress run wedged")
+	}
+}

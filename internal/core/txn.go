@@ -1,0 +1,424 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/lockmgr"
+	"repro/internal/mem"
+	"repro/internal/wal"
+)
+
+// Txn is a transaction. A transaction's work is structured as lower-level
+// operations (BeginOp / CommitOp) containing physical updates
+// (BeginUpdate / Update.End) and reads (Read), per the multi-level model
+// of §2.1. Transactions are not safe for concurrent use by multiple
+// goroutines; different transactions may run concurrently.
+type Txn struct {
+	db    *DB
+	entry *wal.TxnEntry
+	done  bool
+	// recoveryMode marks transactions adopted by restart recovery: lock
+	// acquisition is skipped (recovery runs single-threaded, and the
+	// original locks died with the crash).
+	recoveryMode bool
+	// pendingUpdate guards against overlapping update brackets.
+	pendingUpdate bool
+	// opRedoMarks records len(entry.Redo) at each BeginOp so AbortOp can
+	// discard exactly the aborted operation's pending records.
+	opRedoMarks []int
+}
+
+// ErrTxnDone is returned by operations on a committed or aborted
+// transaction.
+var ErrTxnDone = errors.New("core: transaction already completed")
+
+// Begin starts a transaction.
+func (db *DB) Begin() (*Txn, error) {
+	if db.closed.Load() {
+		return nil, ErrClosed
+	}
+	db.barrier.RLock()
+	if db.closed.Load() { // Close drains the barrier before unmapping
+		db.barrier.RUnlock()
+		return nil, ErrClosed
+	}
+	entry := db.att.Begin()
+	db.log.Append(&wal.Record{Kind: wal.KindTxnBegin, Txn: entry.ID})
+	db.barrier.RUnlock()
+	db.statTxns.Add(1)
+	return &Txn{db: db, entry: entry}, nil
+}
+
+// AdoptTxn wraps an ATT entry in a Txn for recovery-driven rollback.
+func (db *DB) AdoptTxn(entry *wal.TxnEntry) *Txn {
+	return &Txn{db: db, entry: entry, recoveryMode: true}
+}
+
+// ID reports the transaction ID.
+func (t *Txn) ID() wal.TxnID { return t.entry.ID }
+
+// DB returns the database the transaction runs against.
+func (t *Txn) DB() *DB { return t.db }
+
+// Entry exposes the ATT entry (used by recovery and tests).
+func (t *Txn) Entry() *wal.TxnEntry { return t.entry }
+
+// Lock acquires a transaction-duration lock on an object key; locks are
+// released at commit or abort (strict two-phase locking at transaction
+// level). During recovery locks are skipped.
+func (t *Txn) Lock(key wal.ObjectKey, mode lockmgr.Mode) error {
+	if t.done {
+		return ErrTxnDone
+	}
+	if t.recoveryMode {
+		return nil
+	}
+	return t.db.locks.Lock(t.entry.ID, key, mode)
+}
+
+// BeginOp opens a lower-level operation on key at the given level. The
+// operation's begin is logged — corruption recovery checks begin-operation
+// records against the undo logs of corrupted transactions (§4.3).
+func (t *Txn) BeginOp(level uint8, key wal.ObjectKey) error {
+	if t.done {
+		return ErrTxnDone
+	}
+	t.db.barrier.RLock()
+	defer t.db.barrier.RUnlock()
+	t.opRedoMarks = append(t.opRedoMarks, len(t.entry.Redo))
+	t.entry.PushOpBegin(level, key)
+	t.entry.Redo = append(t.entry.Redo, &wal.Record{
+		Kind: wal.KindOpBegin, Txn: t.entry.ID, Level: level, Key: key,
+	})
+	t.db.statOps.Add(1)
+	return nil
+}
+
+// CommitOp commits the current lower-level operation: the operation
+// commit record (with its logical undo description) is appended to the
+// local redo log, the local redo log is moved to the system log tail, and
+// the operation's physical undo records are replaced by the logical undo
+// — all before the caller releases the operation's locks, as required by
+// multi-level recovery (§2.1).
+func (t *Txn) CommitOp(level uint8, key wal.ObjectKey, undo wal.LogicalUndo) error {
+	return t.commitOp(level, key, undo, false)
+}
+
+// CommitCompensationOp commits an operation executed by an undo handler
+// to reverse an earlier committed operation. The compensated logical undo
+// entry is popped from the undo log; the op-commit record is flagged so
+// recovery reconstructs the same pop.
+func (t *Txn) CommitCompensationOp(level uint8, key wal.ObjectKey) error {
+	return t.commitOp(level, key, wal.LogicalUndo{}, true)
+}
+
+func (t *Txn) commitOp(level uint8, key wal.ObjectKey, undo wal.LogicalUndo, compensation bool) error {
+	if t.done {
+		return ErrTxnDone
+	}
+	if !t.entry.InOperation() {
+		return fmt.Errorf("core: txn %d: CommitOp without BeginOp", t.entry.ID)
+	}
+	t.db.barrier.RLock()
+	defer t.db.barrier.RUnlock()
+	rec := &wal.Record{
+		Kind: wal.KindOpCommit, Txn: t.entry.ID, Level: level, Key: key,
+		Undo: undo, Compensation: compensation,
+	}
+	t.entry.Redo = append(t.entry.Redo, rec)
+	t.db.log.Append(t.entry.Redo...)
+	t.entry.Redo = t.entry.Redo[:0]
+	if n := len(t.opRedoMarks); n > 0 {
+		t.opRedoMarks = t.opRedoMarks[:n-1]
+	}
+	if err := t.db.schemeOpEnd(); err != nil {
+		return err
+	}
+	if compensation {
+		return t.entry.CommitCompensationOp()
+	}
+	return t.entry.CommitOp(level, key, undo, rec.LSN)
+}
+
+// AbortOp rolls back the current (uncommitted) lower-level operation in
+// place: its physical updates are undone and its pending redo records are
+// discarded, leaving the transaction able to continue.
+func (t *Txn) AbortOp() error {
+	if t.done {
+		return ErrTxnDone
+	}
+	if !t.entry.InOperation() {
+		return fmt.Errorf("core: txn %d: AbortOp without BeginOp", t.entry.ID)
+	}
+	// First discard the aborted operation's pending redo records (its
+	// begin record and physical records that never reached the system
+	// log). This must happen before any nested compensation runs, because
+	// a compensation's operation commit moves everything pending to the
+	// system log and must not carry the aborted operation's records with
+	// it. Records pending from before this operation's BeginOp are kept.
+	if n := len(t.opRedoMarks); n > 0 {
+		mark := t.opRedoMarks[n-1]
+		t.opRedoMarks = t.opRedoMarks[:n-1]
+		if mark < len(t.entry.Redo) {
+			t.entry.Redo = t.entry.Redo[:mark]
+		}
+	} else {
+		t.entry.Redo = t.entry.Redo[:0]
+	}
+	// Undo the operation's work down to (and including) its op-begin
+	// marker: physical updates from their before-images, nested committed
+	// operations by compensation.
+	for len(t.entry.Undo) > 0 {
+		before := len(t.entry.Undo)
+		top := t.entry.Undo[before-1]
+		switch top.Kind {
+		case wal.UndoOpBegin:
+			t.entry.Undo = t.entry.Undo[:before-1]
+		case wal.UndoPhys:
+			t.entry.Undo = t.entry.Undo[:before-1]
+			if err := t.applyPhysUndo(top); err != nil {
+				return err
+			}
+		case wal.UndoLogical:
+			if err := t.execLogicalUndo(top); err != nil {
+				return err
+			}
+			if len(t.entry.Undo) >= before {
+				return fmt.Errorf("core: txn %d: logical undo did not shrink the undo log", t.entry.ID)
+			}
+		default:
+			return fmt.Errorf("core: txn %d: unknown undo entry kind %d", t.entry.ID, top.Kind)
+		}
+		if top.Kind == wal.UndoOpBegin {
+			break
+		}
+	}
+	return t.db.schemeOpEnd()
+}
+
+// Read reads n bytes at addr through the prescribed interface: the active
+// scheme prechecks and/or contributes a read-log record (identity and
+// optional codeword, never the value — §4.2). The returned slice is a
+// copy. A CorruptionError-wrapped precheck failure means the data is
+// corrupt and was not returned.
+func (t *Txn) Read(addr mem.Addr, n int) ([]byte, error) {
+	if t.done {
+		return nil, ErrTxnDone
+	}
+	if t.pendingUpdate {
+		// Reading through the scheme while an update bracket is open
+		// would re-acquire protection latches the bracket already holds
+		// (self-deadlock under Read Prechecking).
+		return nil, fmt.Errorf("core: txn %d: read inside an open update bracket", t.entry.ID)
+	}
+	info, err := t.db.scheme.Read(addr, n)
+	if err != nil {
+		return nil, err
+	}
+	t.db.statReads.Add(1)
+	if info.LogRead {
+		t.entry.Redo = append(t.entry.Redo, &wal.Record{
+			Kind: wal.KindRead, Txn: t.entry.ID, Addr: addr, Len: n,
+			HasCW: info.HasCW, CW: info.CW,
+		})
+		t.db.statReadRec.Add(1)
+	}
+	out := make([]byte, n)
+	copy(out, t.db.arena.Slice(addr, n))
+	return out, nil
+}
+
+// ReadInto is Read without allocation: it copies into dst and returns the
+// number of bytes read. Used on benchmark hot paths.
+func (t *Txn) ReadInto(addr mem.Addr, dst []byte) (int, error) {
+	if t.done {
+		return 0, ErrTxnDone
+	}
+	if t.pendingUpdate {
+		return 0, fmt.Errorf("core: txn %d: read inside an open update bracket", t.entry.ID)
+	}
+	info, err := t.db.scheme.Read(addr, len(dst))
+	if err != nil {
+		return 0, err
+	}
+	t.db.statReads.Add(1)
+	if info.LogRead {
+		t.entry.Redo = append(t.entry.Redo, &wal.Record{
+			Kind: wal.KindRead, Txn: t.entry.ID, Addr: addr, Len: len(dst),
+			HasCW: info.HasCW, CW: info.CW,
+		})
+		t.db.statReadRec.Add(1)
+	}
+	copy(dst, t.db.arena.Slice(addr, len(dst)))
+	return len(dst), nil
+}
+
+// Commit durably commits the transaction: any remaining local records are
+// moved to the system log, a commit record is appended, and the log is
+// forced. Locks are then released and the ATT entry removed.
+func (t *Txn) Commit() error {
+	if t.done {
+		return ErrTxnDone
+	}
+	if t.entry.InOperation() {
+		return fmt.Errorf("core: txn %d: commit with open operation", t.entry.ID)
+	}
+	if t.pendingUpdate {
+		return fmt.Errorf("core: txn %d: commit with open update", t.entry.ID)
+	}
+	t.db.barrier.RLock()
+	recs := append(t.entry.Redo, &wal.Record{Kind: wal.KindTxnCommit, Txn: t.entry.ID})
+	err := t.db.log.AppendAndFlush(recs...)
+	t.entry.Redo = nil
+	t.db.barrier.RUnlock()
+	if err != nil {
+		return err
+	}
+	t.finish(wal.TxnCommitted)
+	return nil
+}
+
+// Abort rolls the transaction back: physical updates of the open
+// operation are undone from their before-images, committed operations are
+// logically undone by compensating operations (newest first), and an
+// abort record is appended. The paper's codeword-applied flag (§3.1)
+// decides whether each physical restore refolds the codeword.
+func (t *Txn) Abort() error {
+	if t.done {
+		return ErrTxnDone
+	}
+	if t.pendingUpdate {
+		return fmt.Errorf("core: txn %d: abort with open update bracket", t.entry.ID)
+	}
+	if err := t.Rollback(); err != nil {
+		return err
+	}
+	t.db.barrier.RLock()
+	t.db.log.Append(&wal.Record{Kind: wal.KindTxnAbort, Txn: t.entry.ID})
+	t.db.barrier.RUnlock()
+	t.finish(wal.TxnAborted)
+	return nil
+}
+
+// Rollback undoes all of the transaction's work without completing the
+// transaction (recovery calls this for every incomplete transaction and
+// then finalizes separately).
+func (t *Txn) Rollback() error {
+	// Pending redo records belong to an uncommitted operation (or are
+	// reads); they never reached the system log and are discarded.
+	t.entry.Redo = nil
+	t.opRedoMarks = nil
+	for len(t.entry.Undo) > 0 {
+		before := len(t.entry.Undo)
+		top := t.entry.Undo[before-1]
+		switch top.Kind {
+		case wal.UndoPhys:
+			t.entry.Undo = t.entry.Undo[:before-1]
+			if err := t.applyPhysUndo(top); err != nil {
+				return err
+			}
+		case wal.UndoOpBegin:
+			// The operation never committed; its physical undos (above
+			// the marker) have already been applied.
+			t.entry.Undo = t.entry.Undo[:before-1]
+		case wal.UndoLogical:
+			if err := t.execLogicalUndo(top); err != nil {
+				return err
+			}
+			if len(t.entry.Undo) >= before {
+				return fmt.Errorf("core: txn %d: logical undo of op %d did not shrink the undo log",
+					t.entry.ID, top.Logical.Op)
+			}
+		default:
+			return fmt.Errorf("core: txn %d: unknown undo entry kind %d", t.entry.ID, top.Kind)
+		}
+	}
+	return nil
+}
+
+// ExecLogicalUndoTop executes the logical undo at the top of the undo
+// log; recovery's undo phase uses this to interleave logical undos across
+// transactions in reverse CommitLSN order.
+func (t *Txn) ExecLogicalUndoTop() error {
+	n := len(t.entry.Undo)
+	if n == 0 || t.entry.Undo[n-1].Kind != wal.UndoLogical {
+		return fmt.Errorf("core: txn %d: top of undo log is not a logical undo", t.entry.ID)
+	}
+	if err := t.execLogicalUndo(t.entry.Undo[n-1]); err != nil {
+		return err
+	}
+	if len(t.entry.Undo) >= n {
+		return fmt.Errorf("core: txn %d: logical undo did not shrink the undo log", t.entry.ID)
+	}
+	return nil
+}
+
+func (t *Txn) execLogicalUndo(u wal.UndoRec) error {
+	h, err := undoHandler(u.Logical.Op)
+	if err != nil {
+		return err
+	}
+	return h(t, u.Logical)
+}
+
+// UndoOpenOp rolls back any open (uncommitted) operation's physical
+// updates; recovery's undo phase runs this for every incomplete
+// transaction before logical undos start (level-by-level rollback).
+func (t *Txn) UndoOpenOp() error {
+	for len(t.entry.Undo) > 0 {
+		top := t.entry.Undo[len(t.entry.Undo)-1]
+		if top.Kind == wal.UndoLogical {
+			return nil // only committed operations remain
+		}
+		t.entry.Undo = t.entry.Undo[:len(t.entry.Undo)-1]
+		if top.Kind == wal.UndoPhys {
+			if err := t.applyPhysUndo(top); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// FinishAborted appends the abort record and releases the transaction
+// after an externally driven rollback (recovery).
+func (t *Txn) FinishAborted() {
+	t.db.barrier.RLock()
+	t.db.log.Append(&wal.Record{Kind: wal.KindTxnAbort, Txn: t.entry.ID})
+	t.db.barrier.RUnlock()
+	t.finish(wal.TxnAborted)
+}
+
+func (t *Txn) finish(state wal.TxnState) {
+	// Any deferred page exposures end with the transaction.
+	t.db.schemeOpEnd()
+	t.entry.State = state
+	t.db.att.Remove(t.entry.ID)
+	if !t.recoveryMode {
+		t.db.locks.ReleaseAll(t.entry.ID)
+	}
+	t.done = true
+}
+
+// applyPhysUndo restores a physical before-image through the protection
+// scheme. If the codeword was never applied for the update (the paper's
+// codeword-applied flag is still set), the bytes are restored without
+// touching the codeword, which still describes the before-image;
+// otherwise the restore folds the codeword like any other update.
+func (t *Txn) applyPhysUndo(u wal.UndoRec) error {
+	t.db.barrier.RLock()
+	defer t.db.barrier.RUnlock()
+	n := len(u.Before)
+	tok, err := t.db.scheme.BeginUpdate(u.Addr, n)
+	if err != nil {
+		return err
+	}
+	cur := make([]byte, n)
+	copy(cur, t.db.arena.Slice(u.Addr, n))
+	copy(t.db.arena.Slice(u.Addr, n), u.Before)
+	if u.CodewordPending {
+		return t.db.scheme.AbortUpdate(tok)
+	}
+	return t.db.scheme.EndUpdate(tok, cur, u.Before)
+}

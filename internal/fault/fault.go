@@ -1,0 +1,141 @@
+// Package fault injects the class of software errors the paper protects
+// against: addressing errors — wild writes through bad pointers, copy
+// overruns, and stray bit flips — that modify database data without going
+// through the prescribed update interface (direct physical corruption,
+// §1). Injected writes honor (simulated) hardware page protection: a
+// write to a protected page is trapped and leaves memory unchanged,
+// modeling the MMU behaviour of the hardware protection scheme.
+package fault
+
+import (
+	"errors"
+	"math/rand"
+
+	"repro/internal/mem"
+)
+
+// Event records one injected fault.
+type Event struct {
+	Kind    string
+	Addr    mem.Addr
+	Len     int
+	Trapped bool
+}
+
+// Injector writes faults into an arena.
+type Injector struct {
+	arena *mem.Arena
+	prot  mem.Protector
+	rng   *rand.Rand
+
+	events []Event
+}
+
+// New returns an injector over arena whose writes are subject to prot
+// (use the active scheme's Protector so hardware protection traps
+// injected faults; codeword schemes use NopProtector and every fault
+// lands). seed makes campaigns reproducible.
+func New(arena *mem.Arena, prot mem.Protector, seed int64) *Injector {
+	return &Injector{arena: arena, prot: prot, rng: rand.New(rand.NewSource(seed))}
+}
+
+func (in *Injector) note(kind string, addr mem.Addr, n int, trapped bool) {
+	in.events = append(in.events, Event{Kind: kind, Addr: addr, Len: n, Trapped: trapped})
+}
+
+// Events returns the injected fault history.
+func (in *Injector) Events() []Event { return append([]Event(nil), in.events...) }
+
+// Landed reports how many faults modified memory.
+func (in *Injector) Landed() int {
+	n := 0
+	for _, e := range in.events {
+		if !e.Trapped {
+			n++
+		}
+	}
+	return n
+}
+
+// Trapped reports how many faults were prevented by page protection.
+func (in *Injector) Trapped() int { return len(in.events) - in.Landed() }
+
+// WildWrite writes data at addr outside the prescribed interface. It
+// reports whether the write was trapped by page protection.
+func (in *Injector) WildWrite(addr mem.Addr, data []byte) (trapped bool, err error) {
+	err = mem.GuardedWrite(in.arena, in.prot, addr, data)
+	switch {
+	case err == nil:
+		in.note("wild-write", addr, len(data), false)
+		return false, nil
+	case isTrap(err):
+		in.note("wild-write", addr, len(data), true)
+		return true, nil
+	default:
+		return false, err
+	}
+}
+
+// BitFlip XORs a single bit at addr.
+func (in *Injector) BitFlip(addr mem.Addr, bit uint) (trapped bool, err error) {
+	cur := in.arena.Bytes()[addr]
+	err = mem.GuardedWrite(in.arena, in.prot, addr, []byte{cur ^ (1 << (bit & 7))})
+	switch {
+	case err == nil:
+		in.note("bit-flip", addr, 1, false)
+		return false, nil
+	case isTrap(err):
+		in.note("bit-flip", addr, 1, true)
+		return true, nil
+	default:
+		return false, err
+	}
+}
+
+// CopyOverrun models a buffer copy that runs n bytes past its intended
+// end at addr: the bytes written are a repetition of the n bytes
+// preceding addr (as an overrunning memcpy would produce).
+func (in *Injector) CopyOverrun(addr mem.Addr, n int) (trapped bool, err error) {
+	if int(addr) < n {
+		n = int(addr)
+	}
+	if n == 0 {
+		return false, nil
+	}
+	src := make([]byte, n)
+	copy(src, in.arena.Slice(addr-mem.Addr(n), n))
+	err = mem.GuardedWrite(in.arena, in.prot, addr, src)
+	switch {
+	case err == nil:
+		in.note("copy-overrun", addr, n, false)
+		return false, nil
+	case isTrap(err):
+		in.note("copy-overrun", addr, n, true)
+		return true, nil
+	default:
+		return false, err
+	}
+}
+
+// RandomWildWrite injects a wild write of 1..maxLen random bytes at a
+// random address, confined to [lo, hi) of the arena.
+func (in *Injector) RandomWildWrite(lo, hi mem.Addr, maxLen int) (Event, error) {
+	if maxLen < 1 {
+		maxLen = 1
+	}
+	n := 1 + in.rng.Intn(maxLen)
+	span := int(hi-lo) - n
+	if span <= 0 {
+		span = 1
+	}
+	addr := lo + mem.Addr(in.rng.Intn(span))
+	data := make([]byte, n)
+	in.rng.Read(data)
+	trapped, err := in.WildWrite(addr, data)
+	if err != nil {
+		return Event{}, err
+	}
+	return Event{Kind: "wild-write", Addr: addr, Len: n, Trapped: trapped}, nil
+}
+
+func isTrap(err error) bool { return errors.Is(err, mem.ErrTrapped) }

@@ -1,0 +1,105 @@
+package faultstudy
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/protect"
+)
+
+func TestStudyOutcomesPerScheme(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	outcomes, err := Run(Config{Campaigns: 4, TxnsPerCampaign: 5, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outcomes) != len(Schemes()) {
+		t.Fatalf("outcomes = %d, want %d", len(outcomes), len(Schemes()))
+	}
+	byName := map[string]Outcome{}
+	for _, o := range outcomes {
+		byName[o.Scheme] = o
+	}
+
+	base := find(t, byName, "Baseline")
+	if base.Undetected != base.Campaigns {
+		t.Fatalf("baseline: %+v — every fault must survive unnoticed", base)
+	}
+	if base.Detected != 0 || base.Trapped != 0 {
+		t.Fatalf("baseline claims protection: %+v", base)
+	}
+
+	hw := find(t, byName, "Memory Protection")
+	if hw.Trapped != hw.Campaigns {
+		t.Fatalf("hardware: %+v — every wild write must trap", hw)
+	}
+	if hw.Undetected != 0 {
+		t.Fatalf("hardware let corruption land: %+v", hw)
+	}
+
+	pre := find(t, byName, "Precheck")
+	if pre.Prevented != pre.Campaigns {
+		t.Fatalf("precheck: %+v — the first corrupt read must be refused", pre)
+	}
+	if pre.Recovered != pre.Campaigns {
+		t.Fatalf("precheck: cache recovery failed: %+v", pre)
+	}
+
+	for _, name := range []string{"Data CW (", "ReadLog", "deferred"} {
+		o := find(t, byName, name)
+		if o.Detected != o.Campaigns {
+			t.Fatalf("%s: %+v — audits must detect every fault", name, o)
+		}
+		if o.Recovered != o.Campaigns {
+			t.Fatalf("%s: %+v — recovery must produce a clean image", name, o)
+		}
+		if o.Undetected != 0 {
+			t.Fatalf("%s: corruption survived: %+v", name, o)
+		}
+	}
+	// Read logging traces carriers; the first carrier always reads the
+	// victim, so at least one transaction per campaign is deleted.
+	rl := find(t, byName, "w/ReadLog")
+	if rl.DeletedTxns < rl.Campaigns {
+		t.Fatalf("read-log deleted %d txns over %d campaigns, want >= campaigns", rl.DeletedTxns, rl.Campaigns)
+	}
+
+	if FormatOutcomes(outcomes) == "" {
+		t.Fatal("empty table")
+	}
+}
+
+func find(t *testing.T, m map[string]Outcome, substr string) Outcome {
+	t.Helper()
+	for name, o := range m {
+		if strings.Contains(name, substr) {
+			return o
+		}
+	}
+	t.Fatalf("no outcome matching %q in %v", substr, keys(m))
+	return Outcome{}
+}
+
+func keys(m map[string]Outcome) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+func TestSchemesCoverTable2Kinds(t *testing.T) {
+	kinds := map[protect.Kind]bool{}
+	for _, pc := range Schemes() {
+		kinds[pc.Kind] = true
+	}
+	for _, want := range []protect.Kind{protect.KindBaseline, protect.KindDataCW,
+		protect.KindPrecheck, protect.KindReadLog, protect.KindCWReadLog,
+		protect.KindDeferredCW, protect.KindHW} {
+		if !kinds[want] {
+			t.Errorf("scheme %v missing from the study", want)
+		}
+	}
+}

@@ -1,0 +1,550 @@
+// Package hashidx implements a persistent open-addressing hash index over
+// the protected database image. It is the kind of "new storage method"
+// the paper's extensibility motivation contemplates (§1): a third-party
+// access method compiled into the engine's address space, whose data
+// lives in protection regions like any table and whose updates go through
+// the prescribed interface — so codeword maintenance, read prechecking,
+// read logging and delete-transaction recovery all apply to index data
+// exactly as to heap data.
+//
+// Layout: a power-of-two array of 24-byte entries (state, key, RID),
+// linear probing, tombstones on delete so probe chains stay intact. Every
+// mutating operation is a level-1 multi-level-recovery operation with a
+// logical undo, using an object-key space disjoint from the heap's.
+package hashidx
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/heap"
+	"repro/internal/lockmgr"
+	"repro/internal/mem"
+	"repro/internal/wal"
+)
+
+// Entry states.
+const (
+	stateEmpty     = 0
+	stateOccupied  = 1
+	stateTombstone = 2
+)
+
+// entrySize is the on-image size of one slot: 8-byte state word (keeping
+// entries 8-aligned for codeword lanes), 8-byte key, 8-byte RID.
+const entrySize = 24
+
+// Logical undo opcodes (registered with core; must not collide with
+// package heap's).
+const (
+	// UndoOpIdxDelete undoes an index insert by deleting the entry.
+	UndoOpIdxDelete uint8 = 10
+	// UndoOpIdxInsert undoes an index delete by re-occupying the slot.
+	UndoOpIdxInsert uint8 = 11
+)
+
+const (
+	catalogMetaKey   = "hashidx.catalog"
+	catalogAttachKey = "hashidx.catalog.live"
+	// keySpaceBit distinguishes index object keys from heap RIDs.
+	keySpaceBit = uint64(1) << 63
+)
+
+// Common errors.
+var (
+	ErrIndexExists = errors.New("hashidx: index already exists")
+	ErrNoSuchIndex = errors.New("hashidx: no such index")
+	ErrIndexFull   = errors.New("hashidx: index is full")
+	ErrNotFound    = errors.New("hashidx: key not found")
+	ErrDuplicate   = errors.New("hashidx: key already present")
+)
+
+// Index is a persistent hash index mapping uint64 keys to heap RIDs.
+type Index struct {
+	cat *Catalog
+
+	ID      uint32
+	Name    string
+	Buckets int // power of two
+
+	first mem.PageID
+	pages int
+
+	mu    sync.Mutex // serializes probe-and-claim across transactions
+	count int        // occupied entries (rebuilt on open)
+}
+
+// Catalog is the index directory for one database, persisted in database
+// metadata like the heap catalog.
+type Catalog struct {
+	db *core.DB
+
+	mu     sync.Mutex
+	byName map[string]*Index
+	byID   map[uint32]*Index
+	nextID uint32
+}
+
+// Open loads (or initializes) the index catalog for db.
+func Open(db *core.DB) (*Catalog, error) {
+	if v, ok := db.Attachment(catalogAttachKey); ok {
+		return v.(*Catalog), nil
+	}
+	cat := &Catalog{
+		db:     db,
+		byName: make(map[string]*Index),
+		byID:   make(map[uint32]*Index),
+		nextID: 1,
+	}
+	if blob, ok := db.Meta(catalogMetaKey); ok {
+		if err := cat.decode(blob); err != nil {
+			return nil, err
+		}
+		for _, idx := range cat.byID {
+			idx.count = idx.scanCount()
+		}
+	}
+	db.Attach(catalogAttachKey, cat)
+	return cat, nil
+}
+
+// CreateIndex creates an index with at least minBuckets slots (rounded up
+// to a power of two). Like table creation, the catalog change persists
+// with the next checkpoint.
+func (c *Catalog) CreateIndex(name string, minBuckets int) (*Index, error) {
+	if minBuckets < 8 {
+		minBuckets = 8
+	}
+	buckets := 1
+	for buckets < minBuckets {
+		buckets <<= 1
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, dup := c.byName[name]; dup {
+		return nil, fmt.Errorf("%w: %s", ErrIndexExists, name)
+	}
+	pageSize := c.db.PageSize()
+	pages := (buckets*entrySize + pageSize - 1) / pageSize
+	first, err := c.db.AllocPages(pages)
+	if err != nil {
+		return nil, err
+	}
+	idx := &Index{
+		cat:     c,
+		ID:      c.nextID,
+		Name:    name,
+		Buckets: buckets,
+		first:   first,
+		pages:   pages,
+	}
+	c.nextID++
+	c.byName[name] = idx
+	c.byID[idx.ID] = idx
+	c.persistLocked()
+	return idx, nil
+}
+
+// IndexNamed looks an index up by name.
+func (c *Catalog) IndexNamed(name string) (*Index, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	idx, ok := c.byName[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNoSuchIndex, name)
+	}
+	return idx, nil
+}
+
+// indexByID looks an index up by ID (undo handlers).
+func (c *Catalog) indexByID(id uint32) (*Index, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	idx, ok := c.byID[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: id %d", ErrNoSuchIndex, id)
+	}
+	return idx, nil
+}
+
+func (c *Catalog) persistLocked() {
+	var b []byte
+	b = binary.AppendUvarint(b, uint64(c.nextID))
+	b = binary.AppendUvarint(b, uint64(len(c.byID)))
+	for id := uint32(1); id < c.nextID; id++ {
+		idx, ok := c.byID[id]
+		if !ok {
+			continue
+		}
+		b = binary.AppendUvarint(b, uint64(idx.ID))
+		b = binary.AppendUvarint(b, uint64(len(idx.Name)))
+		b = append(b, idx.Name...)
+		b = binary.AppendUvarint(b, uint64(idx.Buckets))
+		b = binary.AppendUvarint(b, uint64(idx.first))
+		b = binary.AppendUvarint(b, uint64(idx.pages))
+	}
+	c.db.SetMeta(catalogMetaKey, b)
+}
+
+func (c *Catalog) decode(b []byte) error {
+	pos := 0
+	read := func() uint64 {
+		if pos < 0 || pos >= len(b) {
+			pos = -1
+			return 0
+		}
+		v, n := binary.Uvarint(b[pos:])
+		if n <= 0 {
+			pos = -1
+			return 0
+		}
+		pos += n
+		return v
+	}
+	next := read()
+	count := read()
+	for i := uint64(0); i < count && pos >= 0; i++ {
+		idx := &Index{cat: c}
+		idx.ID = uint32(read())
+		nameLen := int(read())
+		if pos < 0 || pos+nameLen > len(b) {
+			return errors.New("hashidx: corrupt catalog")
+		}
+		idx.Name = string(b[pos : pos+nameLen])
+		pos += nameLen
+		idx.Buckets = int(read())
+		idx.first = mem.PageID(read())
+		idx.pages = int(read())
+		if pos < 0 {
+			return errors.New("hashidx: corrupt catalog")
+		}
+		c.byName[idx.Name] = idx
+		c.byID[idx.ID] = idx
+	}
+	if pos < 0 {
+		return errors.New("hashidx: corrupt catalog")
+	}
+	c.nextID = uint32(next)
+	return nil
+}
+
+// --- addressing --------------------------------------------------------------
+
+// slotAddr reports the arena address of slot's entry.
+func (ix *Index) slotAddr(slot int) mem.Addr {
+	return mem.Addr(uint64(ix.first)*uint64(ix.cat.db.PageSize()) + uint64(slot)*entrySize)
+}
+
+// objectKey is the lock/log key for a slot, disjoint from heap keys.
+func (ix *Index) objectKey(slot int) wal.ObjectKey {
+	return wal.ObjectKey(keySpaceBit | uint64(ix.ID)<<32 | uint64(uint32(slot)))
+}
+
+// hash mixes the key (fibonacci hashing).
+func (ix *Index) hash(key uint64) int {
+	return int((key * 0x9E3779B97F4A7C15) >> 32 & uint64(ix.Buckets-1))
+}
+
+// entryAt decodes the slot directly from the image (internal bookkeeping
+// read, like heap allocation bitmaps).
+func (ix *Index) entryAt(slot int) (state uint64, key uint64, rid heap.RID) {
+	raw := ix.cat.db.Arena().Slice(ix.slotAddr(slot), entrySize)
+	state = binary.LittleEndian.Uint64(raw)
+	key = binary.LittleEndian.Uint64(raw[8:])
+	ridKey := binary.LittleEndian.Uint64(raw[16:])
+	return state, key, heap.RIDFromKey(wal.ObjectKey(ridKey))
+}
+
+func encodeEntry(state, key uint64, rid heap.RID) []byte {
+	raw := make([]byte, entrySize)
+	binary.LittleEndian.PutUint64(raw, state)
+	binary.LittleEndian.PutUint64(raw[8:], key)
+	binary.LittleEndian.PutUint64(raw[16:], uint64(rid.Key()))
+	return raw
+}
+
+// Count reports the occupied entries.
+func (ix *Index) Count() int {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	return ix.count
+}
+
+func (ix *Index) scanCount() int {
+	n := 0
+	for s := 0; s < ix.Buckets; s++ {
+		if st, _, _ := ix.entryAt(s); st == stateOccupied {
+			n++
+		}
+	}
+	return n
+}
+
+// --- operations ---------------------------------------------------------------
+
+// Insert maps key to rid. Duplicate keys are rejected. The insert is a
+// level-1 operation whose logical undo deletes the entry again.
+func (ix *Index) Insert(txn *core.Txn, key uint64, rid heap.RID) error {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	if ix.count >= ix.Buckets-1 {
+		return fmt.Errorf("%w: %s", ErrIndexFull, ix.Name)
+	}
+	slot, found, err := ix.probeLocked(key)
+	if err != nil {
+		return err
+	}
+	if found {
+		return fmt.Errorf("%w: %d", ErrDuplicate, key)
+	}
+	ok := ix.objectKey(slot)
+	if err := txn.Lock(ok, lockmgr.Exclusive); err != nil {
+		return err
+	}
+	if err := txn.BeginOp(OpLevel, ok); err != nil {
+		return err
+	}
+	if err := ix.writeEntry(txn, slot, stateOccupied, key, rid); err != nil {
+		txn.AbortOp()
+		return err
+	}
+	if err := txn.CommitOp(OpLevel, ok, wal.LogicalUndo{
+		Op: UndoOpIdxDelete, Key: ok,
+	}); err != nil {
+		return err
+	}
+	ix.count++
+	return nil
+}
+
+// Delete removes key. The logical undo re-inserts the old entry at the
+// same slot.
+func (ix *Index) Delete(txn *core.Txn, key uint64) error {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	slot, found, err := ix.probeLocked(key)
+	if err != nil {
+		return err
+	}
+	if !found {
+		return fmt.Errorf("%w: %d", ErrNotFound, key)
+	}
+	_, oldKey, oldRID := ix.entryAt(slot)
+	ok := ix.objectKey(slot)
+	if err := txn.Lock(ok, lockmgr.Exclusive); err != nil {
+		return err
+	}
+	if err := txn.BeginOp(OpLevel, ok); err != nil {
+		return err
+	}
+	if err := ix.writeEntry(txn, slot, stateTombstone, oldKey, oldRID); err != nil {
+		txn.AbortOp()
+		return err
+	}
+	args := make([]byte, 16)
+	binary.LittleEndian.PutUint64(args, oldKey)
+	binary.LittleEndian.PutUint64(args[8:], uint64(oldRID.Key()))
+	if err := txn.CommitOp(OpLevel, ok, wal.LogicalUndo{
+		Op: UndoOpIdxInsert, Key: ok, Args: args,
+	}); err != nil {
+		return err
+	}
+	ix.count--
+	return nil
+}
+
+// Lookup finds key, reading the probed entries through the prescribed
+// read interface — so index probes are prechecked and read-logged like
+// any data read, and a transaction that reads a corrupted index entry is
+// traced by delete-transaction recovery.
+func (ix *Index) Lookup(txn *core.Txn, key uint64) (heap.RID, error) {
+	for i, slot := 0, ix.hash(key); i < ix.Buckets; i, slot = i+1, (slot+1)&(ix.Buckets-1) {
+		if err := txn.Lock(ix.objectKey(slot), lockmgr.Shared); err != nil {
+			return heap.RID{}, err
+		}
+		raw, err := txn.Read(ix.slotAddr(slot), entrySize)
+		if err != nil {
+			return heap.RID{}, err
+		}
+		state := binary.LittleEndian.Uint64(raw)
+		entryKey := binary.LittleEndian.Uint64(raw[8:])
+		switch state {
+		case stateEmpty:
+			return heap.RID{}, fmt.Errorf("%w: %d", ErrNotFound, key)
+		case stateOccupied:
+			if entryKey == key {
+				return heap.RIDFromKey(wal.ObjectKey(binary.LittleEndian.Uint64(raw[16:]))), nil
+			}
+		}
+	}
+	return heap.RID{}, fmt.Errorf("%w: %d", ErrNotFound, key)
+}
+
+// OpLevel is the abstraction level of index operations.
+const OpLevel uint8 = 1
+
+// Indexes returns every index in the catalog, ordered by ID.
+func (c *Catalog) Indexes() []*Index {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]*Index, 0, len(c.byID))
+	for id := uint32(1); id < c.nextID; id++ {
+		if idx, ok := c.byID[id]; ok {
+			out = append(out, idx)
+		}
+	}
+	return out
+}
+
+// Entry is an occupied index entry as seen by a structural scan.
+type Entry struct {
+	Slot int
+	Key  uint64
+	RID  heap.RID
+}
+
+// Entries scans the occupied entries directly from the image (structural
+// inspection for the consistency checker; no locks, no read logging).
+// Corrupt state words are reported as an error.
+func (ix *Index) Entries() ([]Entry, error) {
+	var out []Entry
+	for s := 0; s < ix.Buckets; s++ {
+		state, key, rid := ix.entryAt(s)
+		switch state {
+		case stateEmpty, stateTombstone:
+		case stateOccupied:
+			out = append(out, Entry{Slot: s, Key: key, RID: rid})
+		default:
+			return out, fmt.Errorf("hashidx: slot %d has corrupt state %d", s, state)
+		}
+	}
+	return out, nil
+}
+
+// EntryAddr reports the arena address of the entry holding key, reading
+// probe-path entries through txn (tools, tests and fault campaigns use
+// this to target or inspect specific entries).
+func (ix *Index) EntryAddr(txn *core.Txn, key uint64) (mem.Addr, error) {
+	ix.mu.Lock()
+	slot, found, err := ix.probeLocked(key)
+	ix.mu.Unlock()
+	if err != nil {
+		return 0, err
+	}
+	if !found {
+		return 0, fmt.Errorf("%w: %d", ErrNotFound, key)
+	}
+	return ix.slotAddr(slot), nil
+}
+
+// probeLocked finds key's slot (found=true) or the first insertable slot
+// on its probe path (found=false). Caller holds ix.mu.
+func (ix *Index) probeLocked(key uint64) (slot int, found bool, err error) {
+	firstFree := -1
+	for i, s := 0, ix.hash(key); i < ix.Buckets; i, s = i+1, (s+1)&(ix.Buckets-1) {
+		state, entryKey, _ := ix.entryAt(s)
+		switch state {
+		case stateEmpty:
+			if firstFree >= 0 {
+				return firstFree, false, nil
+			}
+			return s, false, nil
+		case stateTombstone:
+			if firstFree < 0 {
+				firstFree = s
+			}
+		case stateOccupied:
+			if entryKey == key {
+				return s, true, nil
+			}
+		default:
+			return 0, false, fmt.Errorf("hashidx: corrupt entry state %d at slot %d", state, s)
+		}
+	}
+	if firstFree >= 0 {
+		return firstFree, false, nil
+	}
+	return 0, false, fmt.Errorf("%w: %s", ErrIndexFull, ix.Name)
+}
+
+// writeEntry rewrites a slot through the prescribed interface.
+func (ix *Index) writeEntry(txn *core.Txn, slot int, state, key uint64, rid heap.RID) error {
+	u, err := txn.BeginUpdate(ix.slotAddr(slot), entrySize)
+	if err != nil {
+		return err
+	}
+	copy(u.Bytes(), encodeEntry(state, key, rid))
+	return u.End()
+}
+
+// --- logical undo handlers ------------------------------------------------------
+
+func init() {
+	core.RegisterUndoOp(UndoOpIdxDelete, undoIdxDelete)
+	core.RegisterUndoOp(UndoOpIdxInsert, undoIdxInsert)
+}
+
+func indexFor(txn *core.Txn, key wal.ObjectKey) (*Index, int, error) {
+	id := uint32(uint64(key) >> 32 &^ (1 << 31))
+	slot := int(uint32(uint64(key)))
+	cat, err := Open(txn.DB())
+	if err != nil {
+		return nil, 0, err
+	}
+	idx, err := cat.indexByID(id)
+	return idx, slot, err
+}
+
+// undoIdxDelete undoes an insert: the slot becomes a tombstone again (a
+// tombstone rather than empty, since later inserts may already probe past
+// it — but during rollback no later conflicting op exists, so empty would
+// also be safe; tombstone is uniformly correct).
+func undoIdxDelete(txn *core.Txn, u wal.LogicalUndo) error {
+	ix, slot, err := indexFor(txn, u.Key)
+	if err != nil {
+		return err
+	}
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	if err := txn.BeginOp(OpLevel, u.Key); err != nil {
+		return err
+	}
+	state, key, rid := ix.entryAt(slot)
+	if state == stateOccupied {
+		if err := ix.writeEntry(txn, slot, stateTombstone, key, rid); err != nil {
+			return err
+		}
+		ix.count--
+	}
+	return txn.CommitCompensationOp(OpLevel, u.Key)
+}
+
+// undoIdxInsert undoes a delete: the slot is re-occupied with the old
+// (key, rid) carried in Args.
+func undoIdxInsert(txn *core.Txn, u wal.LogicalUndo) error {
+	ix, slot, err := indexFor(txn, u.Key)
+	if err != nil {
+		return err
+	}
+	if len(u.Args) != 16 {
+		return fmt.Errorf("hashidx: undo-insert args %d bytes, want 16", len(u.Args))
+	}
+	key := binary.LittleEndian.Uint64(u.Args)
+	rid := heap.RIDFromKey(wal.ObjectKey(binary.LittleEndian.Uint64(u.Args[8:])))
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	if err := txn.BeginOp(OpLevel, u.Key); err != nil {
+		return err
+	}
+	state, _, _ := ix.entryAt(slot)
+	if state != stateOccupied {
+		if err := ix.writeEntry(txn, slot, stateOccupied, key, rid); err != nil {
+			return err
+		}
+		ix.count++
+	}
+	return txn.CommitCompensationOp(OpLevel, u.Key)
+}

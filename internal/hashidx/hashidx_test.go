@@ -1,0 +1,407 @@
+package hashidx
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/heap"
+	"repro/internal/protect"
+	"repro/internal/recovery"
+	"repro/internal/wal"
+)
+
+func testDB(t *testing.T, pc protect.Config) (*core.DB, core.Config) {
+	t.Helper()
+	cfg := core.Config{Dir: t.TempDir(), ArenaSize: 1 << 20, Protect: pc}
+	db, err := core.Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	return db, cfg
+}
+
+func newIndex(t *testing.T, db *core.DB, buckets int) *Index {
+	t.Helper()
+	cat, err := Open(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := cat.CreateIndex("idx", buckets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ix
+}
+
+func rid(n uint32) heap.RID { return heap.RID{Table: 1, Slot: n} }
+
+func TestInsertLookupDelete(t *testing.T) {
+	db, _ := testDB(t, protect.Config{Kind: protect.KindDataCW, RegionSize: 64})
+	ix := newIndex(t, db, 64)
+	txn, _ := db.Begin()
+
+	if err := ix.Insert(txn, 42, rid(7)); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ix.Lookup(txn, 42)
+	if err != nil || got != rid(7) {
+		t.Fatalf("lookup: %v %v", got, err)
+	}
+	if err := ix.Insert(txn, 42, rid(8)); !errors.Is(err, ErrDuplicate) {
+		t.Fatalf("duplicate insert: %v", err)
+	}
+	if _, err := ix.Lookup(txn, 43); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("missing lookup: %v", err)
+	}
+	if err := ix.Delete(txn, 42); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ix.Lookup(txn, 42); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("lookup after delete: %v", err)
+	}
+	if err := ix.Delete(txn, 42); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("double delete: %v", err)
+	}
+	if err := txn.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Audit(); err != nil {
+		t.Fatalf("audit: %v", err)
+	}
+}
+
+func TestCollisionChains(t *testing.T) {
+	db, _ := testDB(t, protect.Config{Kind: protect.KindDataCW, RegionSize: 64})
+	ix := newIndex(t, db, 16)
+	txn, _ := db.Begin()
+	// Fill most of a small index; linear probing must resolve collisions.
+	for k := uint64(0); k < 12; k++ {
+		if err := ix.Insert(txn, k, rid(uint32(k))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for k := uint64(0); k < 12; k++ {
+		got, err := ix.Lookup(txn, k)
+		if err != nil || got != rid(uint32(k)) {
+			t.Fatalf("lookup %d: %v %v", k, got, err)
+		}
+	}
+	// Delete a middle element; probe chains must survive (tombstones).
+	if err := ix.Delete(txn, 5); err != nil {
+		t.Fatal(err)
+	}
+	for k := uint64(0); k < 12; k++ {
+		if k == 5 {
+			continue
+		}
+		if _, err := ix.Lookup(txn, k); err != nil {
+			t.Fatalf("lookup %d after delete: %v", k, err)
+		}
+	}
+	// Tombstone is reused by a new insert.
+	if err := ix.Insert(txn, 100, rid(100)); err != nil {
+		t.Fatal(err)
+	}
+	txn.Commit()
+	if err := db.Audit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIndexFull(t *testing.T) {
+	db, _ := testDB(t, protect.Config{})
+	ix := newIndex(t, db, 8)
+	txn, _ := db.Begin()
+	for k := uint64(0); k < 7; k++ {
+		if err := ix.Insert(txn, k, rid(uint32(k))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := ix.Insert(txn, 99, rid(99)); !errors.Is(err, ErrIndexFull) {
+		t.Fatalf("overfull insert: %v", err)
+	}
+	txn.Commit()
+}
+
+func TestAbortRollsBackIndexOps(t *testing.T) {
+	db, _ := testDB(t, protect.Config{Kind: protect.KindDataCW, RegionSize: 64})
+	ix := newIndex(t, db, 64)
+
+	txn, _ := db.Begin()
+	if err := ix.Insert(txn, 1, rid(1)); err != nil {
+		t.Fatal(err)
+	}
+	txn.Commit()
+
+	txn2, _ := db.Begin()
+	if err := ix.Insert(txn2, 2, rid(2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.Delete(txn2, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := txn2.Abort(); err != nil {
+		t.Fatal(err)
+	}
+
+	txn3, _ := db.Begin()
+	if _, err := ix.Lookup(txn3, 1); err != nil {
+		t.Fatalf("aborted delete not undone: %v", err)
+	}
+	if _, err := ix.Lookup(txn3, 2); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("aborted insert survived: %v", err)
+	}
+	txn3.Commit()
+	if ix.Count() != 1 {
+		t.Fatalf("count = %d", ix.Count())
+	}
+	if err := db.Audit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIndexSurvivesCrashRecovery(t *testing.T) {
+	cfg := core.Config{Dir: t.TempDir(), ArenaSize: 1 << 20,
+		Protect: protect.Config{Kind: protect.KindReadLog, RegionSize: 64}}
+	db, err := core.Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat, _ := Open(db)
+	ix, err := cat.CreateIndex("idx", 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	txn, _ := db.Begin()
+	for k := uint64(0); k < 50; k++ {
+		if err := ix.Insert(txn, k, rid(uint32(k))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	txn.Commit()
+	if err := db.Checkpoint(); err != nil { // persists the index catalog
+		t.Fatal(err)
+	}
+	// Post-checkpoint committed mutations.
+	txn2, _ := db.Begin()
+	if err := ix.Delete(txn2, 10); err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.Insert(txn2, 1000, rid(1000)); err != nil {
+		t.Fatal(err)
+	}
+	txn2.Commit()
+	// An uncommitted mutation that must roll back.
+	txn3, _ := db.Begin()
+	if err := ix.Delete(txn3, 20); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Checkpoint(); err != nil { // undo log reaches the checkpointed ATT
+		t.Fatal(err)
+	}
+	db.Crash()
+
+	db2, rep, err := recovery.Open(cfg, recovery.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	if len(rep.RolledBack) != 1 {
+		t.Fatalf("rolled back: %v", rep.RolledBack)
+	}
+	cat2, err := Open(db2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix2, err := cat2.IndexNamed("idx")
+	if err != nil {
+		t.Fatal(err)
+	}
+	check, _ := db2.Begin()
+	defer check.Commit()
+	if _, err := ix2.Lookup(check, 10); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("committed delete lost: %v", err)
+	}
+	if got, err := ix2.Lookup(check, 1000); err != nil || got != rid(1000) {
+		t.Fatalf("committed insert lost: %v %v", got, err)
+	}
+	if _, err := ix2.Lookup(check, 20); err != nil {
+		t.Fatalf("uncommitted delete not rolled back: %v", err)
+	}
+	if ix2.Count() != 50 {
+		t.Fatalf("count = %d, want 50", ix2.Count())
+	}
+	if err := db2.Audit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCorruptIndexEntryTracedByRecovery(t *testing.T) {
+	// A wild write corrupts an index entry; a transaction that probes
+	// through it is traced and deleted, exactly like a heap read.
+	cfg := core.Config{Dir: t.TempDir(), ArenaSize: 1 << 20,
+		Protect: protect.Config{Kind: protect.KindCWReadLog, RegionSize: 64}}
+	db, err := core.Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat, _ := Open(db)
+	ix, err := cat.CreateIndex("idx", 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hcat, _ := heap.Open(db)
+	tb, err := hcat.CreateTable("t", 64, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	setup, _ := db.Begin()
+	target, err := tb.Insert(setup, make([]byte, 64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.Insert(setup, 7, target); err != nil {
+		t.Fatal(err)
+	}
+	setup.Commit()
+	if err := db.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Corrupt the index entry's RID field so the lookup returns a wrong
+	// record identity.
+	inj := fault.New(db.Arena(), db.Scheme().Protector(), 9)
+	slot, found, err := ix.probeLocked(7)
+	if err != nil || !found {
+		t.Fatalf("probe: %v %v", found, err)
+	}
+	if _, err := inj.WildWrite(ix.slotAddr(slot)+16, []byte{0x05}); err != nil {
+		t.Fatal(err)
+	}
+
+	carrier, _ := db.Begin()
+	if _, err := ix.Lookup(carrier, 7); err != nil {
+		t.Fatal(err) // returns a wrong RID — the carrier doesn't know
+	}
+	if err := tb.Update(carrier, target, 0, []byte("poison")); err != nil {
+		t.Fatal(err)
+	}
+	carrier.Commit()
+	db.Crash()
+
+	db2, rep, err := recovery.Open(cfg, recovery.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	if len(rep.Deleted) != 1 || rep.Deleted[0].ID != carrier.ID() {
+		t.Fatalf("deleted: %+v, want carrier %d", rep.Deleted, carrier.ID())
+	}
+	if err := db2.Audit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCatalogPersistRoundTrip(t *testing.T) {
+	db, _ := testDB(t, protect.Config{})
+	cat, _ := Open(db)
+	ix, err := cat.CreateIndex("a", 100) // rounds to 128
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.Buckets != 128 {
+		t.Fatalf("buckets = %d", ix.Buckets)
+	}
+	if _, err := cat.CreateIndex("a", 8); !errors.Is(err, ErrIndexExists) {
+		t.Fatalf("duplicate index: %v", err)
+	}
+	blob, ok := db.Meta(catalogMetaKey)
+	if !ok {
+		t.Fatal("catalog not persisted")
+	}
+	c2 := &Catalog{db: db, byName: map[string]*Index{}, byID: map[uint32]*Index{}}
+	if err := c2.decode(blob); err != nil {
+		t.Fatal(err)
+	}
+	ix2 := c2.byName["a"]
+	if ix2 == nil || ix2.Buckets != 128 || ix2.first != ix.first {
+		t.Fatalf("decoded: %+v", ix2)
+	}
+	if err := c2.decode(blob[:2]); err == nil {
+		t.Fatal("truncated catalog accepted")
+	}
+}
+
+func TestRandomizedAgainstMapModel(t *testing.T) {
+	db, _ := testDB(t, protect.Config{Kind: protect.KindDataCW, RegionSize: 64})
+	ix := newIndex(t, db, 256)
+	model := map[uint64]heap.RID{}
+	rng := rand.New(rand.NewSource(11))
+	txn, _ := db.Begin()
+	for i := 0; i < 2000; i++ {
+		k := uint64(rng.Intn(300))
+		switch rng.Intn(3) {
+		case 0: // insert
+			r := rid(uint32(rng.Intn(1 << 20)))
+			err := ix.Insert(txn, k, r)
+			if _, exists := model[k]; exists {
+				if !errors.Is(err, ErrDuplicate) {
+					t.Fatalf("op %d: duplicate insert: %v", i, err)
+				}
+			} else if errors.Is(err, ErrIndexFull) {
+				// acceptable when load is high
+			} else if err != nil {
+				t.Fatalf("op %d: insert: %v", i, err)
+			} else {
+				model[k] = r
+			}
+		case 1: // delete
+			err := ix.Delete(txn, k)
+			if _, exists := model[k]; exists {
+				if err != nil {
+					t.Fatalf("op %d: delete: %v", i, err)
+				}
+				delete(model, k)
+			} else if !errors.Is(err, ErrNotFound) {
+				t.Fatalf("op %d: phantom delete: %v", i, err)
+			}
+		case 2: // lookup
+			got, err := ix.Lookup(txn, k)
+			if want, exists := model[k]; exists {
+				if err != nil || got != want {
+					t.Fatalf("op %d: lookup %d = %v,%v want %v", i, k, got, err, want)
+				}
+			} else if !errors.Is(err, ErrNotFound) {
+				t.Fatalf("op %d: phantom lookup: %v", i, err)
+			}
+		}
+		if i%500 == 499 {
+			if err := txn.Commit(); err != nil {
+				t.Fatal(err)
+			}
+			txn, _ = db.Begin()
+		}
+	}
+	txn.Commit()
+	if ix.Count() != len(model) {
+		t.Fatalf("count = %d, model = %d", ix.Count(), len(model))
+	}
+	if err := db.Audit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestObjectKeySpaceDisjointFromHeap(t *testing.T) {
+	ixKey := uint64(keySpaceBit | 5<<32 | 9)
+	heapKey := uint64(heap.RID{Table: 5, Slot: 9}.Key())
+	if ixKey == heapKey {
+		t.Fatal("index and heap object keys collide")
+	}
+	if wal.ObjectKey(ixKey)&wal.ObjectKey(keySpaceBit) == 0 {
+		t.Fatal("key space bit lost")
+	}
+}

@@ -1,0 +1,67 @@
+package heap_test
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/heap"
+	"repro/internal/protect"
+)
+
+// Example walks the basic protected-table lifecycle: create, insert,
+// read, update, commit, audit.
+func Example() {
+	dir, err := os.MkdirTemp("", "heap-example-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	db, err := core.Open(core.Config{
+		Dir:       dir,
+		ArenaSize: 1 << 18,
+		Protect:   protect.Config{Kind: protect.KindDataCW, RegionSize: 512},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	cat, err := heap.Open(db)
+	if err != nil {
+		log.Fatal(err)
+	}
+	accounts, err := cat.CreateTable("accounts", 32, 100)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	txn, err := db.Begin()
+	if err != nil {
+		log.Fatal(err)
+	}
+	rec := make([]byte, 32)
+	copy(rec, "balance: 100")
+	rid, err := accounts.Insert(txn, rec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := accounts.Update(txn, rid, 9, []byte("250")); err != nil {
+		log.Fatal(err)
+	}
+	got, err := accounts.Read(txn, rid)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := txn.Commit(); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%s\n", got[:12])
+	fmt.Println("audit clean:", db.Audit() == nil)
+	// Output:
+	// balance: 250
+	// audit clean: true
+}

@@ -1,0 +1,407 @@
+// Package heap implements fixed-size-record tables over the core storage
+// manager, following the Dalí layout the paper describes (§2): allocation
+// information is not stored on the same page as tuple data — each table
+// has a data extent and a separate allocation-bitmap extent — and records
+// may span page boundaries, since a main-memory system is page-based only
+// for storage tracking. This layout is what makes an update operation
+// touch several pages (tuple pages plus allocation and control pages; the
+// paper measures ~11 per TPC-B operation), which in turn drives the cost
+// of page-granularity hardware protection.
+//
+// Every mutating table operation is a level-1 operation in the multi-level
+// recovery model: it takes a transaction-duration lock on the record, logs
+// an operation begin, performs its physical updates through the prescribed
+// interface, and commits with a logical undo description. The logical undo
+// opcodes are registered with core's recovery registry from init.
+package heap
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/mem"
+	"repro/internal/wal"
+)
+
+// Logical undo opcodes (global protocol between logging and recovery).
+const (
+	// UndoOpDelete undoes an insert by deleting the record.
+	UndoOpDelete uint8 = 1
+	// UndoOpInsert undoes a delete by re-inserting the old record at the
+	// same slot.
+	UndoOpInsert uint8 = 2
+	// UndoOpUpdate undoes an update by restoring the old field bytes.
+	UndoOpUpdate uint8 = 3
+)
+
+// OpLevel is the abstraction level of heap operations.
+const OpLevel uint8 = 1
+
+// Layout selects where a table's allocation information lives.
+type Layout uint8
+
+const (
+	// LayoutSeparate is the Dalí layout (§2): allocation bitmaps on
+	// different pages from record data. An insert therefore touches at
+	// least two pages — the effect behind the paper's §5.3 page counts.
+	LayoutSeparate Layout = iota
+	// LayoutPageLocal is the conventional page-based layout the paper
+	// contrasts against: each data page carries the allocation bits for
+	// its own records in a page header, so an insert touches one page.
+	// Records never span pages (pages may waste a remainder).
+	LayoutPageLocal
+)
+
+const catalogMetaKey = "heap.catalog"
+const catalogAttachKey = "heap.catalog.live"
+
+// Common errors.
+var (
+	ErrTableExists   = errors.New("heap: table already exists")
+	ErrNoSuchTable   = errors.New("heap: no such table")
+	ErrTableFull     = errors.New("heap: table is full")
+	ErrSlotFree      = errors.New("heap: record slot is not allocated")
+	ErrSlotOccupied  = errors.New("heap: record slot is already allocated")
+	ErrBadRecordSize = errors.New("heap: bad record size")
+)
+
+// RID identifies a record: table and slot.
+type RID struct {
+	Table uint32
+	Slot  uint32
+}
+
+// Key maps the RID onto the object-key space used by the lock manager and
+// the operation log records (and hence by the delete-transaction recovery
+// conflict check).
+func (r RID) Key() wal.ObjectKey {
+	return wal.ObjectKey(uint64(r.Table)<<32 | uint64(r.Slot))
+}
+
+// RIDFromKey reverses Key.
+func RIDFromKey(k wal.ObjectKey) RID {
+	return RID{Table: uint32(uint64(k) >> 32), Slot: uint32(uint64(k))}
+}
+
+func (r RID) String() string { return fmt.Sprintf("%d:%d", r.Table, r.Slot) }
+
+// Table is a fixed-size-record table.
+type Table struct {
+	cat *Catalog
+
+	ID      uint32
+	Name    string
+	RecSize int
+	Cap     int
+
+	Layout Layout
+
+	dataFirst  mem.PageID
+	dataPages  int
+	allocFirst mem.PageID
+	allocPages int
+	// recsPerPage and hdrBytes describe the page-local layout (unused for
+	// LayoutSeparate).
+	recsPerPage int
+	hdrBytes    int
+
+	// allocMu guards free-slot search; nextFree is a next-fit hint.
+	allocMu  sync.Mutex
+	nextFree uint32
+	// bitmapMu serializes allocation-bit updates. Bitmap bytes pack eight
+	// slots, so two transactions touching different records can still hit
+	// the same byte; their read-modify-write brackets hold only shared
+	// protection latches (the Data Codeword discipline) and would
+	// otherwise race, losing a bit and desynchronizing data from its
+	// codeword. bitmapMu is a leaf lock: nothing but the update bracket
+	// is acquired under it.
+	bitmapMu sync.Mutex
+}
+
+// pageLocalGeometry computes how many records fit per page when the page
+// carries its own allocation bitmap header, and that header's size.
+func pageLocalGeometry(pageSize, recSize int) (recsPerPage, hdrBytes int) {
+	recsPerPage = pageSize / recSize
+	for recsPerPage > 0 {
+		hdrBytes = (recsPerPage + 7) / 8
+		// Keep records 8-aligned for codeword lanes.
+		hdrBytes = (hdrBytes + 7) &^ 7
+		if hdrBytes+recsPerPage*recSize <= pageSize {
+			return recsPerPage, hdrBytes
+		}
+		recsPerPage--
+	}
+	return 0, 0
+}
+
+// Catalog is the table directory for one database. It is persisted in the
+// database metadata (and therefore with every checkpoint) and cached as a
+// runtime attachment so undo handlers can find it.
+type Catalog struct {
+	db *core.DB
+
+	mu     sync.Mutex
+	byName map[string]*Table
+	byID   map[uint32]*Table
+	nextID uint32
+}
+
+// Open loads (or initializes) the heap catalog for db. Repeated calls
+// return the same catalog.
+func Open(db *core.DB) (*Catalog, error) {
+	if v, ok := db.Attachment(catalogAttachKey); ok {
+		return v.(*Catalog), nil
+	}
+	cat := &Catalog{
+		db:     db,
+		byName: make(map[string]*Table),
+		byID:   make(map[uint32]*Table),
+		nextID: 1,
+	}
+	if blob, ok := db.Meta(catalogMetaKey); ok {
+		if err := cat.decode(blob); err != nil {
+			return nil, err
+		}
+	}
+	db.Attach(catalogAttachKey, cat)
+	return cat, nil
+}
+
+// DB returns the catalog's database.
+func (c *Catalog) DB() *core.DB { return c.db }
+
+// CreateTable creates a table with fixed recSize-byte records and room
+// for capacity records, allocating separate data and allocation-bitmap
+// extents. The catalog change is persisted to the database metadata;
+// callers should checkpoint before relying on the table surviving a crash
+// (DDL is not logged, matching the benchmark lifecycle of the paper:
+// schema setup, checkpoint, then the measured run).
+func (c *Catalog) CreateTable(name string, recSize, capacity int) (*Table, error) {
+	return c.CreateTableWithLayout(name, recSize, capacity, LayoutSeparate)
+}
+
+// CreateTableWithLayout creates a table with an explicit storage layout
+// (see Layout).
+func (c *Catalog) CreateTableWithLayout(name string, recSize, capacity int, layout Layout) (*Table, error) {
+	if recSize <= 0 || recSize > 1<<20 {
+		return nil, fmt.Errorf("%w: %d", ErrBadRecordSize, recSize)
+	}
+	if capacity <= 0 {
+		return nil, fmt.Errorf("heap: capacity must be positive")
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, dup := c.byName[name]; dup {
+		return nil, fmt.Errorf("%w: %s", ErrTableExists, name)
+	}
+	pageSize := c.db.PageSize()
+	t := &Table{
+		cat:     c,
+		ID:      c.nextID,
+		Name:    name,
+		RecSize: recSize,
+		Cap:     capacity,
+		Layout:  layout,
+	}
+	switch layout {
+	case LayoutSeparate:
+		t.dataPages = (recSize*capacity + pageSize - 1) / pageSize
+		t.allocPages = ((capacity+7)/8 + pageSize - 1) / pageSize
+		var err error
+		if t.dataFirst, err = c.db.AllocPages(t.dataPages); err != nil {
+			return nil, err
+		}
+		if t.allocFirst, err = c.db.AllocPages(t.allocPages); err != nil {
+			return nil, err
+		}
+	case LayoutPageLocal:
+		t.recsPerPage, t.hdrBytes = pageLocalGeometry(pageSize, recSize)
+		if t.recsPerPage == 0 {
+			return nil, fmt.Errorf("%w: %d-byte records do not fit a %d-byte page with a header",
+				ErrBadRecordSize, recSize, pageSize)
+		}
+		t.dataPages = (capacity + t.recsPerPage - 1) / t.recsPerPage
+		var err error
+		if t.dataFirst, err = c.db.AllocPages(t.dataPages); err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("heap: unknown layout %d", layout)
+	}
+	c.nextID++
+	c.byName[name] = t
+	c.byID[t.ID] = t
+	c.persistLocked()
+	return t, nil
+}
+
+// Table looks a table up by name.
+func (c *Catalog) Table(name string) (*Table, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	t, ok := c.byName[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNoSuchTable, name)
+	}
+	return t, nil
+}
+
+// TableByID looks a table up by ID.
+func (c *Catalog) TableByID(id uint32) (*Table, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	t, ok := c.byID[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: id %d", ErrNoSuchTable, id)
+	}
+	return t, nil
+}
+
+// Tables returns the table names.
+func (c *Catalog) Tables() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]string, 0, len(c.byName))
+	for n := range c.byName {
+		out = append(out, n)
+	}
+	return out
+}
+
+func (c *Catalog) persistLocked() {
+	var b []byte
+	b = binary.AppendUvarint(b, uint64(c.nextID))
+	b = binary.AppendUvarint(b, uint64(len(c.byID)))
+	for id := uint32(1); id < c.nextID; id++ {
+		t, ok := c.byID[id]
+		if !ok {
+			continue
+		}
+		b = binary.AppendUvarint(b, uint64(t.ID))
+		b = binary.AppendUvarint(b, uint64(len(t.Name)))
+		b = append(b, t.Name...)
+		b = binary.AppendUvarint(b, uint64(t.RecSize))
+		b = binary.AppendUvarint(b, uint64(t.Cap))
+		b = binary.AppendUvarint(b, uint64(t.dataFirst))
+		b = binary.AppendUvarint(b, uint64(t.dataPages))
+		b = binary.AppendUvarint(b, uint64(t.allocFirst))
+		b = binary.AppendUvarint(b, uint64(t.allocPages))
+		b = append(b, byte(t.Layout))
+		b = binary.AppendUvarint(b, uint64(t.recsPerPage))
+		b = binary.AppendUvarint(b, uint64(t.hdrBytes))
+	}
+	c.db.SetMeta(catalogMetaKey, b)
+}
+
+func (c *Catalog) decode(b []byte) error {
+	r := bytesReader{buf: b}
+	c.nextID = uint32(r.uvarint())
+	n := int(r.uvarint())
+	for i := 0; i < n; i++ {
+		t := &Table{cat: c}
+		t.ID = uint32(r.uvarint())
+		nameLen := int(r.uvarint())
+		t.Name = string(r.bytes(nameLen))
+		t.RecSize = int(r.uvarint())
+		t.Cap = int(r.uvarint())
+		t.dataFirst = mem.PageID(r.uvarint())
+		t.dataPages = int(r.uvarint())
+		t.allocFirst = mem.PageID(r.uvarint())
+		t.allocPages = int(r.uvarint())
+		layoutBytes := r.bytes(1)
+		if r.err == nil {
+			t.Layout = Layout(layoutBytes[0])
+		}
+		t.recsPerPage = int(r.uvarint())
+		t.hdrBytes = int(r.uvarint())
+		if r.err != nil {
+			return fmt.Errorf("heap: corrupt catalog: %w", r.err)
+		}
+		c.byName[t.Name] = t
+		c.byID[t.ID] = t
+	}
+	if r.err != nil {
+		return fmt.Errorf("heap: corrupt catalog: %w", r.err)
+	}
+	return nil
+}
+
+type bytesReader struct {
+	buf []byte
+	pos int
+	err error
+}
+
+func (r *bytesReader) uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.buf[r.pos:])
+	if n <= 0 {
+		r.err = errors.New("truncated")
+		return 0
+	}
+	r.pos += n
+	return v
+}
+
+func (r *bytesReader) bytes(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if n < 0 || r.pos+n > len(r.buf) {
+		r.err = errors.New("truncated")
+		return nil
+	}
+	b := r.buf[r.pos : r.pos+n]
+	r.pos += n
+	return b
+}
+
+// --- addressing -------------------------------------------------------------
+
+// RecordAddr reports the arena address of slot's record.
+func (t *Table) RecordAddr(slot uint32) mem.Addr {
+	pageSize := uint64(t.cat.db.PageSize())
+	if t.Layout == LayoutPageLocal {
+		page := uint64(slot) / uint64(t.recsPerPage)
+		idx := uint64(slot) % uint64(t.recsPerPage)
+		return mem.Addr((uint64(t.dataFirst)+page)*pageSize + uint64(t.hdrBytes) + idx*uint64(t.RecSize))
+	}
+	return mem.Addr(uint64(t.dataFirst)*pageSize + uint64(slot)*uint64(t.RecSize))
+}
+
+// bitAddr reports the arena address of the allocation-bitmap byte
+// covering slot, plus the bit index within it.
+func (t *Table) bitAddr(slot uint32) (mem.Addr, uint) {
+	pageSize := uint64(t.cat.db.PageSize())
+	if t.Layout == LayoutPageLocal {
+		page := uint64(slot) / uint64(t.recsPerPage)
+		idx := uint64(slot) % uint64(t.recsPerPage)
+		return mem.Addr((uint64(t.dataFirst)+page)*pageSize + idx/8), uint(idx % 8)
+	}
+	return mem.Addr(uint64(t.allocFirst)*pageSize + uint64(slot/8)), uint(slot % 8)
+}
+
+// Allocated reports whether slot holds a record. It reads the allocation
+// bitmap directly: allocation metadata reads are internal bookkeeping, not
+// transaction reads of user data, so they are not read-logged (their
+// integrity is covered by audits like any other protected data).
+func (t *Table) Allocated(slot uint32) bool {
+	addr, bit := t.bitAddr(slot)
+	return t.cat.db.Arena().Bytes()[addr]&(1<<bit) != 0
+}
+
+// Count reports the number of allocated records (a full bitmap scan).
+func (t *Table) Count() int {
+	n := 0
+	for s := uint32(0); s < uint32(t.Cap); s++ {
+		if t.Allocated(s) {
+			n++
+		}
+	}
+	return n
+}

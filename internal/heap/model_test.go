@@ -1,0 +1,139 @@
+package heap
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/protect"
+)
+
+// TestRandomizedHeapAgainstModel runs random insert/update/delete/read
+// sequences against a map model, with random transaction aborts whose
+// effects must vanish from both the heap and the model.
+func TestRandomizedHeapAgainstModel(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed-%d", seed), func(t *testing.T) {
+			runHeapModel(t, seed)
+		})
+	}
+}
+
+func runHeapModel(t *testing.T, seed int64) {
+	cat := testCatalog(t, protect.Config{Kind: protect.KindDataCW, RegionSize: 64})
+	tb, err := cat.CreateTable("t", 32, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(seed))
+
+	model := map[uint32][]byte{} // committed state
+	for round := 0; round < 20; round++ {
+		// Work on a pending copy; commit folds it in, abort discards it.
+		pending := map[uint32][]byte{}
+		for k, v := range model {
+			pending[k] = append([]byte(nil), v...)
+		}
+		txn, err := cat.db.Begin()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for op := 0; op < 5+rng.Intn(15); op++ {
+			switch rng.Intn(4) {
+			case 0: // insert
+				rec := make([]byte, 32)
+				rng.Read(rec)
+				rid, err := tb.Insert(txn, rec)
+				if errors.Is(err, ErrTableFull) {
+					continue
+				}
+				if err != nil {
+					t.Fatal(err)
+				}
+				if _, dup := pending[rid.Slot]; dup {
+					t.Fatalf("insert reused live slot %d", rid.Slot)
+				}
+				pending[rid.Slot] = rec
+			case 1: // update
+				slot, ok := pickSlot(rng, pending)
+				if !ok {
+					continue
+				}
+				off := rng.Intn(28)
+				data := make([]byte, 1+rng.Intn(4))
+				rng.Read(data)
+				if err := tb.Update(txn, RID{Table: tb.ID, Slot: slot}, off, data); err != nil {
+					t.Fatal(err)
+				}
+				copy(pending[slot][off:], data)
+			case 2: // delete
+				slot, ok := pickSlot(rng, pending)
+				if !ok {
+					continue
+				}
+				if err := tb.Delete(txn, RID{Table: tb.ID, Slot: slot}); err != nil {
+					t.Fatal(err)
+				}
+				delete(pending, slot)
+			case 3: // read
+				slot, ok := pickSlot(rng, pending)
+				if !ok {
+					continue
+				}
+				got, err := tb.Read(txn, RID{Table: tb.ID, Slot: slot})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(got, pending[slot]) {
+					t.Fatalf("round %d: slot %d read %x want %x", round, slot, got[:4], pending[slot][:4])
+				}
+			}
+		}
+		if rng.Intn(3) == 0 {
+			if err := txn.Abort(); err != nil {
+				t.Fatal(err)
+			}
+			// model unchanged
+		} else {
+			if err := txn.Commit(); err != nil {
+				t.Fatal(err)
+			}
+			model = pending
+		}
+		// Verify committed state after every round.
+		if tb.Count() != len(model) {
+			t.Fatalf("round %d: count %d, model %d", round, tb.Count(), len(model))
+		}
+		check, _ := cat.db.Begin()
+		for slot, want := range model {
+			got, err := tb.Read(check, RID{Table: tb.ID, Slot: slot})
+			if err != nil {
+				t.Fatalf("round %d: read slot %d: %v", round, slot, err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatalf("round %d: slot %d = %x want %x", round, slot, got[:4], want[:4])
+			}
+		}
+		check.Commit()
+	}
+	if err := cat.db.Audit(); err != nil {
+		t.Fatalf("final audit: %v", err)
+	}
+}
+
+func pickSlot(rng *rand.Rand, m map[uint32][]byte) (uint32, bool) {
+	if len(m) == 0 {
+		return 0, false
+	}
+	n := rng.Intn(len(m))
+	for slot := range m {
+		if n == 0 {
+			return slot, true
+		}
+		n--
+	}
+	return 0, false
+}

@@ -1,0 +1,179 @@
+// Package latch provides the low-level latches used by the storage manager:
+// plain shared/exclusive latches, striped latch tables used to implement
+// per-protection-region latches without allocating one latch per region,
+// and an ordered multi-latch helper that acquires a set of stripes in
+// ascending order to avoid deadlock.
+//
+// The paper distinguishes three latches: the protection latch guarding a
+// protection region, the codeword latch guarding the codeword value itself
+// (used by the Data Codeword scheme so updaters can hold the protection
+// latch in shared mode), and the system log latch guarding log flushes.
+// All three are built from the types in this package.
+package latch
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Latch is a shared/exclusive latch with acquisition counters. The counters
+// are maintained with atomics and are intended for tests and the benchmark
+// harness (e.g. counting protection-latch traffic per scheme); they are not
+// required for correctness.
+type Latch struct {
+	mu sync.RWMutex
+
+	sharedAcqs    atomic.Uint64
+	exclusiveAcqs atomic.Uint64
+}
+
+// Lock acquires the latch in exclusive mode.
+func (l *Latch) Lock() {
+	l.mu.Lock()
+	l.exclusiveAcqs.Add(1)
+}
+
+// Unlock releases an exclusive acquisition.
+func (l *Latch) Unlock() { l.mu.Unlock() }
+
+// RLock acquires the latch in shared mode.
+func (l *Latch) RLock() {
+	l.mu.RLock()
+	l.sharedAcqs.Add(1)
+}
+
+// RUnlock releases a shared acquisition.
+func (l *Latch) RUnlock() { l.mu.RUnlock() }
+
+// SharedAcquisitions reports the number of shared acquisitions so far.
+func (l *Latch) SharedAcquisitions() uint64 { return l.sharedAcqs.Load() }
+
+// ExclusiveAcquisitions reports the number of exclusive acquisitions so far.
+func (l *Latch) ExclusiveAcquisitions() uint64 { return l.exclusiveAcqs.Load() }
+
+// Striped is a fixed-size table of latches indexed by an arbitrary integer
+// key (for example a protection-region number). Keys are mapped onto
+// stripes by masking, so the table provides per-key mutual exclusion with
+// bounded memory. Two distinct keys may map to the same stripe; this only
+// reduces concurrency, never correctness, because holding a stripe is a
+// superset of holding the key.
+type Striped struct {
+	stripes []Latch
+	mask    uint64
+}
+
+// NewStriped returns a striped latch table with at least n stripes
+// (rounded up to a power of two, minimum 1).
+func NewStriped(n int) *Striped {
+	size := 1
+	for size < n {
+		size <<= 1
+	}
+	return &Striped{
+		stripes: make([]Latch, size),
+		mask:    uint64(size - 1),
+	}
+}
+
+// Len reports the number of stripes.
+func (s *Striped) Len() int { return len(s.stripes) }
+
+// For returns the latch for key.
+func (s *Striped) For(key uint64) *Latch {
+	return &s.stripes[key&s.mask]
+}
+
+// stripeIndex maps key to its stripe index.
+func (s *Striped) stripeIndex(key uint64) int {
+	return int(key & s.mask)
+}
+
+// MultiGuard holds a set of stripes of a Striped table, acquired in
+// ascending stripe order so that concurrent acquirers of overlapping key
+// sets cannot deadlock. The zero value is empty and may be released safely.
+type MultiGuard struct {
+	table     *Striped
+	stripes   []int
+	exclusive bool
+}
+
+// AcquireRange latches every stripe covering the key range [first, last]
+// (inclusive). If exclusive is true the stripes are taken in exclusive
+// mode, otherwise shared. Stripes are deduplicated and acquired in
+// ascending order. If the range covers at least as many keys as there are
+// stripes, the whole table is taken.
+//
+// Because consecutive keys map to consecutive stripes (masking), the
+// covered stripe set is a possibly-wrapped interval, so ascending order
+// is produced directly without sorting.
+func (s *Striped) AcquireRange(first, last uint64, exclusive bool) MultiGuard {
+	g := MultiGuard{table: s, exclusive: exclusive}
+	n := uint64(len(s.stripes))
+	if last < first {
+		first, last = last, first
+	}
+	span := last - first + 1
+	if span > n {
+		span = n
+	}
+	g.stripes = make([]int, 0, span)
+	switch {
+	case last-first+1 >= n:
+		// Every stripe is covered.
+		for i := 0; i < int(n); i++ {
+			g.stripes = append(g.stripes, i)
+		}
+	default:
+		lo, hi := s.stripeIndex(first), s.stripeIndex(last)
+		if lo <= hi {
+			for i := lo; i <= hi; i++ {
+				g.stripes = append(g.stripes, i)
+			}
+		} else {
+			// Wrapped interval: [0, hi] then [lo, n).
+			for i := 0; i <= hi; i++ {
+				g.stripes = append(g.stripes, i)
+			}
+			for i := lo; i < int(n); i++ {
+				g.stripes = append(g.stripes, i)
+			}
+		}
+	}
+	for _, idx := range g.stripes {
+		if exclusive {
+			s.stripes[idx].Lock()
+		} else {
+			s.stripes[idx].RLock()
+		}
+	}
+	return g
+}
+
+// Release releases every stripe held by the guard. Releasing an empty
+// guard is a no-op.
+func (g *MultiGuard) Release() {
+	// Release in reverse order of acquisition.
+	for i := len(g.stripes) - 1; i >= 0; i-- {
+		l := &g.table.stripes[g.stripes[i]]
+		if g.exclusive {
+			l.Unlock()
+		} else {
+			l.RUnlock()
+		}
+	}
+	g.stripes = nil
+}
+
+// Held reports how many stripes the guard currently holds.
+func (g *MultiGuard) Held() int { return len(g.stripes) }
+
+// sortInts sorts a small slice of ints in ascending order. The slices seen
+// here are tiny (an update rarely spans more than two stripes), so
+// insertion sort is appropriate and avoids importing sort for a hot path.
+func sortInts(a []int) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j-1] > a[j]; j-- {
+			a[j-1], a[j] = a[j], a[j-1]
+		}
+	}
+}

@@ -1,0 +1,232 @@
+// Package lockmgr provides the transaction lock manager for the
+// reproduced storage manager. In the multi-level recovery model (paper
+// §2.1), lower-level operations take operation locks on the objects they
+// touch, and a committed operation's locks may be released before the
+// enclosing transaction commits; the transaction retains higher-level
+// locks for strict two-phase locking at its own level.
+//
+// This manager provides shared and exclusive locks on object keys with
+// re-entrancy, shared-to-exclusive upgrade, FIFO-fair wakeups, and
+// timeout-based deadlock resolution. Lock tables are exactly the kind of
+// transient control structure the paper excludes from codeword protection
+// (§3, "Control Structures"), so the manager lives outside the protected
+// arena.
+package lockmgr
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/wal"
+)
+
+// Mode is a lock mode.
+type Mode uint8
+
+// Lock modes.
+const (
+	// Shared permits concurrent readers.
+	Shared Mode = iota + 1
+	// Exclusive permits a single owner.
+	Exclusive
+)
+
+func (m Mode) String() string {
+	switch m {
+	case Shared:
+		return "S"
+	case Exclusive:
+		return "X"
+	default:
+		return fmt.Sprintf("mode(%d)", uint8(m))
+	}
+}
+
+// ErrTimeout reports that a lock wait exceeded the manager's timeout;
+// the caller should treat this as a deadlock victim notice and roll the
+// transaction back.
+var ErrTimeout = errors.New("lockmgr: lock wait timeout (possible deadlock)")
+
+// Manager is a lock manager over object keys.
+type Manager struct {
+	mu      sync.Mutex
+	locks   map[wal.ObjectKey]*lockState
+	held    map[wal.TxnID]map[wal.ObjectKey]Mode
+	timeout time.Duration
+
+	waits    uint64
+	timeouts uint64
+}
+
+type lockState struct {
+	holders map[wal.TxnID]Mode
+	waiters int
+	cond    *sync.Cond
+}
+
+// New returns a manager with the given lock-wait timeout. A zero timeout
+// disables waiting entirely (lock conflicts fail immediately), which is
+// useful in tests.
+func New(timeout time.Duration) *Manager {
+	return &Manager{
+		locks:   make(map[wal.ObjectKey]*lockState),
+		held:    make(map[wal.TxnID]map[wal.ObjectKey]Mode),
+		timeout: timeout,
+	}
+}
+
+// compatible reports whether txn may acquire key in mode given current
+// holders.
+func (s *lockState) compatible(txn wal.TxnID, mode Mode) bool {
+	for holder, held := range s.holders {
+		if holder == txn {
+			continue // own lock: upgrade handled by caller
+		}
+		if mode == Exclusive || held == Exclusive {
+			return false
+		}
+	}
+	return true
+}
+
+// Lock acquires key in mode on behalf of txn, blocking until the lock is
+// granted or the timeout elapses. Re-acquiring an already-held lock is a
+// no-op (a shared re-acquire never downgrades an exclusive hold); holding
+// shared and requesting exclusive performs an upgrade.
+func (m *Manager) Lock(txn wal.TxnID, key wal.ObjectKey, mode Mode) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	if cur, ok := m.held[txn][key]; ok {
+		if cur == Exclusive || mode == Shared {
+			return nil
+		}
+		// Upgrade path falls through into the wait loop.
+	}
+
+	s := m.locks[key]
+	if s == nil {
+		s = &lockState{holders: make(map[wal.TxnID]Mode)}
+		s.cond = sync.NewCond(&m.mu)
+		m.locks[key] = s
+	}
+
+	var deadline time.Time
+	waited := false
+	for !s.compatible(txn, mode) {
+		if m.timeout == 0 {
+			m.timeouts++
+			return fmt.Errorf("%w: txn %d, key %d (%s)", ErrTimeout, txn, key, mode)
+		}
+		if !waited {
+			waited = true
+			m.waits++
+			deadline = time.Now().Add(m.timeout)
+			// A single watchdog per wait broadcasts on timeout so the
+			// condition loop can observe the deadline.
+			go func(s *lockState, d time.Time) {
+				time.Sleep(time.Until(d) + time.Millisecond)
+				m.mu.Lock()
+				s.cond.Broadcast()
+				m.mu.Unlock()
+			}(s, deadline)
+		}
+		if time.Now().After(deadline) {
+			m.timeouts++
+			return fmt.Errorf("%w: txn %d, key %d (%s)", ErrTimeout, txn, key, mode)
+		}
+		s.waiters++
+		s.cond.Wait()
+		s.waiters--
+	}
+
+	s.holders[txn] = mode
+	if m.held[txn] == nil {
+		m.held[txn] = make(map[wal.ObjectKey]Mode)
+	}
+	m.held[txn][key] = mode
+	return nil
+}
+
+// TryLock acquires without waiting; it reports false on conflict.
+func (m *Manager) TryLock(txn wal.TxnID, key wal.ObjectKey, mode Mode) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if cur, ok := m.held[txn][key]; ok && (cur == Exclusive || mode == Shared) {
+		return true
+	}
+	s := m.locks[key]
+	if s == nil {
+		s = &lockState{holders: make(map[wal.TxnID]Mode)}
+		s.cond = sync.NewCond(&m.mu)
+		m.locks[key] = s
+	}
+	if !s.compatible(txn, mode) {
+		return false
+	}
+	s.holders[txn] = mode
+	if m.held[txn] == nil {
+		m.held[txn] = make(map[wal.ObjectKey]Mode)
+	}
+	m.held[txn][key] = mode
+	return true
+}
+
+// Unlock releases txn's lock on key.
+func (m *Manager) Unlock(txn wal.TxnID, key wal.ObjectKey) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.releaseLocked(txn, key)
+}
+
+// ReleaseAll releases every lock held by txn (transaction end).
+func (m *Manager) ReleaseAll(txn wal.TxnID) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for key := range m.held[txn] {
+		m.releaseLocked(txn, key)
+	}
+	delete(m.held, txn)
+}
+
+func (m *Manager) releaseLocked(txn wal.TxnID, key wal.ObjectKey) {
+	s := m.locks[key]
+	if s == nil {
+		return
+	}
+	if _, ok := s.holders[txn]; !ok {
+		return
+	}
+	delete(s.holders, txn)
+	if hm := m.held[txn]; hm != nil {
+		delete(hm, key)
+	}
+	if len(s.holders) == 0 && s.waiters == 0 {
+		delete(m.locks, key)
+		return
+	}
+	s.cond.Broadcast()
+}
+
+// HeldMode reports the mode txn holds on key (0 if none).
+func (m *Manager) HeldMode(txn wal.TxnID, key wal.ObjectKey) Mode {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.held[txn][key]
+}
+
+// HeldCount reports how many locks txn holds.
+func (m *Manager) HeldCount(txn wal.TxnID) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.held[txn])
+}
+
+// Stats reports the number of lock waits and timeouts so far.
+func (m *Manager) Stats() (waits, timeouts uint64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.waits, m.timeouts
+}

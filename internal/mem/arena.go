@@ -1,0 +1,187 @@
+// Package mem provides the database image: a flat byte arena divided into
+// fixed-size pages, together with page-protection facilities.
+//
+// In the Dalí model reproduced here the whole database is directly mapped
+// into the address space of the application, and updates are performed in
+// place. The arena is that mapping. Pages exist only "to the extent that
+// [they are] convenient for tracking storage use" (paper §2): allocation
+// bitmaps live on different pages from the records they describe, and the
+// dirty page table and checkpointer operate at page granularity.
+//
+// Two protectors are provided. MprotectProtector drives the real mprotect
+// system call over an mmap-backed arena and is used to reproduce Table 1
+// (performance of protect/unprotect) and the hardware-protection row of
+// Table 2. SimProtector keeps a protection bitmap in user space with a
+// configurable per-call cost; it is used (a) to model the paper's four
+// 1990s platforms deterministically, and (b) by the fault-injection tests,
+// where a real protected-page write would deliver an uncatchable SIGSEGV
+// to the Go runtime. The simulated trap preserves the semantics the paper
+// relies on: a wild write to a protected page does not change memory.
+package mem
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Addr is a byte offset into the database image.
+type Addr uint64
+
+// PageID identifies a page of the database image.
+type PageID uint32
+
+// Arena is the in-memory database image.
+type Arena struct {
+	buf      []byte
+	pageSize int
+	mmapped  bool
+}
+
+// Common arena errors.
+var (
+	ErrOutOfRange = errors.New("mem: address out of range")
+	ErrTrapped    = errors.New("mem: write to protected page trapped")
+)
+
+// Option configures a new arena.
+type Option func(*arenaConfig)
+
+type arenaConfig struct {
+	forceHeap bool
+}
+
+// WithHeapBacking forces the arena to be allocated from the Go heap even on
+// platforms where mmap is available. Heap-backed arenas cannot be used with
+// MprotectProtector.
+func WithHeapBacking() Option {
+	return func(c *arenaConfig) { c.forceHeap = true }
+}
+
+// NewArena allocates an arena of size bytes divided into pages of pageSize
+// bytes. Size is rounded up to a whole number of pages. pageSize must be a
+// power of two of at least 64. On platforms with mmap support the arena is
+// backed by an anonymous private mapping so that real page protection can
+// be applied to it.
+func NewArena(size, pageSize int, opts ...Option) (*Arena, error) {
+	if pageSize < 64 || pageSize&(pageSize-1) != 0 {
+		return nil, fmt.Errorf("mem: page size %d is not a power of two >= 64", pageSize)
+	}
+	if size <= 0 {
+		return nil, fmt.Errorf("mem: invalid arena size %d", size)
+	}
+	var cfg arenaConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if r := size % pageSize; r != 0 {
+		size += pageSize - r
+	}
+	a := &Arena{pageSize: pageSize}
+	if !cfg.forceHeap {
+		if buf, err := mmapAnon(size); err == nil {
+			a.buf = buf
+			a.mmapped = true
+			return a, nil
+		}
+	}
+	a.buf = make([]byte, size)
+	return a, nil
+}
+
+// Close releases the arena's memory. The arena must not be used afterwards.
+func (a *Arena) Close() error {
+	if a.mmapped {
+		err := munmap(a.buf)
+		a.buf = nil
+		return err
+	}
+	a.buf = nil
+	return nil
+}
+
+// Size reports the arena size in bytes.
+func (a *Arena) Size() int { return len(a.buf) }
+
+// PageSize reports the page size in bytes.
+func (a *Arena) PageSize() int { return a.pageSize }
+
+// NumPages reports the number of pages in the arena.
+func (a *Arena) NumPages() int { return len(a.buf) / a.pageSize }
+
+// Mmapped reports whether the arena is backed by an anonymous mapping
+// (and therefore eligible for real mprotect-based protection).
+func (a *Arena) Mmapped() bool { return a.mmapped }
+
+// Bytes returns the whole image. The caller must respect the prescribed
+// update interface; writing through this slice outside BeginUpdate/EndUpdate
+// is exactly the "direct physical corruption" the paper protects against
+// (and is what the fault injector does deliberately).
+func (a *Arena) Bytes() []byte { return a.buf }
+
+// PageOf reports the page containing addr.
+func (a *Arena) PageOf(addr Addr) PageID {
+	return PageID(int(addr) / a.pageSize)
+}
+
+// PageRange reports the inclusive page range covered by [addr, addr+n).
+// A zero-length range covers the single page containing addr.
+func (a *Arena) PageRange(addr Addr, n int) (first, last PageID) {
+	first = a.PageOf(addr)
+	if n <= 0 {
+		return first, first
+	}
+	last = a.PageOf(addr + Addr(n) - 1)
+	return first, last
+}
+
+// Page returns the contents of page id.
+func (a *Arena) Page(id PageID) []byte {
+	off := int(id) * a.pageSize
+	return a.buf[off : off+a.pageSize]
+}
+
+// CheckRange validates that [addr, addr+n) lies inside the arena.
+func (a *Arena) CheckRange(addr Addr, n int) error {
+	if n < 0 || uint64(addr) > uint64(len(a.buf)) || uint64(addr)+uint64(n) > uint64(len(a.buf)) {
+		return fmt.Errorf("%w: [%d, %d) outside arena of %d bytes", ErrOutOfRange, addr, uint64(addr)+uint64(n), len(a.buf))
+	}
+	return nil
+}
+
+// Slice returns the byte range [addr, addr+n). It panics if the range is
+// out of bounds; callers validate with CheckRange at the API boundary.
+func (a *Arena) Slice(addr Addr, n int) []byte {
+	return a.buf[addr : addr+Addr(n)]
+}
+
+// Protector controls write access to arena pages. Protect makes a page
+// read-only; Unprotect makes it writable. Implementations must be safe for
+// concurrent use.
+type Protector interface {
+	// Protect write-protects the page.
+	Protect(id PageID) error
+	// Unprotect makes the page writable.
+	Unprotect(id PageID) error
+	// Writable reports whether the page may currently be written.
+	Writable(id PageID) bool
+	// Calls reports the total number of Protect plus Unprotect calls,
+	// used to reproduce the paper's §5.3 page-touch observation.
+	Calls() uint64
+}
+
+// NopProtector is a Protector that never protects anything. It is the
+// protector used by every codeword scheme (which, by design, need no
+// hardware support).
+type NopProtector struct{}
+
+// Protect implements Protector; it does nothing.
+func (NopProtector) Protect(PageID) error { return nil }
+
+// Unprotect implements Protector; it does nothing.
+func (NopProtector) Unprotect(PageID) error { return nil }
+
+// Writable implements Protector; every page is always writable.
+func (NopProtector) Writable(PageID) bool { return true }
+
+// Calls implements Protector; it reports zero.
+func (NopProtector) Calls() uint64 { return 0 }

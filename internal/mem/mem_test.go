@@ -1,0 +1,296 @@
+package mem
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewArenaRoundsUpToPage(t *testing.T) {
+	a, err := NewArena(1000, 256, WithHeapBacking())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	if a.Size() != 1024 {
+		t.Fatalf("size = %d, want 1024", a.Size())
+	}
+	if a.NumPages() != 4 {
+		t.Fatalf("pages = %d, want 4", a.NumPages())
+	}
+}
+
+func TestNewArenaRejectsBadPageSize(t *testing.T) {
+	for _, ps := range []int{0, 1, 63, 100, 4097} {
+		if _, err := NewArena(4096, ps); err == nil {
+			t.Errorf("NewArena(4096, %d) succeeded, want error", ps)
+		}
+	}
+}
+
+func TestNewArenaRejectsBadSize(t *testing.T) {
+	for _, sz := range []int{0, -1} {
+		if _, err := NewArena(sz, 4096); err == nil {
+			t.Errorf("NewArena(%d, 4096) succeeded, want error", sz)
+		}
+	}
+}
+
+func TestPageOfAndRange(t *testing.T) {
+	a, err := NewArena(4096, 1024, WithHeapBacking())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	if got := a.PageOf(0); got != 0 {
+		t.Errorf("PageOf(0) = %d", got)
+	}
+	if got := a.PageOf(1023); got != 0 {
+		t.Errorf("PageOf(1023) = %d", got)
+	}
+	if got := a.PageOf(1024); got != 1 {
+		t.Errorf("PageOf(1024) = %d", got)
+	}
+	first, last := a.PageRange(1000, 100)
+	if first != 0 || last != 1 {
+		t.Errorf("PageRange(1000,100) = %d,%d want 0,1", first, last)
+	}
+	first, last = a.PageRange(2048, 0)
+	if first != 2 || last != 2 {
+		t.Errorf("PageRange(2048,0) = %d,%d want 2,2", first, last)
+	}
+}
+
+func TestCheckRange(t *testing.T) {
+	a, err := NewArena(2048, 1024, WithHeapBacking())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	if err := a.CheckRange(0, 2048); err != nil {
+		t.Errorf("full range rejected: %v", err)
+	}
+	if err := a.CheckRange(2048, 0); err != nil {
+		t.Errorf("empty range at end rejected: %v", err)
+	}
+	if err := a.CheckRange(0, 2049); !errors.Is(err, ErrOutOfRange) {
+		t.Errorf("overlong range accepted: %v", err)
+	}
+	if err := a.CheckRange(2049, 0); !errors.Is(err, ErrOutOfRange) {
+		t.Errorf("out-of-bounds start accepted: %v", err)
+	}
+	if err := a.CheckRange(10, -1); !errors.Is(err, ErrOutOfRange) {
+		t.Errorf("negative length accepted: %v", err)
+	}
+}
+
+func TestSliceAliasesPage(t *testing.T) {
+	a, err := NewArena(2048, 1024, WithHeapBacking())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	copy(a.Slice(1024, 4), []byte{1, 2, 3, 4})
+	if !bytes.Equal(a.Page(1)[:4], []byte{1, 2, 3, 4}) {
+		t.Fatal("Slice and Page view different memory")
+	}
+}
+
+func TestPageRangeProperty(t *testing.T) {
+	a, err := NewArena(1<<20, 4096, WithHeapBacking())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	f := func(addr uint32, n uint16) bool {
+		ad := Addr(addr) % Addr(a.Size())
+		nn := int(n)
+		if int(ad)+nn > a.Size() {
+			nn = a.Size() - int(ad)
+		}
+		first, last := a.PageRange(ad, nn)
+		if first > last {
+			return false
+		}
+		// Every byte of the range lies within [first, last].
+		if a.PageOf(ad) != first {
+			return false
+		}
+		if nn > 0 && a.PageOf(ad+Addr(nn)-1) != last {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNopProtector(t *testing.T) {
+	var p NopProtector
+	if err := p.Protect(0); err != nil {
+		t.Fatal(err)
+	}
+	if !p.Writable(0) {
+		t.Fatal("NopProtector must report writable")
+	}
+	if p.Calls() != 0 {
+		t.Fatal("NopProtector must report zero calls")
+	}
+}
+
+func TestSimProtectorTrapsGuardedWrite(t *testing.T) {
+	a, err := NewArena(4096, 1024, WithHeapBacking())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	p := NewSimProtector(a.NumPages(), 0)
+
+	if err := GuardedWrite(a, p, 100, []byte{0xAA}); err != nil {
+		t.Fatalf("write to writable page failed: %v", err)
+	}
+	if a.Bytes()[100] != 0xAA {
+		t.Fatal("write did not land")
+	}
+
+	if err := p.Protect(0); err != nil {
+		t.Fatal(err)
+	}
+	err = GuardedWrite(a, p, 101, []byte{0xBB})
+	if !errors.Is(err, ErrTrapped) {
+		t.Fatalf("write to protected page not trapped: %v", err)
+	}
+	if a.Bytes()[101] != 0 {
+		t.Fatal("trapped write modified memory")
+	}
+	if p.Traps() != 1 {
+		t.Fatalf("traps = %d, want 1", p.Traps())
+	}
+
+	if err := p.Unprotect(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := GuardedWrite(a, p, 101, []byte{0xBB}); err != nil {
+		t.Fatalf("write after unprotect failed: %v", err)
+	}
+}
+
+func TestSimProtectorSpanningWriteTrapsIfAnyPageProtected(t *testing.T) {
+	a, err := NewArena(4096, 1024, WithHeapBacking())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	p := NewSimProtector(a.NumPages(), 0)
+	if err := p.Protect(1); err != nil {
+		t.Fatal(err)
+	}
+	// Write spanning pages 0 and 1 must trap and leave page 0 untouched.
+	err = GuardedWrite(a, p, 1020, []byte{1, 2, 3, 4, 5, 6, 7, 8})
+	if !errors.Is(err, ErrTrapped) {
+		t.Fatalf("spanning write not trapped: %v", err)
+	}
+	for i := 1020; i < 1024; i++ {
+		if a.Bytes()[i] != 0 {
+			t.Fatal("trapped spanning write partially applied")
+		}
+	}
+}
+
+func TestSimProtectorProtectAll(t *testing.T) {
+	p := NewSimProtector(8, 0)
+	if err := p.ProtectAll(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		if p.Writable(PageID(i)) {
+			t.Fatalf("page %d writable after ProtectAll", i)
+		}
+	}
+	if p.Calls() != 1 {
+		t.Fatalf("calls = %d, want 1", p.Calls())
+	}
+}
+
+func TestGuardedWriteOutOfRange(t *testing.T) {
+	a, err := NewArena(1024, 1024, WithHeapBacking())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	p := NewSimProtector(1, 0)
+	if err := GuardedWrite(a, p, 1020, []byte{1, 2, 3, 4, 5}); !errors.Is(err, ErrOutOfRange) {
+		t.Fatalf("out-of-range write accepted: %v", err)
+	}
+}
+
+func TestMprotectProtectorRealSyscall(t *testing.T) {
+	a, err := NewArena(64*1024, os.Getpagesize())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	if !a.Mmapped() {
+		t.Skip("arena not mmap-backed on this platform")
+	}
+	p, err := NewMprotectProtector(a)
+	if err != nil {
+		t.Skipf("mprotect unavailable: %v", err)
+	}
+	// Writable page: write through ordinary slice access.
+	a.Bytes()[0] = 7
+	if err := p.Protect(0); err != nil {
+		t.Fatal(err)
+	}
+	if p.Writable(0) {
+		t.Fatal("page reported writable after Protect")
+	}
+	// Reads must still work on a read-only page.
+	if a.Bytes()[0] != 7 {
+		t.Fatal("read of protected page returned wrong value")
+	}
+	if err := p.Unprotect(0); err != nil {
+		t.Fatal(err)
+	}
+	a.Bytes()[0] = 9
+	if a.Bytes()[0] != 9 {
+		t.Fatal("write after Unprotect did not land")
+	}
+	if p.Calls() != 2 {
+		t.Fatalf("calls = %d, want 2", p.Calls())
+	}
+	if err := p.ProtectAll(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.UnprotectAll(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMprotectProtectorRejectsHeapArena(t *testing.T) {
+	a, err := NewArena(4096, 4096, WithHeapBacking())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	if _, err := NewMprotectProtector(a); err == nil {
+		t.Fatal("NewMprotectProtector accepted heap-backed arena")
+	}
+}
+
+func TestMprotectProtectorRejectsSubOSPage(t *testing.T) {
+	a, err := NewArena(64*1024, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	if !a.Mmapped() {
+		t.Skip("arena not mmap-backed on this platform")
+	}
+	if _, err := NewMprotectProtector(a); err == nil {
+		t.Fatal("NewMprotectProtector accepted page size below OS page size")
+	}
+}

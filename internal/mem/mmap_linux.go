@@ -1,0 +1,28 @@
+//go:build linux
+
+package mem
+
+import "syscall"
+
+// mmapAnon allocates size bytes via an anonymous private mapping.
+func mmapAnon(size int) ([]byte, error) {
+	return syscall.Mmap(-1, 0, size,
+		syscall.PROT_READ|syscall.PROT_WRITE,
+		syscall.MAP_PRIVATE|syscall.MAP_ANONYMOUS)
+}
+
+func munmap(buf []byte) error {
+	return syscall.Munmap(buf)
+}
+
+// mprotect changes the protection of buf. write selects between
+// read-write and read-only.
+func mprotect(buf []byte, write bool) error {
+	prot := syscall.PROT_READ
+	if write {
+		prot |= syscall.PROT_WRITE
+	}
+	return syscall.Mprotect(buf, prot)
+}
+
+const mprotectSupported = true

@@ -1,0 +1,15 @@
+//go:build !linux
+
+package mem
+
+import "errors"
+
+var errNoMmap = errors.New("mem: mmap not supported on this platform")
+
+func mmapAnon(size int) ([]byte, error) { return nil, errNoMmap }
+
+func munmap(buf []byte) error { return nil }
+
+func mprotect(buf []byte, write bool) error { return errNoMmap }
+
+const mprotectSupported = false

@@ -1,0 +1,157 @@
+package protect
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/latch"
+	"repro/internal/mem"
+	"repro/internal/region"
+)
+
+// deferredScheme is the Deferred Maintenance codeword scheme the paper
+// references in §4.3 (detailed in the underlying thesis): a Data Codeword
+// variant in which endUpdate does not touch the codeword table at all —
+// it queues the per-region XOR deltas, and the deltas are folded in
+// batches, either when the queue passes a threshold or at the start of an
+// audit. The update hot path thereby avoids the codeword latch entirely;
+// the price is that the stored codewords lag the data between drains, so
+// every verification must drain first.
+//
+// Correctness of the audit: each region's check takes the protection
+// latch exclusive and then drains the queue. Updaters hold the protection
+// latch shared across the whole bracket and queue their delta before
+// releasing it, so once the auditor holds a region exclusively, every
+// completed update of that region has its delta either applied or in the
+// queue the auditor is about to drain — and no new delta for that region
+// can appear until the auditor releases the latch.
+type deferredScheme struct {
+	arena *mem.Arena
+	tab   *region.Table
+	prot  *latch.Striped
+
+	mu      sync.Mutex
+	pending []region.Delta
+	// drainThreshold bounds queue growth; EndUpdate drains inline past it.
+	drainThreshold int
+
+	drains uint64
+}
+
+func newDeferredScheme(arena *mem.Arena, cfg Config) (*deferredScheme, error) {
+	tab, err := region.NewTable(arena.Size(), cfg.RegionSize)
+	if err != nil {
+		return nil, err
+	}
+	s := &deferredScheme{
+		arena:          arena,
+		tab:            tab,
+		prot:           latch.NewStriped(min(cfg.LatchStripes, tab.NumRegions())),
+		drainThreshold: 4096,
+	}
+	tab.RecomputeAll(arena)
+	return s, nil
+}
+
+func (s *deferredScheme) Name() string {
+	return fmt.Sprintf("Data CW deferred (%dB)", s.tab.RegionSize())
+}
+
+func (s *deferredScheme) Kind() Kind               { return KindDeferredCW }
+func (s *deferredScheme) RegionSize() int          { return s.tab.RegionSize() }
+func (s *deferredScheme) Protector() mem.Protector { return mem.NopProtector{} }
+
+func (s *deferredScheme) BeginUpdate(addr mem.Addr, n int) (*UpdateToken, error) {
+	if err := s.arena.CheckRange(addr, n); err != nil {
+		return nil, err
+	}
+	first, last := s.tab.RegionRange(addr, n)
+	g := s.prot.AcquireRange(uint64(first), uint64(last), false)
+	return &UpdateToken{addr: addr, n: n, guard: g}, nil
+}
+
+// EndUpdate queues the codeword deltas — still under the protection
+// latch — instead of folding them.
+func (s *deferredScheme) EndUpdate(tok *UpdateToken, old, new []byte) error {
+	deltas, err := s.tab.UpdateDeltas(nil, tok.addr, old, new)
+	if err != nil {
+		tok.guard.Release()
+		return err
+	}
+	s.mu.Lock()
+	s.pending = append(s.pending, deltas...)
+	needDrain := len(s.pending) >= s.drainThreshold
+	s.mu.Unlock()
+	tok.guard.Release()
+	if needDrain {
+		s.Drain()
+	}
+	return nil
+}
+
+func (s *deferredScheme) AbortUpdate(tok *UpdateToken) error {
+	tok.guard.Release()
+	return nil
+}
+
+func (s *deferredScheme) PreWriteCW(mem.Addr, []byte, []byte) (region.Codeword, bool) {
+	return 0, false
+}
+
+func (s *deferredScheme) Read(addr mem.Addr, n int) (ReadInfo, error) {
+	return ReadInfo{}, s.arena.CheckRange(addr, n)
+}
+
+// Drain folds every queued delta into the codeword table. The queue
+// mutex is held across the application so a concurrent drainer cannot
+// leave deltas half-applied while an auditor (whose own Drain call would
+// then see an empty queue) verifies the region.
+func (s *deferredScheme) Drain() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, d := range s.pending {
+		s.tab.XorInto(d.Region, d.Delta)
+	}
+	s.pending = s.pending[:0]
+	s.drains++
+}
+
+// PendingDeltas reports the current queue depth (tests, instrumentation).
+func (s *deferredScheme) PendingDeltas() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.pending)
+}
+
+// Drains reports completed drain batches.
+func (s *deferredScheme) Drains() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.drains
+}
+
+func (s *deferredScheme) Audit() []region.Mismatch {
+	return s.AuditRange(0, s.arena.Size())
+}
+
+func (s *deferredScheme) AuditRange(addr mem.Addr, n int) []region.Mismatch {
+	first, last := s.tab.RegionRange(addr, n)
+	var out []region.Mismatch
+	for r := first; r <= last && r < s.tab.NumRegions(); r++ {
+		l := s.prot.For(uint64(r))
+		l.Lock()
+		s.Drain()
+		ms := s.tab.AuditRange(s.arena, s.tab.RegionStart(r), 1)
+		l.Unlock()
+		out = append(out, ms...)
+	}
+	return out
+}
+
+func (s *deferredScheme) Recompute() error {
+	s.mu.Lock()
+	s.pending = nil
+	s.mu.Unlock()
+	s.tab.RecomputeAll(s.arena)
+	return nil
+}

@@ -1,0 +1,547 @@
+package protect
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/mem"
+	"repro/internal/region"
+)
+
+func newTestArena(t *testing.T, size int) *mem.Arena {
+	t.Helper()
+	a, err := mem.NewArena(size, 4096, mem.WithHeapBacking())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { a.Close() })
+	return a
+}
+
+// doUpdate performs a full prescribed-interface update through a scheme.
+func doUpdate(t *testing.T, s Scheme, a *mem.Arena, addr mem.Addr, data []byte) {
+	t.Helper()
+	old := append([]byte(nil), a.Slice(addr, len(data))...)
+	tok, err := s.BeginUpdate(addr, len(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	copy(a.Slice(addr, len(data)), data)
+	if err := s.EndUpdate(tok, old, data); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewDefaults(t *testing.T) {
+	a := newTestArena(t, 1<<16)
+	cases := []struct {
+		kind       Kind
+		wantRegion int
+	}{
+		{KindBaseline, 0},
+		{KindDataCW, 512},
+		{KindPrecheck, 64},
+		{KindReadLog, 512},
+		{KindCWReadLog, 64},
+	}
+	for _, c := range cases {
+		s, err := New(a, Config{Kind: c.kind})
+		if err != nil {
+			t.Fatalf("%v: %v", c.kind, err)
+		}
+		if s.Kind() != c.kind {
+			t.Errorf("%v: Kind() = %v", c.kind, s.Kind())
+		}
+		if s.RegionSize() != c.wantRegion {
+			t.Errorf("%v: region size %d, want %d", c.kind, s.RegionSize(), c.wantRegion)
+		}
+		if s.Name() == "" {
+			t.Errorf("%v: empty name", c.kind)
+		}
+	}
+	if _, err := New(a, Config{Kind: Kind(42)}); err == nil {
+		t.Error("unknown kind accepted")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for k := KindBaseline; k <= KindHW; k++ {
+		if k.String() == "" {
+			t.Errorf("kind %d has empty name", k)
+		}
+	}
+	if Kind(42).String() == "" {
+		t.Error("unknown kind empty")
+	}
+}
+
+func TestBaselineDoesNothing(t *testing.T) {
+	a := newTestArena(t, 4096)
+	s, err := New(a, Config{Kind: KindBaseline})
+	if err != nil {
+		t.Fatal(err)
+	}
+	doUpdate(t, s, a, 100, []byte{1, 2, 3})
+	a.Bytes()[200] = 0xFF // wild write
+	if got := s.Audit(); got != nil {
+		t.Fatalf("baseline audit reported %v", got)
+	}
+	if info, err := s.Read(100, 3); err != nil || info.LogRead {
+		t.Fatalf("baseline read: %+v, %v", info, err)
+	}
+}
+
+func TestCodewordSchemesMaintainAndAudit(t *testing.T) {
+	for _, kind := range []Kind{KindDataCW, KindReadLog, KindCWReadLog, KindPrecheck} {
+		t.Run(kind.String(), func(t *testing.T) {
+			a := newTestArena(t, 1<<16)
+			rand.New(rand.NewSource(7)).Read(a.Bytes())
+			s, err := New(a, Config{Kind: kind, RegionSize: 64})
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Prescribed updates keep audits clean.
+			rng := rand.New(rand.NewSource(8))
+			for i := 0; i < 500; i++ {
+				n := 1 + rng.Intn(200)
+				addr := mem.Addr(rng.Intn(a.Size() - n))
+				data := make([]byte, n)
+				rng.Read(data)
+				doUpdate(t, s, a, addr, data)
+			}
+			if bad := s.Audit(); len(bad) != 0 {
+				t.Fatalf("audit after prescribed updates: %v", bad[0])
+			}
+			// A wild write is detected.
+			a.Bytes()[12345] ^= 0x01
+			bad := s.Audit()
+			if len(bad) != 1 || bad[0].Region != 12345/64 {
+				t.Fatalf("audit after wild write: %v", bad)
+			}
+			// Range audit scopes correctly.
+			if got := s.AuditRange(0, 64); len(got) != 0 {
+				t.Fatalf("clean range reported: %v", got)
+			}
+			if got := s.AuditRange(12345, 1); len(got) != 1 {
+				t.Fatalf("corrupt range missed: %v", got)
+			}
+			// Recompute forgives.
+			if err := s.Recompute(); err != nil {
+				t.Fatal(err)
+			}
+			if bad := s.Audit(); len(bad) != 0 {
+				t.Fatalf("audit after recompute: %v", bad)
+			}
+		})
+	}
+}
+
+func TestPrecheckDetectsOnRead(t *testing.T) {
+	a := newTestArena(t, 8192)
+	s, err := New(a, Config{Kind: KindPrecheck, RegionSize: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Read(100, 32); err != nil {
+		t.Fatalf("clean read failed precheck: %v", err)
+	}
+	a.Bytes()[110] ^= 0x80 // wild write inside the read's region
+	if _, err := s.Read(100, 32); !errors.Is(err, ErrPrecheckFailed) {
+		t.Fatalf("read of corrupted region: %v, want ErrPrecheckFailed", err)
+	}
+	// Reads of other regions still succeed.
+	if _, err := s.Read(4096, 32); err != nil {
+		t.Fatalf("read of clean region: %v", err)
+	}
+}
+
+func TestPrecheckSpanningReadChecksAllRegions(t *testing.T) {
+	a := newTestArena(t, 8192)
+	s, err := New(a, Config{Kind: KindPrecheck, RegionSize: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Bytes()[127] ^= 0x01 // last byte of region 1
+	// Read starting in region 0 spanning into region 1.
+	if _, err := s.Read(32, 64); !errors.Is(err, ErrPrecheckFailed) {
+		t.Fatalf("spanning read: %v, want ErrPrecheckFailed", err)
+	}
+}
+
+func TestAbortUpdateLeavesCodewordValid(t *testing.T) {
+	// Paper §3.1: rollback while codeword-applied is set restores bytes
+	// without touching the codeword; the stored codeword must then match.
+	a := newTestArena(t, 8192)
+	s, err := New(a, Config{Kind: KindDataCW, RegionSize: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := mem.Addr(100)
+	before := append([]byte(nil), a.Slice(addr, 8)...)
+	tok, err := s.BeginUpdate(addr, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	copy(a.Slice(addr, 8), []byte{9, 9, 9, 9, 9, 9, 9, 9})
+	// Error path: restore and abort.
+	copy(a.Slice(addr, 8), before)
+	if err := s.AbortUpdate(tok); err != nil {
+		t.Fatal(err)
+	}
+	if bad := s.Audit(); len(bad) != 0 {
+		t.Fatalf("audit after aborted update: %v", bad)
+	}
+}
+
+func TestReadInfoPerScheme(t *testing.T) {
+	a := newTestArena(t, 8192)
+
+	sDataCW, _ := New(a, Config{Kind: KindDataCW})
+	info, err := sDataCW.Read(0, 64)
+	if err != nil || info.LogRead || info.HasCW {
+		t.Fatalf("data-cw read info: %+v, %v", info, err)
+	}
+
+	sRL, _ := New(a, Config{Kind: KindReadLog})
+	info, err = sRL.Read(0, 64)
+	if err != nil || !info.LogRead || info.HasCW {
+		t.Fatalf("read-log read info: %+v, %v", info, err)
+	}
+
+	sCWRL, _ := New(a, Config{Kind: KindCWReadLog, RegionSize: 64})
+	info, err = sCWRL.Read(0, 64)
+	if err != nil || !info.LogRead || !info.HasCW {
+		t.Fatalf("cw-read-log read info: %+v, %v", info, err)
+	}
+	// The logged codeword equals the contents codeword of the region.
+	want := region.Compute(a.Slice(0, 64))
+	if info.CW != want {
+		t.Fatalf("cw = %x, want %x", info.CW, want)
+	}
+}
+
+func TestCWReadLogSpanningReadXORsRegions(t *testing.T) {
+	a := newTestArena(t, 8192)
+	rand.New(rand.NewSource(11)).Read(a.Bytes())
+	s, _ := New(a, Config{Kind: KindCWReadLog, RegionSize: 64})
+	info, err := s.Read(60, 10) // spans regions 0 and 1
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := region.Compute(a.Slice(0, 64)) ^ region.Compute(a.Slice(64, 64))
+	if info.CW != want {
+		t.Fatalf("cw = %x, want %x", info.CW, want)
+	}
+}
+
+func TestPreWriteCW(t *testing.T) {
+	a := newTestArena(t, 8192)
+	rand.New(rand.NewSource(13)).Read(a.Bytes())
+	s, _ := New(a, Config{Kind: KindCWReadLog, RegionSize: 64})
+
+	addr := mem.Addr(100)
+	old := append([]byte(nil), a.Slice(addr, 16)...)
+	preCW := region.Compute(a.Slice(64, 64)) // region 1 before update
+
+	tok, err := s.BeginUpdate(addr, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	newData := make([]byte, 16)
+	copy(a.Slice(addr, 16), newData)
+	cw, ok := s.PreWriteCW(addr, old, newData)
+	if !ok {
+		t.Fatal("PreWriteCW not supported by cw-read-log")
+	}
+	if cw != preCW {
+		t.Fatalf("pre-write cw = %x, want %x", cw, preCW)
+	}
+	if err := s.EndUpdate(tok, old, newData); err != nil {
+		t.Fatal(err)
+	}
+
+	// Other schemes refuse.
+	s2, _ := New(a, Config{Kind: KindReadLog})
+	if _, ok := s2.PreWriteCW(addr, old, newData); ok {
+		t.Fatal("read-log scheme offered PreWriteCW")
+	}
+}
+
+func TestPreWriteCWSpanningRegions(t *testing.T) {
+	a := newTestArena(t, 8192)
+	rand.New(rand.NewSource(17)).Read(a.Bytes())
+	s, _ := New(a, Config{Kind: KindCWReadLog, RegionSize: 64})
+
+	addr := mem.Addr(120) // spans regions 1 and 2
+	n := 16
+	old := append([]byte(nil), a.Slice(addr, n)...)
+	want := region.Compute(a.Slice(64, 64)) ^ region.Compute(a.Slice(128, 64))
+
+	tok, _ := s.BeginUpdate(addr, n)
+	newData := make([]byte, n)
+	for i := range newData {
+		newData[i] = byte(i * 3)
+	}
+	copy(a.Slice(addr, n), newData)
+	cw, ok := s.PreWriteCW(addr, old, newData)
+	if !ok || cw != want {
+		t.Fatalf("spanning pre-write cw = %x (ok=%v), want %x", cw, ok, want)
+	}
+	s.EndUpdate(tok, old, newData)
+}
+
+func TestConcurrentUpdatesKeepCodewordsConsistent(t *testing.T) {
+	for _, kind := range []Kind{KindDataCW, KindPrecheck} {
+		t.Run(kind.String(), func(t *testing.T) {
+			a := newTestArena(t, 1<<16)
+			s, err := New(a, Config{Kind: kind, RegionSize: 128})
+			if err != nil {
+				t.Fatal(err)
+			}
+			var wg sync.WaitGroup
+			// Writers update disjoint 256-byte lanes so data races on the
+			// arena itself cannot occur; codeword structures are shared.
+			for g := 0; g < 8; g++ {
+				wg.Add(1)
+				go func(g int) {
+					defer wg.Done()
+					rng := rand.New(rand.NewSource(int64(g)))
+					base := mem.Addr(g * 8192)
+					for i := 0; i < 300; i++ {
+						n := 1 + rng.Intn(256)
+						addr := base + mem.Addr(rng.Intn(8192-n))
+						data := make([]byte, n)
+						rng.Read(data)
+						old := append([]byte(nil), a.Slice(addr, n)...)
+						tok, err := s.BeginUpdate(addr, n)
+						if err != nil {
+							t.Error(err)
+							return
+						}
+						copy(a.Slice(addr, n), data)
+						if err := s.EndUpdate(tok, old, data); err != nil {
+							t.Error(err)
+							return
+						}
+					}
+				}(g)
+			}
+			wg.Wait()
+			if bad := s.Audit(); len(bad) != 0 {
+				t.Fatalf("audit after concurrent updates: %v", bad[0])
+			}
+		})
+	}
+}
+
+func TestConcurrentAuditDuringUpdates(t *testing.T) {
+	// The auditor must never observe an inconsistent (contents, codeword)
+	// pair while prescribed updates are in flight.
+	a := newTestArena(t, 1<<15)
+	s, err := New(a, Config{Kind: KindDataCW, RegionSize: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g + 100)))
+			base := mem.Addr(g * 8192)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				n := 1 + rng.Intn(128)
+				addr := base + mem.Addr(rng.Intn(8192-n))
+				data := make([]byte, n)
+				rng.Read(data)
+				old := append([]byte(nil), a.Slice(addr, n)...)
+				tok, _ := s.BeginUpdate(addr, n)
+				copy(a.Slice(addr, n), data)
+				s.EndUpdate(tok, old, data)
+			}
+		}(g)
+	}
+	for i := 0; i < 20; i++ {
+		if bad := s.Audit(); len(bad) != 0 {
+			close(stop)
+			wg.Wait()
+			t.Fatalf("audit observed inconsistency during updates: %v", bad[0])
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func TestHWSchemeExposeReprotect(t *testing.T) {
+	a := newTestArena(t, 16384)
+	s, err := New(a, Config{Kind: KindHW, ForceSimProtect: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prot := s.Protector()
+	if prot.Writable(0) {
+		t.Fatal("pages not protected at scheme construction")
+	}
+	tok, err := s.BeginUpdate(100, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !prot.Writable(0) {
+		t.Fatal("page not exposed during update")
+	}
+	copy(a.Slice(100, 8), []byte{1, 2, 3, 4, 5, 6, 7, 8})
+	if err := s.EndUpdate(tok, make([]byte, 8), a.Slice(100, 8)); err != nil {
+		t.Fatal(err)
+	}
+	if prot.Writable(0) {
+		t.Fatal("page not reprotected after update")
+	}
+}
+
+func TestHWSchemeOverlappingExposures(t *testing.T) {
+	a := newTestArena(t, 16384)
+	s, err := New(a, Config{Kind: KindHW, ForceSimProtect: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prot := s.Protector()
+	tok1, _ := s.BeginUpdate(0, 8)
+	tok2, _ := s.BeginUpdate(16, 8) // same page
+	if err := s.EndUpdate(tok1, make([]byte, 8), make([]byte, 8)); err != nil {
+		t.Fatal(err)
+	}
+	if !prot.Writable(0) {
+		t.Fatal("page reprotected while another update still in flight")
+	}
+	if err := s.EndUpdate(tok2, make([]byte, 8), make([]byte, 8)); err != nil {
+		t.Fatal(err)
+	}
+	if prot.Writable(0) {
+		t.Fatal("page not reprotected after last update")
+	}
+}
+
+func TestHWSchemeTrapsWildWrite(t *testing.T) {
+	a := newTestArena(t, 16384)
+	s, err := New(a, Config{Kind: KindHW, ForceSimProtect: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wild write through the guarded path is prevented.
+	err = mem.GuardedWrite(a, s.Protector(), 5000, []byte{0xFF})
+	if !errors.Is(err, mem.ErrTrapped) {
+		t.Fatalf("wild write: %v, want trap", err)
+	}
+	// During an update the exposed page is vulnerable (the paper's §4
+	// observation that hardware protection still admitted corruption).
+	tok, _ := s.BeginUpdate(5000, 8)
+	if err := mem.GuardedWrite(a, s.Protector(), 5004, []byte{0xEE}); err != nil {
+		t.Fatalf("write to exposed page: %v", err)
+	}
+	s.EndUpdate(tok, make([]byte, 8), a.Slice(5000, 8))
+}
+
+func TestHWSchemeSpanningUpdate(t *testing.T) {
+	a := newTestArena(t, 16384)
+	s, err := New(a, Config{Kind: KindHW, ForceSimProtect: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prot := s.Protector()
+	tok, err := s.BeginUpdate(4090, 12) // spans pages 0 and 1
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !prot.Writable(0) || !prot.Writable(1) {
+		t.Fatal("spanning update did not expose both pages")
+	}
+	if err := s.EndUpdate(tok, make([]byte, 12), make([]byte, 12)); err != nil {
+		t.Fatal(err)
+	}
+	if prot.Writable(0) || prot.Writable(1) {
+		t.Fatal("spanning update did not reprotect both pages")
+	}
+	if prot.Calls() == 0 {
+		t.Fatal("no protector calls counted")
+	}
+}
+
+func TestHWSchemeUnprotectForRecovery(t *testing.T) {
+	a := newTestArena(t, 16384)
+	s, err := New(a, Config{Kind: KindHW, ForceSimProtect: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hw := s.(*hwScheme)
+	if err := hw.Unprotect(); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Protector().Writable(2) {
+		t.Fatal("Unprotect left pages protected")
+	}
+	if err := s.Recompute(); err != nil { // re-establishes protection
+		t.Fatal(err)
+	}
+	if s.Protector().Writable(2) {
+		t.Fatal("Recompute did not reprotect")
+	}
+}
+
+func TestHWSchemeGroupedExposure(t *testing.T) {
+	a := newTestArena(t, 16384)
+	s, err := New(a, Config{Kind: KindHW, ForceSimProtect: true, HWDeferReprotect: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prot := s.Protector()
+	calls0 := prot.Calls()
+
+	// Two updates to the same page within one "operation": the second
+	// bracket must not re-unprotect, and the page stays exposed until
+	// OpEnd.
+	tok1, _ := s.BeginUpdate(100, 8)
+	s.EndUpdate(tok1, make([]byte, 8), make([]byte, 8))
+	if !prot.Writable(0) {
+		t.Fatal("page reprotected before OpEnd")
+	}
+	tok2, _ := s.BeginUpdate(200, 8)
+	s.EndUpdate(tok2, make([]byte, 8), make([]byte, 8))
+	if got := prot.Calls() - calls0; got != 1 {
+		t.Fatalf("calls before OpEnd = %d, want 1 (single unprotect)", got)
+	}
+	if err := s.(OpEnder).OpEnd(); err != nil {
+		t.Fatal(err)
+	}
+	if prot.Writable(0) {
+		t.Fatal("page not reprotected at OpEnd")
+	}
+	if got := prot.Calls() - calls0; got != 2 {
+		t.Fatalf("calls after OpEnd = %d, want 2 (one pair)", got)
+	}
+	// OpEnd with nothing pending is a no-op.
+	if err := s.(OpEnder).OpEnd(); err != nil {
+		t.Fatal(err)
+	}
+	// A page still exposed by an in-flight update is NOT reprotected at
+	// OpEnd.
+	tok3, _ := s.BeginUpdate(4096, 8)
+	if err := s.(OpEnder).OpEnd(); err != nil {
+		t.Fatal(err)
+	}
+	if !prot.Writable(1) {
+		t.Fatal("in-flight page reprotected by OpEnd")
+	}
+	s.EndUpdate(tok3, make([]byte, 8), make([]byte, 8))
+	s.(OpEnder).OpEnd()
+	if prot.Writable(1) {
+		t.Fatal("page not reprotected after bracket + OpEnd")
+	}
+}

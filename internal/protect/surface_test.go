@@ -1,0 +1,69 @@
+package protect
+
+import (
+	"testing"
+
+	"repro/internal/mem"
+)
+
+// TestSchemeSurfaces exercises the uniform scheme surface — token
+// accessors, abort paths, range audits, recompute — across every kind.
+func TestSchemeSurfaces(t *testing.T) {
+	a := newTestArena(t, 1<<15)
+	kinds := []Config{
+		{Kind: KindBaseline},
+		{Kind: KindDataCW, RegionSize: 64},
+		{Kind: KindPrecheck, RegionSize: 64},
+		{Kind: KindReadLog, RegionSize: 64},
+		{Kind: KindCWReadLog, RegionSize: 64},
+		{Kind: KindDeferredCW, RegionSize: 64},
+		{Kind: KindHW, ForceSimProtect: true},
+	}
+	for _, cfg := range kinds {
+		s, err := New(a, cfg)
+		if err != nil {
+			t.Fatalf("%v: %v", cfg.Kind, err)
+		}
+		tok, err := s.BeginUpdate(128, 16)
+		if err != nil {
+			t.Fatalf("%v: %v", cfg.Kind, err)
+		}
+		if tok.Addr() != 128 || tok.Len() != 16 {
+			t.Fatalf("%v: token accessors wrong", cfg.Kind)
+		}
+		// Abort path: before-image untouched, so no restore needed.
+		if err := s.AbortUpdate(tok); err != nil {
+			t.Fatalf("%v abort: %v", cfg.Kind, err)
+		}
+		if got := s.AuditRange(0, 256); len(got) != 0 {
+			t.Fatalf("%v: clean range audit: %v", cfg.Kind, got)
+		}
+		if err := s.Recompute(); err != nil {
+			t.Fatalf("%v recompute: %v", cfg.Kind, err)
+		}
+		// Out-of-range requests are rejected uniformly.
+		if _, err := s.BeginUpdate(mem.Addr(a.Size()), 8); err == nil {
+			t.Fatalf("%v: out-of-range update accepted", cfg.Kind)
+		}
+		if _, err := s.Read(mem.Addr(a.Size()), 8); err == nil {
+			t.Fatalf("%v: out-of-range read accepted", cfg.Kind)
+		}
+		if cfg.Kind == KindHW && s.Kind() != KindHW {
+			t.Fatal("hw kind wrong")
+		}
+		_ = s.RegionSize()
+	}
+}
+
+// TestWhiteBoxTables exposes the codeword tables for white-box checks.
+func TestWhiteBoxTables(t *testing.T) {
+	a := newTestArena(t, 1<<14)
+	cw, _ := New(a, Config{Kind: KindDataCW, RegionSize: 64})
+	if cw.(*codewordScheme).Table() == nil {
+		t.Fatal("codeword table nil")
+	}
+	pre, _ := New(a, Config{Kind: KindPrecheck, RegionSize: 64})
+	if pre.(*precheckScheme).Table() == nil {
+		t.Fatal("precheck table nil")
+	}
+}

@@ -1,0 +1,427 @@
+package recovery
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/heap"
+	"repro/internal/protect"
+	"repro/internal/wal"
+)
+
+// TestRandomizedCrashRecoveryCampaign drives several crash/recover rounds
+// against a shadow model: committed updates must always survive, the
+// in-flight transaction at crash time must always vanish, and audits must
+// stay clean throughout.
+func TestRandomizedCrashRecoveryCampaign(t *testing.T) {
+	for _, pc := range []protect.Config{
+		{Kind: protect.KindDataCW, RegionSize: 64},
+		{Kind: protect.KindCWReadLog, RegionSize: 64},
+	} {
+		pc := pc
+		t.Run(pc.Kind.String(), func(t *testing.T) {
+			cfg := testConfig(t, pc)
+			const slots = 32
+			rng := rand.New(rand.NewSource(99))
+			shadow := make([][]byte, slots)
+
+			db, tb := setupTable(t, cfg, slots)
+			for i := range shadow {
+				shadow[i] = bytes.Repeat([]byte{byte(i + 1)}, 64)
+			}
+
+			for round := 0; round < 6; round++ {
+				// Committed transactions, tracked in the shadow.
+				for i := 0; i < 5+rng.Intn(10); i++ {
+					txn, err := db.Begin()
+					if err != nil {
+						t.Fatal(err)
+					}
+					for j := 0; j < 1+rng.Intn(3); j++ {
+						slot := uint32(rng.Intn(slots))
+						val := make([]byte, 8)
+						rng.Read(val)
+						if err := tb.Update(txn, heap.RID{Table: tb.ID, Slot: slot}, 0, val); err != nil {
+							t.Fatal(err)
+						}
+						copy(shadow[slot], val)
+					}
+					if err := txn.Commit(); err != nil {
+						t.Fatal(err)
+					}
+				}
+				// Occasionally checkpoint mid-history.
+				if rng.Intn(2) == 0 {
+					if err := db.Checkpoint(); err != nil {
+						t.Fatal(err)
+					}
+				}
+				// An in-flight transaction that must be rolled back.
+				loser, err := db.Begin()
+				if err != nil {
+					t.Fatal(err)
+				}
+				for j := 0; j < 1+rng.Intn(3); j++ {
+					slot := uint32(rng.Intn(slots))
+					if err := tb.Update(loser, heap.RID{Table: tb.ID, Slot: slot}, 0, []byte("DOOMEDXX")); err != nil {
+						t.Fatal(err)
+					}
+				}
+				// Sometimes the doomed work is checkpointed (so recovery
+				// must roll it back from the checkpointed ATT).
+				if rng.Intn(2) == 0 {
+					if err := db.Checkpoint(); err != nil {
+						t.Fatal(err)
+					}
+				}
+				if err := db.Crash(); err != nil {
+					t.Fatal(err)
+				}
+
+				db2, rep, err := Open(cfg, Options{})
+				if err != nil {
+					t.Fatalf("round %d: %v", round, err)
+				}
+				if len(rep.Deleted) != 0 {
+					t.Fatalf("round %d: spurious deletions %v", round, rep.Deleted)
+				}
+				cat, _ := heap.Open(db2)
+				tb2, err := cat.Table("t")
+				if err != nil {
+					t.Fatal(err)
+				}
+				for slot := 0; slot < slots; slot++ {
+					got := readRec(t, db2, tb2, uint32(slot))
+					if !bytes.Equal(got, shadow[slot]) {
+						t.Fatalf("round %d: slot %d = %x..., shadow %x...",
+							round, slot, got[:8], shadow[slot][:8])
+					}
+				}
+				if err := db2.Audit(); err != nil {
+					t.Fatalf("round %d: audit: %v", round, err)
+				}
+				db, tb = db2, tb2
+			}
+			db.Close()
+		})
+	}
+}
+
+// campaignTxn is one transaction of the corruption campaign: reads first,
+// then at most one blind write (so the taint model below is exact).
+type campaignTxn struct {
+	id       wal.TxnID
+	reads    []uint32
+	hasWrite bool
+	write    uint32
+	val      []byte
+	preFault bool
+}
+
+// TestRandomizedCorruptionCampaign injects a wild write at a random point
+// in a random committed history and checks delete-transaction recovery
+// against an exact model of the paper's algorithm:
+//
+//   - a post-fault transaction is tainted iff it reads a corrupt record,
+//     writes a corrupt record, or writes a record that a write-tainted
+//     transaction's interrupted operation holds in its undo log;
+//   - a tainted transaction's write marks its record corrupt;
+//   - the final value of each record is the last write by a surviving
+//     transaction (conflict consistency: surviving writers of any record
+//     form a prefix of its writer history).
+func TestRandomizedCorruptionCampaign(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed-%d", seed), func(t *testing.T) {
+			runCorruptionCampaign(t, seed)
+		})
+	}
+}
+
+func runCorruptionCampaign(t *testing.T, seed int64) {
+	const (
+		slots  = 16
+		numTxn = 24
+	)
+	rng := rand.New(rand.NewSource(seed))
+	cfg := testConfig(t, protect.Config{Kind: protect.KindReadLog, RegionSize: 64})
+	db, tb := setupTable(t, cfg, slots)
+
+	faultAt := numTxn/4 + rng.Intn(numTxn/2)
+	victim := uint32(rng.Intn(slots))
+	var txns []campaignTxn
+
+	for i := 0; i < numTxn; i++ {
+		if i == faultAt {
+			// Clean audit just before the fault: Audit_SN now separates
+			// pre-fault transactions from the suspect era.
+			if err := db.Audit(); err != nil {
+				t.Fatalf("pre-fault audit: %v", err)
+			}
+			inj := fault.New(db.Arena(), db.Scheme().Protector(), seed)
+			if _, err := inj.WildWrite(tb.RecordAddr(victim)+17, []byte{0xEB, 0xEC}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		txn, err := db.Begin()
+		if err != nil {
+			t.Fatal(err)
+		}
+		ct := campaignTxn{id: txn.ID(), preFault: i < faultAt}
+		for r := 0; r < 1+rng.Intn(2); r++ {
+			slot := uint32(rng.Intn(slots))
+			ct.reads = append(ct.reads, slot)
+			if _, err := tb.Read(txn, heap.RID{Table: tb.ID, Slot: slot}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if rng.Intn(10) < 8 {
+			ct.hasWrite = true
+			ct.write = uint32(rng.Intn(slots))
+			ct.val = make([]byte, 8)
+			binary.LittleEndian.PutUint64(ct.val, uint64(txn.ID())<<8|0xCC)
+			if err := tb.Update(txn, heap.RID{Table: tb.ID, Slot: ct.write}, 0, ct.val); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := txn.Commit(); err != nil {
+			t.Fatal(err)
+		}
+		txns = append(txns, ct)
+	}
+
+	// Detection, crash, recovery.
+	var ce *core.CorruptionError
+	if err := db.Audit(); !errors.As(err, &ce) {
+		t.Fatalf("final audit: %v", err)
+	}
+	db.Crash()
+	db2, rep, err := Open(cfg, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	if !rep.CorruptionMode {
+		t.Fatal("corruption mode not engaged")
+	}
+
+	// Exact model of the algorithm.
+	corrupt := map[uint32]bool{victim: true}
+	conflictKeys := map[uint32]bool{} // records held in tainted txns' undo logs
+	tainted := map[wal.TxnID]bool{}
+	for _, ct := range txns {
+		if ct.preFault {
+			continue
+		}
+		isTainted := false
+		for _, r := range ct.reads {
+			if corrupt[r] {
+				isTainted = true // read of corrupt data
+				break
+			}
+		}
+		byWrite := false
+		if !isTainted && ct.hasWrite && (corrupt[ct.write] || conflictKeys[ct.write]) {
+			isTainted = true // write treated as read, or op conflict
+			byWrite = true
+		}
+		if isTainted {
+			tainted[ct.id] = true
+			if ct.hasWrite {
+				corrupt[ct.write] = true
+				if byWrite {
+					// The op-begin reached the undo log before the taint,
+					// so it conflicts with later operations on the record.
+					conflictKeys[ct.write] = true
+				}
+			}
+		}
+	}
+
+	gotDeleted := map[wal.TxnID]bool{}
+	for _, d := range rep.Deleted {
+		gotDeleted[d.ID] = true
+		if !d.Committed {
+			t.Errorf("deleted txn %d not marked committed", d.ID)
+		}
+	}
+	for id := range tainted {
+		if !gotDeleted[id] {
+			t.Errorf("model says txn %d tainted, recovery kept it", id)
+		}
+	}
+	for id := range gotDeleted {
+		if !tainted[id] {
+			t.Errorf("recovery deleted txn %d, model says clean", id)
+		}
+	}
+
+	// Final record values: last surviving writer wins.
+	expected := make(map[uint32][]byte)
+	for _, ct := range txns {
+		if ct.hasWrite && !tainted[ct.id] {
+			expected[ct.write] = ct.val
+		}
+	}
+	cat, _ := heap.Open(db2)
+	tb2, _ := cat.Table("t")
+	for slot := uint32(0); slot < slots; slot++ {
+		got := readRec(t, db2, tb2, slot)
+		if want, ok := expected[slot]; ok {
+			if !bytes.Equal(got[:8], want) {
+				t.Errorf("slot %d = %x, want %x", slot, got[:8], want)
+			}
+		} else {
+			// Never written by a survivor: original fill.
+			if got[0] != byte(slot+1) {
+				t.Errorf("slot %d = %x, want original fill %#x", slot, got[:8], slot+1)
+			}
+		}
+		// The fault bytes themselves must be gone.
+		if got[17] == 0xEB && got[18] == 0xEC {
+			t.Errorf("slot %d still carries the injected fault", slot)
+		}
+	}
+	if err := db2.Audit(); err != nil {
+		t.Fatalf("post-recovery audit: %v", err)
+	}
+}
+
+// TestRandomizedCorruptionCampaignCW repeats the campaign under the CW
+// Read Logging scheme with NO audit before the crash: detection relies
+// entirely on the codewords stored in the read log (§4.3's second
+// benefit). The CW variant is view-consistent, so the conservative
+// conflict/overlap model becomes an upper bound: every transaction the
+// model keeps must survive, and every transaction recovery deletes must
+// be tainted under the model.
+func TestRandomizedCorruptionCampaignCW(t *testing.T) {
+	for seed := int64(1); seed <= 6; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed-%d", seed), func(t *testing.T) {
+			runCWCampaign(t, seed)
+		})
+	}
+}
+
+func runCWCampaign(t *testing.T, seed int64) {
+	const (
+		slots  = 16
+		numTxn = 20
+	)
+	rng := rand.New(rand.NewSource(seed + 1000))
+	cfg := testConfig(t, protect.Config{Kind: protect.KindCWReadLog, RegionSize: 64})
+	db, tb := setupTable(t, cfg, slots)
+
+	faultAt := numTxn/4 + rng.Intn(numTxn/2)
+	victim := uint32(rng.Intn(slots))
+	var txns []campaignTxn
+
+	for i := 0; i < numTxn; i++ {
+		if i == faultAt {
+			inj := fault.New(db.Arena(), db.Scheme().Protector(), seed)
+			if _, err := inj.WildWrite(tb.RecordAddr(victim)+17, []byte{0xEB}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		txn, err := db.Begin()
+		if err != nil {
+			t.Fatal(err)
+		}
+		ct := campaignTxn{id: txn.ID(), preFault: i < faultAt}
+		for r := 0; r < 1+rng.Intn(2); r++ {
+			slot := uint32(rng.Intn(slots))
+			ct.reads = append(ct.reads, slot)
+			if _, err := tb.Read(txn, heap.RID{Table: tb.ID, Slot: slot}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if rng.Intn(10) < 8 {
+			ct.hasWrite = true
+			ct.write = uint32(rng.Intn(slots))
+			ct.val = make([]byte, 8)
+			binary.LittleEndian.PutUint64(ct.val, uint64(txn.ID())<<8|0xDD)
+			if err := tb.Update(txn, heap.RID{Table: tb.ID, Slot: ct.write}, 0, ct.val); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := txn.Commit(); err != nil {
+			t.Fatal(err)
+		}
+		txns = append(txns, ct)
+	}
+	db.Crash() // no audit: the crash is "unexplained"
+
+	db2, rep, err := Open(cfg, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	if !rep.CWMode {
+		t.Fatal("CW mode not engaged")
+	}
+
+	// Conservative model (upper bound for the view-consistent variant).
+	corrupt := map[uint32]bool{victim: true}
+	conflictKeys := map[uint32]bool{}
+	mayTaint := map[wal.TxnID]bool{}
+	for _, ct := range txns {
+		if ct.preFault {
+			continue
+		}
+		isTainted := false
+		byWrite := false
+		for _, r := range ct.reads {
+			if corrupt[r] {
+				isTainted = true
+				break
+			}
+		}
+		if !isTainted && ct.hasWrite && (corrupt[ct.write] || conflictKeys[ct.write]) {
+			isTainted = true
+			byWrite = true
+		}
+		if isTainted {
+			mayTaint[ct.id] = true
+			if ct.hasWrite {
+				corrupt[ct.write] = true
+				if byWrite {
+					conflictKeys[ct.write] = true
+				}
+			}
+		}
+	}
+	for _, d := range rep.Deleted {
+		if !mayTaint[d.ID] {
+			t.Errorf("recovery deleted txn %d, outside the conservative taint closure", d.ID)
+		}
+	}
+	// Survivors' writes must be present unless a later surviving writer
+	// overwrote them; verify the last surviving writer of each slot.
+	deleted := map[wal.TxnID]bool{}
+	for _, d := range rep.Deleted {
+		deleted[d.ID] = true
+	}
+	lastSurvivor := map[uint32][]byte{}
+	for _, ct := range txns {
+		if ct.hasWrite && !deleted[ct.id] {
+			lastSurvivor[ct.write] = ct.val
+		}
+	}
+	cat, _ := heap.Open(db2)
+	tb2, _ := cat.Table("t")
+	for slot, want := range lastSurvivor {
+		got := readRec(t, db2, tb2, slot)
+		if !bytes.Equal(got[:8], want) {
+			t.Errorf("seed %d: slot %d = %x, want surviving write %x", seed, slot, got[:8], want)
+		}
+	}
+	if err := db2.Audit(); err != nil {
+		t.Fatalf("post-recovery audit: %v", err)
+	}
+}

@@ -1,0 +1,78 @@
+package recovery
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"repro/internal/protect"
+)
+
+// TestRecoveryConvergesAfterCrashBeforeCompletionCheckpoint drills the
+// §4.3 warning: the completion checkpoint exists so a crash right after
+// recovery does not rediscover the corruption against a longer history.
+// Recovery that dies just before its completion checkpoint (simulated
+// with SkipCompletionCheckpoint) must, on the next restart, converge to
+// exactly the outcome an uninterrupted recovery produces: same deleted
+// transactions and a byte-identical image.
+func TestRecoveryConvergesAfterCrashBeforeCompletionCheckpoint(t *testing.T) {
+	pc := protect.Config{Kind: protect.KindReadLog, RegionSize: 64}
+	cfg, _ := corruptionScenario(t, pc, true)
+
+	// Two byte-identical copies of the crashed database.
+	dirA, dirB := t.TempDir(), t.TempDir()
+	copyDir(t, cfg.Dir, dirA)
+	copyDir(t, cfg.Dir, dirB)
+	cfgA, cfgB := cfg, cfg
+	cfgA.Dir, cfgB.Dir = dirA, dirB
+
+	// Path A: uninterrupted recovery.
+	dbA, repA, err := Open(cfgA, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dbA.Close()
+
+	// Path B: recovery crashes before its completion checkpoint, then a
+	// second recovery runs.
+	dbB1, repB1, err := Open(cfgB, Options{SkipCompletionCheckpoint: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(repA.Deleted, repB1.Deleted) {
+		t.Fatalf("first-pass deletions differ: %v vs %v", repA.Deleted, repB1.Deleted)
+	}
+	if err := dbB1.Crash(); err != nil {
+		t.Fatal(err)
+	}
+	dbB2, repB2, err := Open(cfgB, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dbB2.Close()
+
+	// The rerun re-walks the same history (the anchor never moved), so it
+	// must re-delete exactly the same transactions — and nothing newer,
+	// since nothing newer exists.
+	if !reflect.DeepEqual(repA.Deleted, repB2.Deleted) {
+		t.Fatalf("rerun deletions differ: %v vs %v", repA.Deleted, repB2.Deleted)
+	}
+	if !bytes.Equal(dbA.Arena().Bytes(), dbB2.Arena().Bytes()) {
+		t.Fatal("interrupted-then-rerun recovery produced a different image")
+	}
+	if err := dbB2.Audit(); err != nil {
+		t.Fatal(err)
+	}
+
+	// And with the completion checkpoint in place, a further restart is a
+	// clean no-op (the §4.3 guarantee).
+	dbB2.Crash()
+	dbB3, repB3, err := Open(cfgB, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dbB3.Close()
+	if repB3.CorruptionMode || len(repB3.Deleted) != 0 {
+		t.Fatalf("post-checkpoint restart rediscovered corruption: %+v", repB3)
+	}
+}

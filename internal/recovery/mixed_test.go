@@ -1,0 +1,215 @@
+package recovery
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/hashidx"
+	"repro/internal/heap"
+	"repro/internal/protect"
+)
+
+// TestMixedHeapIndexCrashCampaign interleaves heap and hash-index
+// mutations in the same transactions across repeated crash/recover
+// cycles, checking both structures against shadow models. This exercises
+// multi-level recovery with two registered access methods whose logical
+// undos interleave in one undo log.
+func TestMixedHeapIndexCrashCampaign(t *testing.T) {
+	for seed := int64(1); seed <= 4; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed-%d", seed), func(t *testing.T) {
+			runMixedCampaign(t, seed)
+		})
+	}
+}
+
+func runMixedCampaign(t *testing.T, seed int64) {
+	cfg := core.Config{Dir: t.TempDir(), ArenaSize: 1 << 20,
+		Protect: protect.Config{Kind: protect.KindDataCW, RegionSize: 128}}
+	db, err := core.Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hcat, _ := heap.Open(db)
+	tb, err := hcat.CreateTable("rows", 64, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	icat, _ := hashidx.Open(db)
+	ix, err := icat.CreateIndex("rows_by_key", 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(seed))
+	// Shadow: key -> record contents (committed state only).
+	shadow := map[uint64][]byte{}
+	shadowRID := map[uint64]heap.RID{}
+
+	for round := 0; round < 5; round++ {
+		// Committed transactions: insert/update/delete a keyed record and
+		// maintain the index in the same transaction.
+		for i := 0; i < 5+rng.Intn(8); i++ {
+			txn, err := db.Begin()
+			if err != nil {
+				t.Fatal(err)
+			}
+			pend := map[uint64][]byte{}
+			pendRID := map[uint64]heap.RID{}
+			pendDel := map[uint64]bool{}
+			for op := 0; op < 1+rng.Intn(4); op++ {
+				key := uint64(rng.Intn(60))
+				_, exists := shadow[key]
+				if p, ok := pend[key]; ok {
+					exists = p != nil
+					_ = p
+				}
+				if pendDel[key] {
+					exists = false
+				}
+				switch {
+				case !exists: // insert keyed record
+					rec := make([]byte, 64)
+					binary.LittleEndian.PutUint64(rec, key)
+					rng.Read(rec[8:16])
+					rid, err := tb.Insert(txn, rec)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if err := ix.Insert(txn, key, rid); err != nil {
+						t.Fatal(err)
+					}
+					pend[key] = rec
+					pendRID[key] = rid
+					delete(pendDel, key)
+				case rng.Intn(2) == 0: // update via index lookup
+					rid, err := ix.Lookup(txn, key)
+					if err != nil {
+						t.Fatal(err)
+					}
+					val := make([]byte, 8)
+					rng.Read(val)
+					if err := tb.Update(txn, rid, 8, val); err != nil {
+						t.Fatal(err)
+					}
+					rec := cloneOrShadow(pend, shadow, key)
+					copy(rec[8:16], val)
+					pend[key] = rec
+				default: // delete record + index entry
+					rid, err := ix.Lookup(txn, key)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if err := tb.Delete(txn, rid); err != nil {
+						t.Fatal(err)
+					}
+					if err := ix.Delete(txn, key); err != nil {
+						t.Fatal(err)
+					}
+					pend[key] = nil
+					pendDel[key] = true
+				}
+			}
+			if rng.Intn(4) == 0 {
+				if err := txn.Abort(); err != nil {
+					t.Fatal(err)
+				}
+				continue
+			}
+			if err := txn.Commit(); err != nil {
+				t.Fatal(err)
+			}
+			for key, rec := range pend {
+				if rec == nil {
+					delete(shadow, key)
+					delete(shadowRID, key)
+				} else {
+					shadow[key] = rec
+					if rid, ok := pendRID[key]; ok {
+						shadowRID[key] = rid
+					}
+				}
+			}
+		}
+		if rng.Intn(2) == 0 {
+			if err := db.Checkpoint(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// An uncommitted mixed transaction dies with the crash.
+		loser, _ := db.Begin()
+		rec := make([]byte, 64)
+		binary.LittleEndian.PutUint64(rec, 9999)
+		if rid, err := tb.Insert(loser, rec); err == nil {
+			ix.Insert(loser, 9999, rid)
+		}
+		db.Crash()
+
+		db2, rep, err := Open(cfg, Options{})
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		if len(rep.Deleted) != 0 {
+			t.Fatalf("round %d: spurious deletions %v", round, rep.Deleted)
+		}
+		hcat2, _ := heap.Open(db2)
+		tb2, err := hcat2.Table("rows")
+		if err != nil {
+			t.Fatal(err)
+		}
+		icat2, _ := hashidx.Open(db2)
+		ix2, err := icat2.IndexNamed("rows_by_key")
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// Verify both structures against the shadow.
+		check, _ := db2.Begin()
+		if ix2.Count() != len(shadow) {
+			t.Fatalf("round %d: index count %d, shadow %d", round, ix2.Count(), len(shadow))
+		}
+		if tb2.Count() != len(shadow) {
+			t.Fatalf("round %d: table count %d, shadow %d", round, tb2.Count(), len(shadow))
+		}
+		for key, want := range shadow {
+			rid, err := ix2.Lookup(check, key)
+			if err != nil {
+				t.Fatalf("round %d: lookup %d: %v", round, key, err)
+			}
+			if rid != shadowRID[key] {
+				t.Fatalf("round %d: key %d rid %v, want %v", round, key, rid, shadowRID[key])
+			}
+			got, err := tb2.Read(check, rid)
+			if err != nil {
+				t.Fatalf("round %d: read %d: %v", round, key, err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatalf("round %d: key %d contents mismatch", round, key)
+			}
+		}
+		if _, err := ix2.Lookup(check, 9999); !errors.Is(err, hashidx.ErrNotFound) {
+			t.Fatalf("round %d: loser's index entry survived: %v", round, err)
+		}
+		check.Commit()
+		if err := db2.Audit(); err != nil {
+			t.Fatalf("round %d: audit: %v", round, err)
+		}
+		db, tb, ix = db2, tb2, ix2
+	}
+	db.Close()
+}
+
+func cloneOrShadow(pend, shadow map[uint64][]byte, key uint64) []byte {
+	if rec, ok := pend[key]; ok && rec != nil {
+		return rec
+	}
+	return append([]byte(nil), shadow[key]...)
+}

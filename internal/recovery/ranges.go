@@ -1,0 +1,77 @@
+// Package recovery implements restart recovery for the reproduced Dalí
+// storage manager and — the paper's §4 contribution — corruption recovery
+// under the delete-transaction model, including the codeword-in-read-log
+// (view-consistent) extension and cache recovery for direct corruption.
+package recovery
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/mem"
+)
+
+// Range is a half-open byte range [Start, Start+Len) of the database
+// image.
+type Range struct {
+	Start mem.Addr
+	Len   int
+}
+
+func (r Range) end() mem.Addr { return r.Start + mem.Addr(r.Len) }
+
+// End reports the exclusive upper bound of the range.
+func (r Range) End() mem.Addr { return r.end() }
+
+func (r Range) String() string {
+	return fmt.Sprintf("[%d,+%d)", r.Start, r.Len)
+}
+
+// RangeSet is the CorruptDataTable: a set of byte ranges kept sorted and
+// coalesced.
+type RangeSet struct {
+	rs []Range
+}
+
+// Add inserts a range, merging overlapping or adjacent entries.
+func (s *RangeSet) Add(r Range) {
+	if r.Len <= 0 {
+		return
+	}
+	i := sort.Search(len(s.rs), func(i int) bool { return s.rs[i].end() >= r.Start })
+	j := i
+	start, end := r.Start, r.end()
+	for j < len(s.rs) && s.rs[j].Start <= end {
+		if s.rs[j].Start < start {
+			start = s.rs[j].Start
+		}
+		if s.rs[j].end() > end {
+			end = s.rs[j].end()
+		}
+		j++
+	}
+	merged := Range{Start: start, Len: int(end - start)}
+	s.rs = append(s.rs[:i], append([]Range{merged}, s.rs[j:]...)...)
+}
+
+// Overlaps reports whether [start, start+n) intersects any range in the
+// set. A zero-length query never overlaps.
+func (s *RangeSet) Overlaps(start mem.Addr, n int) bool {
+	if n <= 0 {
+		return false
+	}
+	end := start + mem.Addr(n)
+	i := sort.Search(len(s.rs), func(i int) bool { return s.rs[i].end() > start })
+	return i < len(s.rs) && s.rs[i].Start < end
+}
+
+// Ranges returns the coalesced contents.
+func (s *RangeSet) Ranges() []Range {
+	return append([]Range(nil), s.rs...)
+}
+
+// Len reports the number of coalesced ranges.
+func (s *RangeSet) Len() int { return len(s.rs) }
+
+// Empty reports whether the set is empty.
+func (s *RangeSet) Empty() bool { return len(s.rs) == 0 }

@@ -1,0 +1,125 @@
+package recovery
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mem"
+)
+
+func TestRangeSetAddAndOverlap(t *testing.T) {
+	var s RangeSet
+	if !s.Empty() {
+		t.Fatal("fresh set not empty")
+	}
+	s.Add(Range{Start: 100, Len: 10})
+	s.Add(Range{Start: 200, Len: 10})
+	if s.Len() != 2 {
+		t.Fatalf("len = %d", s.Len())
+	}
+	cases := []struct {
+		start mem.Addr
+		n     int
+		want  bool
+	}{
+		{100, 1, true},
+		{109, 1, true},
+		{110, 1, false},
+		{99, 1, false},
+		{99, 2, true},
+		{105, 100, true},
+		{150, 10, false},
+		{0, 1000, true},
+		{100, 0, false}, // zero-length never overlaps
+	}
+	for _, c := range cases {
+		if got := s.Overlaps(c.start, c.n); got != c.want {
+			t.Errorf("Overlaps(%d,%d) = %v, want %v", c.start, c.n, got, c.want)
+		}
+	}
+}
+
+func TestRangeSetMerging(t *testing.T) {
+	var s RangeSet
+	s.Add(Range{Start: 10, Len: 10})
+	s.Add(Range{Start: 30, Len: 10})
+	s.Add(Range{Start: 20, Len: 10}) // bridges both
+	if s.Len() != 1 {
+		t.Fatalf("ranges = %v, want one merged", s.Ranges())
+	}
+	r := s.Ranges()[0]
+	if r.Start != 10 || r.Len != 30 {
+		t.Fatalf("merged = %v", r)
+	}
+	// Adjacent ranges coalesce.
+	s.Add(Range{Start: 40, Len: 5})
+	if s.Len() != 1 || s.Ranges()[0].Len != 35 {
+		t.Fatalf("adjacent not coalesced: %v", s.Ranges())
+	}
+	// Contained range is a no-op.
+	s.Add(Range{Start: 15, Len: 3})
+	if s.Len() != 1 || s.Ranges()[0].Len != 35 {
+		t.Fatalf("contained add changed set: %v", s.Ranges())
+	}
+	// Zero and negative lengths ignored.
+	s.Add(Range{Start: 100, Len: 0})
+	s.Add(Range{Start: 100, Len: -5})
+	if s.Len() != 1 {
+		t.Fatalf("degenerate add changed set: %v", s.Ranges())
+	}
+}
+
+func TestRangeSetPropertyMatchesNaive(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var s RangeSet
+		covered := make([]bool, 512)
+		for i := 0; i < 30; i++ {
+			start := rng.Intn(480)
+			n := 1 + rng.Intn(32)
+			s.Add(Range{Start: mem.Addr(start), Len: n})
+			for j := start; j < start+n && j < len(covered); j++ {
+				covered[j] = true
+			}
+		}
+		// Invariants: sorted, non-overlapping, non-adjacent.
+		rs := s.Ranges()
+		for i := 1; i < len(rs); i++ {
+			if rs[i-1].end() >= rs[i].Start {
+				return false
+			}
+		}
+		// Point queries agree with the naive bitmap.
+		for p := 0; p < len(covered); p++ {
+			if s.Overlaps(mem.Addr(p), 1) != covered[p] {
+				return false
+			}
+		}
+		// Random span queries agree too.
+		for i := 0; i < 50; i++ {
+			start := rng.Intn(500)
+			n := 1 + rng.Intn(20)
+			want := false
+			for j := start; j < start+n && j < len(covered); j++ {
+				if covered[j] {
+					want = true
+					break
+				}
+			}
+			if s.Overlaps(mem.Addr(start), n) != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRangeString(t *testing.T) {
+	if (Range{Start: 5, Len: 3}).String() != "[5,+3)" {
+		t.Fatal("range formatting changed")
+	}
+}

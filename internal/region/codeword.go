@@ -1,0 +1,304 @@
+// Package region implements the paper's codeword machinery: the database
+// image is divided into fixed-size protection regions, and each region has
+// an associated codeword equal to the bitwise exclusive-or of the 64-bit
+// words in the region — bit i of the codeword is the parity of bit i of
+// each word (paper §3).
+//
+// Codewords are maintained incrementally. When an update replaces old
+// bytes with new bytes, the codeword changes by the fold of old XOR new at
+// the update's byte lanes; this handles arbitrary unaligned updates,
+// including updates spanning protection regions, without recomputing whole
+// regions. A wild write that bypasses this maintenance leaves the stored
+// codeword stale, so a subsequent verification of the region detects the
+// corruption with probability 1 - 2^-64 per corrupted region (a corrupting
+// write goes undetected only if it is parity-neutral in every bit lane).
+//
+// The Table owns the codeword latch: a striped mutex table guarding the
+// codeword values themselves. The protection latches — which guard the
+// consistency of (region contents, codeword) pairs and whose acquisition
+// policy differs between the Read Prechecking and Data Codeword schemes —
+// belong to the protection schemes in package protect.
+package region
+
+import (
+	"fmt"
+
+	"repro/internal/latch"
+	"repro/internal/mem"
+)
+
+// MinRegionSize is the smallest supported protection region: one codeword
+// word. The paper evaluates 64-byte, 512-byte and 8-kilobyte regions.
+const MinRegionSize = 8
+
+// Codeword is the protection codeword of a region: the XOR of its 64-bit
+// little-endian words.
+type Codeword uint64
+
+// Fold XORs data into a codeword starting at byte lane phase (0..7). The
+// lane of a byte at arena address a is a mod 8, so callers pass the
+// address of data's first byte modulo 8. Fold is the primitive both for
+// computing region codewords (phase 0) and for folding old^new deltas of
+// unaligned updates.
+func Fold(cw Codeword, data []byte, phase int) Codeword {
+	lane := uint(phase&7) * 8
+	for _, b := range data {
+		cw ^= Codeword(uint64(b) << lane)
+		lane += 8
+		if lane == 64 {
+			lane = 0
+		}
+	}
+	return cw
+}
+
+// Compute returns the codeword of a full region image. The region is
+// assumed to start at an 8-byte-aligned address (regions always do, since
+// region sizes are powers of two >= 8).
+func Compute(data []byte) Codeword {
+	var cw Codeword
+	// Word-at-a-time fast path; regions are multiples of 8 bytes.
+	i := 0
+	for ; i+8 <= len(data); i += 8 {
+		w := uint64(data[i]) | uint64(data[i+1])<<8 | uint64(data[i+2])<<16 |
+			uint64(data[i+3])<<24 | uint64(data[i+4])<<32 | uint64(data[i+5])<<40 |
+			uint64(data[i+6])<<48 | uint64(data[i+7])<<56
+		cw ^= Codeword(w)
+	}
+	if i < len(data) {
+		cw = Fold(cw, data[i:], 0)
+	}
+	return cw
+}
+
+// Table holds the codewords for an arena divided into protection regions
+// of a fixed power-of-two size.
+type Table struct {
+	regionSize int
+	shift      uint
+	cws        []Codeword
+	cwLatch    *latch.Striped // the paper's "codeword latch"
+}
+
+// NewTable creates a codeword table for an image of arenaSize bytes with
+// the given region size. regionSize must be a power of two >= 8 and must
+// divide arenaSize.
+func NewTable(arenaSize, regionSize int) (*Table, error) {
+	if regionSize < MinRegionSize || regionSize&(regionSize-1) != 0 {
+		return nil, fmt.Errorf("region: region size %d is not a power of two >= %d", regionSize, MinRegionSize)
+	}
+	if arenaSize <= 0 || arenaSize%regionSize != 0 {
+		return nil, fmt.Errorf("region: arena size %d is not a positive multiple of region size %d", arenaSize, regionSize)
+	}
+	shift := uint(0)
+	for 1<<shift != regionSize {
+		shift++
+	}
+	n := arenaSize / regionSize
+	stripes := n
+	if stripes > 4096 {
+		stripes = 4096
+	}
+	return &Table{
+		regionSize: regionSize,
+		shift:      shift,
+		cws:        make([]Codeword, n),
+		cwLatch:    latch.NewStriped(stripes),
+	}, nil
+}
+
+// RegionSize reports the protection region size in bytes.
+func (t *Table) RegionSize() int { return t.regionSize }
+
+// NumRegions reports the number of protection regions.
+func (t *Table) NumRegions() int { return len(t.cws) }
+
+// RegionOf reports the region containing addr.
+func (t *Table) RegionOf(addr mem.Addr) int {
+	return int(uint64(addr) >> t.shift)
+}
+
+// RegionRange reports the inclusive region range covered by [addr, addr+n).
+// A zero-length range covers the single region containing addr.
+func (t *Table) RegionRange(addr mem.Addr, n int) (first, last int) {
+	first = t.RegionOf(addr)
+	if n <= 0 {
+		return first, first
+	}
+	return first, t.RegionOf(addr + mem.Addr(n) - 1)
+}
+
+// RegionStart reports the arena address at which region r begins.
+func (t *Table) RegionStart(r int) mem.Addr {
+	return mem.Addr(uint64(r) << t.shift)
+}
+
+// Codeword returns the stored codeword for region r, read under the
+// codeword latch.
+func (t *Table) Codeword(r int) Codeword {
+	l := t.cwLatch.For(uint64(r))
+	l.Lock()
+	cw := t.cws[r]
+	l.Unlock()
+	return cw
+}
+
+// xorInto folds delta into region r's codeword under the codeword latch.
+func (t *Table) xorInto(r int, delta Codeword) {
+	if delta == 0 {
+		return
+	}
+	l := t.cwLatch.For(uint64(r))
+	l.Lock()
+	t.cws[r] ^= delta
+	l.Unlock()
+}
+
+// ApplyUpdate folds the effect of replacing old with new at addr into the
+// affected region codewords. old and new must be the same length. This is
+// the "codeword maintenance" step performed at endUpdate (and again during
+// rollback of an update whose codeword had already been applied).
+func (t *Table) ApplyUpdate(addr mem.Addr, oldData, newData []byte) error {
+	if len(oldData) != len(newData) {
+		return fmt.Errorf("region: undo image %d bytes but new image %d bytes", len(oldData), len(newData))
+	}
+	i := 0
+	for i < len(oldData) {
+		a := addr + mem.Addr(i)
+		r := t.RegionOf(a)
+		if r >= len(t.cws) {
+			return fmt.Errorf("region: address %d beyond codeword table", a)
+		}
+		// Bytes of this update falling inside region r.
+		end := int(t.RegionStart(r+1) - addr)
+		if end > len(oldData) {
+			end = len(oldData)
+		}
+		var delta Codeword
+		lane := uint(a&7) * 8
+		for j := i; j < end; j++ {
+			delta ^= Codeword(uint64(oldData[j]^newData[j]) << lane)
+			lane += 8
+			if lane == 64 {
+				lane = 0
+			}
+		}
+		t.xorInto(r, delta)
+		i = end
+	}
+	return nil
+}
+
+// Delta is a pending codeword change for one region, used by the
+// deferred-maintenance scheme: the XOR that ApplyUpdate would have folded
+// into the region's codeword immediately.
+type Delta struct {
+	Region int
+	Delta  Codeword
+}
+
+// UpdateDeltas computes the per-region codeword deltas of replacing old
+// with new at addr, appending them to buf (which may be nil) without
+// touching the table. XorInto applies them later; applying the deltas in
+// any order and interleaving is correct because XOR commutes.
+func (t *Table) UpdateDeltas(buf []Delta, addr mem.Addr, oldData, newData []byte) ([]Delta, error) {
+	if len(oldData) != len(newData) {
+		return buf, fmt.Errorf("region: undo image %d bytes but new image %d bytes", len(oldData), len(newData))
+	}
+	i := 0
+	for i < len(oldData) {
+		a := addr + mem.Addr(i)
+		r := t.RegionOf(a)
+		if r >= len(t.cws) {
+			return buf, fmt.Errorf("region: address %d beyond codeword table", a)
+		}
+		end := int(t.RegionStart(r+1) - addr)
+		if end > len(oldData) {
+			end = len(oldData)
+		}
+		var delta Codeword
+		lane := uint(a&7) * 8
+		for j := i; j < end; j++ {
+			delta ^= Codeword(uint64(oldData[j]^newData[j]) << lane)
+			lane += 8
+			if lane == 64 {
+				lane = 0
+			}
+		}
+		if delta != 0 {
+			buf = append(buf, Delta{Region: r, Delta: delta})
+		}
+		i = end
+	}
+	return buf, nil
+}
+
+// XorInto folds a previously computed delta into region r's codeword
+// under the codeword latch.
+func (t *Table) XorInto(r int, delta Codeword) {
+	t.xorInto(r, delta)
+}
+
+// Set stores a codeword directly (used when loading a checkpointed table
+// or initializing from a fresh image).
+func (t *Table) Set(r int, cw Codeword) {
+	l := t.cwLatch.For(uint64(r))
+	l.Lock()
+	t.cws[r] = cw
+	l.Unlock()
+}
+
+// RecomputeAll recomputes every codeword from the arena contents. Used at
+// startup and after recovery, when the image is known to be good.
+func (t *Table) RecomputeAll(a *mem.Arena) {
+	for r := range t.cws {
+		start := t.RegionStart(r)
+		t.Set(r, Compute(a.Slice(start, t.regionSize)))
+	}
+}
+
+// VerifyRegion recomputes region r's codeword from the arena and compares
+// it with the stored value. The caller must hold whatever protection latch
+// the active scheme requires to make the (contents, codeword) pair stable;
+// VerifyRegion itself only takes the codeword latch for the stored value.
+func (t *Table) VerifyRegion(a *mem.Arena, r int) bool {
+	start := t.RegionStart(r)
+	return Compute(a.Slice(start, t.regionSize)) == t.Codeword(r)
+}
+
+// Mismatch describes a region whose contents do not match its codeword.
+type Mismatch struct {
+	Region int
+	Start  mem.Addr
+	Len    int
+	Stored Codeword
+	Actual Codeword
+}
+
+func (m Mismatch) String() string {
+	return fmt.Sprintf("region %d [%d,+%d): stored %016x actual %016x",
+		m.Region, m.Start, m.Len, uint64(m.Stored), uint64(m.Actual))
+}
+
+// AuditRange verifies every region intersecting [addr, addr+n) and returns
+// the mismatches found. Latching discipline is the caller's responsibility
+// (the Data Codeword auditor takes protection latches exclusive region by
+// region; see protect.Scheme.Audit).
+func (t *Table) AuditRange(a *mem.Arena, addr mem.Addr, n int) []Mismatch {
+	first, last := t.RegionRange(addr, n)
+	var out []Mismatch
+	for r := first; r <= last && r < len(t.cws); r++ {
+		start := t.RegionStart(r)
+		actual := Compute(a.Slice(start, t.regionSize))
+		stored := t.Codeword(r)
+		if actual != stored {
+			out = append(out, Mismatch{Region: r, Start: start, Len: t.regionSize, Stored: stored, Actual: actual})
+		}
+	}
+	return out
+}
+
+// AuditAll verifies every region of the arena.
+func (t *Table) AuditAll(a *mem.Arena) []Mismatch {
+	return t.AuditRange(a, 0, a.Size())
+}

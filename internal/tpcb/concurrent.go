@@ -1,0 +1,105 @@
+package tpcb
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/lockmgr"
+)
+
+// ConcurrentResult summarizes a multi-client run.
+type ConcurrentResult struct {
+	// OpsCommitted counts operations whose transaction committed.
+	OpsCommitted int
+	// TxnsCommitted and TxnsAborted count transaction outcomes; aborts
+	// come from lock-wait timeouts (deadlock resolution) and are retried
+	// at operation granularity.
+	TxnsCommitted int
+	TxnsAborted   int
+}
+
+// RunConcurrent executes the workload with several client goroutines —
+// the configuration the paper's footnote set aside ("a highly concurrent
+// test with group commits, introducing a great deal of complexity and
+// variability"). Each client runs its own transactions of commitEvery
+// operations; the shared log tail gives group commit for free (one force
+// covers every record moved since the last). Transactions hold their
+// record locks to commit, so small commitEvery values (paper-style 500
+// would serialize everything on the hot branch table) and lock-timeout
+// aborts with retry are the concurrency reality the footnote alludes to.
+func (w *Workload) RunConcurrent(clients, opsPerClient, commitEvery int) (ConcurrentResult, error) {
+	if commitEvery <= 0 {
+		commitEvery = 10
+	}
+	var (
+		committedOps  atomic.Int64
+		committedTxns atomic.Int64
+		abortedTxns   atomic.Int64
+		wg            sync.WaitGroup
+		errOnce       sync.Once
+		firstErr      error
+	)
+	fail := func(err error) { errOnce.Do(func() { firstErr = err }) }
+
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			// Each client gets an independent RNG and history-sequence
+			// space so the shared counters aren't contended.
+			local := &Workload{
+				db: w.db, scale: w.scale,
+				account: w.account, teller: w.teller, branch: w.branch, history: w.history,
+				rng:     rand.New(rand.NewSource(int64(c)*104729 + 1)),
+				histSeq: uint64(c) << 32,
+			}
+			done := 0
+			for done < opsPerClient {
+				txn, err := w.db.Begin()
+				if err != nil {
+					fail(err)
+					return
+				}
+				inTxn := 0
+				abort := false
+				for inTxn < commitEvery && done+inTxn < opsPerClient {
+					if err := local.Op(txn); err != nil {
+						if errors.Is(err, lockmgr.ErrTimeout) {
+							abort = true
+							break
+						}
+						fail(fmt.Errorf("client %d: %w", c, err))
+						txn.Abort()
+						return
+					}
+					inTxn++
+				}
+				if abort {
+					if err := txn.Abort(); err != nil {
+						fail(err)
+						return
+					}
+					abortedTxns.Add(1)
+					continue // retry the remaining operations in a new txn
+				}
+				if err := txn.Commit(); err != nil {
+					fail(err)
+					return
+				}
+				committedTxns.Add(1)
+				committedOps.Add(int64(inTxn))
+				done += inTxn
+			}
+		}(c)
+	}
+	wg.Wait()
+	res := ConcurrentResult{
+		OpsCommitted:  int(committedOps.Load()),
+		TxnsCommitted: int(committedTxns.Load()),
+		TxnsAborted:   int(abortedTxns.Load()),
+	}
+	return res, firstErr
+}

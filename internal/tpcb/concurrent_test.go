@@ -1,0 +1,100 @@
+package tpcb
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/protect"
+	"repro/internal/recovery"
+)
+
+func TestRunConcurrentKeepsInvariants(t *testing.T) {
+	cfg := core.Config{
+		Dir:         t.TempDir(),
+		ArenaSize:   SmallScale.ArenaSize(),
+		Protect:     protect.Config{Kind: protect.KindDataCW, RegionSize: 512},
+		LockTimeout: 50 * time.Millisecond,
+	}
+	db, err := core.Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	w, err := Setup(db, SmallScale, 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a0, t0, b0 := w.Balances()
+
+	res, err := w.RunConcurrent(4, 200, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OpsCommitted != 4*200 {
+		t.Fatalf("committed ops = %d, want %d", res.OpsCommitted, 4*200)
+	}
+	if res.TxnsCommitted == 0 {
+		t.Fatal("no transactions committed")
+	}
+	t.Logf("committed %d txns, %d aborted by deadlock timeout", res.TxnsCommitted, res.TxnsAborted)
+
+	// The invariant: all three balance sums moved by the same amount, and
+	// exactly one history record exists per committed operation.
+	a1, t1, b1 := w.Balances()
+	if a1-a0 != t1-t0 || t1-t0 != b1-b0 {
+		t.Fatalf("balance deltas diverged: %d %d %d", a1-a0, t1-t0, b1-b0)
+	}
+	if got := w.HistoryCount(); got != res.OpsCommitted {
+		t.Fatalf("history = %d, want %d", got, res.OpsCommitted)
+	}
+	if err := db.Audit(); err != nil {
+		t.Fatalf("audit after concurrent run: %v", err)
+	}
+}
+
+func TestRunConcurrentSurvivesCrash(t *testing.T) {
+	cfg := core.Config{
+		Dir:         t.TempDir(),
+		ArenaSize:   SmallScale.ArenaSize(),
+		Protect:     protect.Config{Kind: protect.KindReadLog, RegionSize: 512},
+		LockTimeout: 50 * time.Millisecond,
+	}
+	db, err := core.Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := Setup(db, SmallScale, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.RunConcurrent(3, 150, 5); err != nil {
+		t.Fatal(err)
+	}
+	aWant, tWant, bWant := w.Balances()
+	hWant := w.HistoryCount()
+	db.Crash()
+
+	db2, rep, err := recovery.Open(cfg, recovery.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	if rep.CorruptionMode {
+		t.Fatal("phantom corruption mode")
+	}
+	w2, err := Attach(db2, SmallScale, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, te, b := w2.Balances()
+	if a != aWant || te != tWant || b != bWant {
+		t.Fatalf("balances after recovery: %d/%d/%d want %d/%d/%d", a, te, b, aWant, tWant, bWant)
+	}
+	if w2.HistoryCount() != hWant {
+		t.Fatalf("history after recovery = %d, want %d", w2.HistoryCount(), hWant)
+	}
+	if err := db2.Audit(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,85 @@
+package tpcb
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/protect"
+	"repro/internal/recovery"
+)
+
+// TestSoakWithCheckpointsAuditorAndCrashes runs the workload with a live
+// background auditor and periodic checkpoints, crashes repeatedly, and
+// verifies the balance invariant and audit cleanliness after every
+// recovery — the storage manager's full machinery under one roof.
+func TestSoakWithCheckpointsAuditorAndCrashes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	cfg := core.Config{
+		Dir:       t.TempDir(),
+		ArenaSize: SmallScale.ArenaSize(),
+		Protect:   protect.Config{Kind: protect.KindReadLog, RegionSize: 512},
+	}
+	db, err := core.Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := Setup(db, SmallScale, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Recycle = true
+
+	var lastA, lastT, lastB int64
+	for round := 0; round < 4; round++ {
+		auditor := core.NewAuditor(db, 3*time.Millisecond)
+		auditor.Start()
+
+		for burst := 0; burst < 3; burst++ {
+			if err := w.Run(700); err != nil {
+				t.Fatalf("round %d burst %d: %v", round, burst, err)
+			}
+			if err := db.Checkpoint(); err != nil {
+				t.Fatalf("round %d checkpoint: %v", round, err)
+			}
+		}
+		lastA, lastT, lastB = w.Balances()
+		histCount := w.HistoryCount()
+
+		auditor.Stop()
+		if ce := auditor.Err(); ce != nil {
+			t.Fatalf("round %d: phantom corruption: %v", round, ce)
+		}
+		if err := db.Crash(); err != nil {
+			t.Fatal(err)
+		}
+
+		db2, rep, err := recovery.Open(cfg, recovery.Options{})
+		if err != nil {
+			t.Fatalf("round %d recovery: %v", round, err)
+		}
+		if rep.CorruptionMode || len(rep.Deleted) != 0 {
+			t.Fatalf("round %d: unexpected corruption handling: %+v", round, rep)
+		}
+		w2, err := Attach(db2, SmallScale, int64(round+20))
+		if err != nil {
+			t.Fatal(err)
+		}
+		w2.Recycle = true
+		a, te, b := w2.Balances()
+		if a != lastA || te != lastT || b != lastB {
+			t.Fatalf("round %d: balances %d/%d/%d, want %d/%d/%d",
+				round, a, te, b, lastA, lastT, lastB)
+		}
+		if got := w2.HistoryCount(); got != histCount {
+			t.Fatalf("round %d: history %d, want %d", round, got, histCount)
+		}
+		if err := db2.Audit(); err != nil {
+			t.Fatalf("round %d post-recovery audit: %v", round, err)
+		}
+		db, w = db2, w2
+	}
+	db.Close()
+}

@@ -1,0 +1,84 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// DOT renders the corruption propagation as a Graphviz digraph: the seed,
+// every tainted transaction (grouped by generation), and the data ranges
+// through which taint flowed. Feed it to `dot -Tsvg` for the picture the
+// paper's "tracing the flow of indirect corruption" narrative implies.
+func (res *Result) DOT() string {
+	var b strings.Builder
+	b.WriteString("digraph corruption {\n")
+	b.WriteString("  rankdir=LR;\n")
+	b.WriteString("  node [fontname=\"monospace\"];\n")
+	b.WriteString("  seed [label=\"corrupt seed\", shape=octagon, style=filled, fillcolor=\"#d62728\", fontcolor=white];\n")
+
+	// Deterministic order: by first-taint LSN (res.Tainted is sorted).
+	for _, tt := range res.Tainted {
+		shape := "box"
+		fill := "#ff9896"
+		if tt.Committed {
+			fill = "#d62728"
+		}
+		fmt.Fprintf(&b, "  txn%d [label=\"txn %d\\ngen %d\", shape=%s, style=filled, fillcolor=%q];\n",
+			tt.ID, tt.ID, res.Generations[tt.ID], shape, fill)
+	}
+	// Edges: seed/previous generation -> transaction, via its taint reason.
+	for _, tt := range res.Tainted {
+		src := "seed"
+		if tt.Reason.Kind == "conflict" {
+			src = fmt.Sprintf("txn%d", tt.Reason.Via)
+		} else if res.Generations[tt.ID] > 1 {
+			// Find a previous-generation transaction whose write overlaps
+			// the taint range.
+			for _, prev := range res.Tainted {
+				if res.Generations[prev.ID] != res.Generations[tt.ID]-1 {
+					continue
+				}
+				for _, w := range prev.Wrote {
+					if w.Start < tt.Reason.Range.End() && tt.Reason.Range.Start < w.End() {
+						src = fmt.Sprintf("txn%d", prev.ID)
+						break
+					}
+				}
+				if src != "seed" {
+					break
+				}
+			}
+		}
+		label := tt.Reason.Kind
+		if tt.Reason.Kind != "conflict" {
+			label = fmt.Sprintf("%s %v", tt.Reason.Kind, tt.Reason.Range)
+		}
+		fmt.Fprintf(&b, "  %s -> txn%d [label=%q];\n", src, tt.ID, label)
+	}
+	// Tainted data summary node.
+	if !res.Data.Empty() {
+		ranges := res.Data.Ranges()
+		sort.Slice(ranges, func(i, j int) bool { return ranges[i].Start < ranges[j].Start })
+		n := len(ranges)
+		show := ranges
+		if n > 4 {
+			show = ranges[:4]
+		}
+		var parts []string
+		for _, r := range show {
+			parts = append(parts, r.String())
+		}
+		if n > 4 {
+			parts = append(parts, fmt.Sprintf("… %d more", n-4))
+		}
+		fmt.Fprintf(&b, "  data [label=\"corrupt data\\n%s\", shape=note];\n", strings.Join(parts, "\\n"))
+		for _, tt := range res.Tainted {
+			if len(tt.Wrote) > 0 {
+				fmt.Fprintf(&b, "  txn%d -> data [style=dashed];\n", tt.ID)
+			}
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

@@ -1,0 +1,207 @@
+package trace
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/heap"
+	"repro/internal/protect"
+	"repro/internal/recovery"
+	"repro/internal/wal"
+)
+
+// buildScenario creates a DB with a read-logged history:
+//
+//	txnA updates record 0                    (clean)
+//	FAULT corrupts record 1
+//	txnB reads record 1, writes record 2     (gen 1)
+//	txnC reads record 2, writes record 3     (gen 2)
+//	txnD reads record 4 only                 (clean)
+//	txnE begins an op on record 0 after txnA... (clean, no conflict)
+func buildScenario(t *testing.T) (dir string, ids map[string]wal.TxnID, corrupt recovery.Range, seedAt wal.LSN) {
+	t.Helper()
+	cfg := core.Config{Dir: t.TempDir(), ArenaSize: 1 << 19,
+		Protect: protect.Config{Kind: protect.KindReadLog, RegionSize: 64}}
+	db, err := core.Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	cat, _ := heap.Open(db)
+	tb, err := cat.CreateTable("t", 128, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids = map[string]wal.TxnID{}
+
+	setup, _ := db.Begin()
+	for i := 0; i < 5; i++ {
+		if _, err := tb.Insert(setup, make([]byte, 128)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	setup.Commit()
+
+	update := func(name string, readSlot, writeSlot uint32) {
+		txn, _ := db.Begin()
+		if _, err := tb.Read(txn, heap.RID{Table: tb.ID, Slot: readSlot}); err != nil {
+			t.Fatal(err)
+		}
+		if err := tb.Update(txn, heap.RID{Table: tb.ID, Slot: writeSlot}, 0, []byte{1, 2, 3, 4}); err != nil {
+			t.Fatal(err)
+		}
+		if err := txn.Commit(); err != nil {
+			t.Fatal(err)
+		}
+		ids[name] = txn.ID()
+	}
+
+	update("A", 0, 0)
+	seedAt = db.Log().End() // the corruption happens after this point
+	inj := fault.New(db.Arena(), db.Scheme().Protector(), 1)
+	addr := tb.RecordAddr(1) + 16
+	if _, err := inj.WildWrite(addr, []byte{0xBB}); err != nil {
+		t.Fatal(err)
+	}
+	corrupt = recovery.Range{Start: tb.RecordAddr(1), Len: 128}
+	update("B", 1, 2)
+	update("C", 2, 3)
+	update("D", 4, 4)
+	db.Log().Flush()
+	return cfg.Dir, ids, corrupt, seedAt
+}
+
+func TestTracePropagation(t *testing.T) {
+	dir, ids, corrupt, seedAt := buildScenario(t)
+	res, err := Run(dir, Options{SeedRanges: []recovery.Range{corrupt}, SeedAt: seedAt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	taintedIDs := map[wal.TxnID]bool{}
+	for _, tt := range res.Tainted {
+		taintedIDs[tt.ID] = true
+	}
+	if !taintedIDs[ids["B"]] || !taintedIDs[ids["C"]] {
+		t.Fatalf("carriers missing: %+v", res.Tainted)
+	}
+	if taintedIDs[ids["A"]] || taintedIDs[ids["D"]] {
+		t.Fatalf("clean transactions tainted: %+v", res.Tainted)
+	}
+	if res.Generations[ids["B"]] != 1 {
+		t.Fatalf("B generation = %d, want 1", res.Generations[ids["B"]])
+	}
+	if res.Generations[ids["C"]] != 2 {
+		t.Fatalf("C generation = %d, want 2", res.Generations[ids["C"]])
+	}
+	// Both carriers committed, so both are flagged for compensation.
+	for _, tt := range res.Tainted {
+		if !tt.Committed {
+			t.Fatalf("txn %d not marked committed", tt.ID)
+		}
+		if len(tt.Wrote) == 0 {
+			t.Fatalf("txn %d has no tainted writes", tt.ID)
+		}
+	}
+	if res.Data.Empty() {
+		t.Fatal("no corrupt data accumulated")
+	}
+	if res.Report() == "" {
+		t.Fatal("empty report")
+	}
+}
+
+func TestTraceSeedTxnLogicalCorruption(t *testing.T) {
+	// Seed by transaction: B is declared logically corrupt (bad input);
+	// every transaction reading B's writes is tainted even though no
+	// physical corruption exists.
+	dir, ids, _, _ := buildScenario(t)
+	res, err := Run(dir, Options{SeedTxns: []wal.TxnID{ids["B"]}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	taintedIDs := map[wal.TxnID]bool{}
+	for _, tt := range res.Tainted {
+		taintedIDs[tt.ID] = true
+	}
+	if !taintedIDs[ids["C"]] {
+		t.Fatalf("C not tainted by suspect B: %+v", res.Tainted)
+	}
+	if taintedIDs[ids["A"]] || taintedIDs[ids["D"]] {
+		t.Fatalf("clean transactions tainted: %+v", res.Tainted)
+	}
+	// Seeded transactions are not re-reported in the tainted list.
+	if taintedIDs[ids["B"]] {
+		t.Fatalf("seed B re-reported: %+v", res.Tainted)
+	}
+}
+
+func TestTraceNoSeeds(t *testing.T) {
+	dir, _, _, _ := buildScenario(t)
+	res, err := Run(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Tainted) != 0 {
+		t.Fatalf("phantom taint: %+v", res.Tainted)
+	}
+	if res.Records == 0 {
+		t.Fatal("nothing scanned")
+	}
+	if res.Report() == "" {
+		t.Fatal("empty report")
+	}
+}
+
+func TestTraceEmptyLog(t *testing.T) {
+	res, err := Run(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Records != 0 || len(res.Tainted) != 0 {
+		t.Fatalf("unexpected result on empty log: %+v", res)
+	}
+}
+
+func TestReasonStrings(t *testing.T) {
+	if (Reason{Kind: "seed"}).String() != "seeded as suspect" {
+		t.Fatal("seed string")
+	}
+	if (Reason{Kind: "conflict", Via: 7, LSN: 9}).String() == "" {
+		t.Fatal("conflict string")
+	}
+	if (Reason{Kind: "read", LSN: 1, Range: recovery.Range{Start: 2, Len: 3}}).String() == "" {
+		t.Fatal("read string")
+	}
+}
+
+func TestDOTOutput(t *testing.T) {
+	dir, ids, corrupt, seedAt := buildScenario(t)
+	res, err := Run(dir, Options{SeedRanges: []recovery.Range{corrupt}, SeedAt: seedAt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dot := res.DOT()
+	for _, want := range []string{"digraph corruption", "seed", "corrupt data"} {
+		if !strings.Contains(dot, want) {
+			t.Fatalf("DOT missing %q:\n%s", want, dot)
+		}
+	}
+	// Both carriers appear as nodes; the second generation hangs off the
+	// first, not off the seed.
+	b := fmt.Sprintf("txn%d", ids["B"])
+	c := fmt.Sprintf("txn%d", ids["C"])
+	if !strings.Contains(dot, b+" [label=") || !strings.Contains(dot, c+" [label=") {
+		t.Fatalf("carriers missing from DOT:\n%s", dot)
+	}
+	if !strings.Contains(dot, b+" -> "+c) {
+		t.Fatalf("generation edge missing:\n%s", dot)
+	}
+	// Empty result still renders.
+	empty := (&Result{Generations: map[wal.TxnID]int{}}).DOT()
+	if !strings.Contains(empty, "digraph") {
+		t.Fatal("empty DOT broken")
+	}
+}

@@ -1,0 +1,350 @@
+package wal
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/mem"
+)
+
+// UndoKind discriminates local undo log entries.
+type UndoKind uint8
+
+// Undo entry kinds.
+const (
+	// UndoPhys is a physical before-image for an in-flight update.
+	UndoPhys UndoKind = iota + 1
+	// UndoOpBegin marks the point in the undo log where a lower-level
+	// operation began; operation commit pops back to this marker.
+	UndoOpBegin
+	// UndoLogical is the logical undo description of a committed
+	// lower-level operation.
+	UndoLogical
+)
+
+// UndoRec is an entry in a transaction's local undo log. The log is a
+// stack: rollback walks it from the top.
+type UndoRec struct {
+	Kind UndoKind
+
+	// UndoPhys fields.
+	Addr   mem.Addr
+	Before []byte
+	// CodewordPending is the paper's "codeword-applied" flag (§3.1): it is
+	// set at beginUpdate and reset at endUpdate once the codeword change
+	// has been folded in. If rollback finds it set, the before-image must
+	// be applied WITHOUT updating the codeword, because the codeword still
+	// reflects the before-image.
+	CodewordPending bool
+
+	// UndoOpBegin and UndoLogical fields.
+	Level uint8
+	Key   ObjectKey
+	// UndoLogical payload.
+	Logical LogicalUndo
+	// CommitLSN is the LSN of the operation commit record that produced
+	// this logical undo entry. Recovery's undo phase executes logical
+	// undos across transactions in descending CommitLSN order, which
+	// realizes the paper's level-by-level, reverse-chronological rollback.
+	CommitLSN LSN
+}
+
+// TxnState is the lifecycle state of a transaction.
+type TxnState uint8
+
+// Transaction states.
+const (
+	TxnActive TxnState = iota + 1
+	TxnCommitted
+	TxnAborted
+)
+
+func (s TxnState) String() string {
+	switch s {
+	case TxnActive:
+		return "active"
+	case TxnCommitted:
+		return "committed"
+	case TxnAborted:
+		return "aborted"
+	default:
+		return fmt.Sprintf("state(%d)", uint8(s))
+	}
+}
+
+// TxnEntry is a transaction's entry in the active transaction table. It
+// holds the local undo log (a stack of UndoRec) and the local redo log
+// (records pending their move to the system log at operation commit).
+type TxnEntry struct {
+	ID    TxnID
+	State TxnState
+
+	// Undo is the local undo log, a stack.
+	Undo []UndoRec
+	// Redo is the local redo log: records accumulated since the last
+	// operation commit, in order.
+	Redo []*Record
+}
+
+// PushPhysUndo records a physical before-image with the codeword-pending
+// flag set (it is beginUpdate that pushes this entry).
+func (e *TxnEntry) PushPhysUndo(addr mem.Addr, before []byte) *UndoRec {
+	e.Undo = append(e.Undo, UndoRec{
+		Kind:            UndoPhys,
+		Addr:            addr,
+		Before:          before,
+		CodewordPending: true,
+	})
+	return &e.Undo[len(e.Undo)-1]
+}
+
+// PushOpBegin pushes an operation-begin marker.
+func (e *TxnEntry) PushOpBegin(level uint8, key ObjectKey) {
+	e.Undo = append(e.Undo, UndoRec{Kind: UndoOpBegin, Level: level, Key: key})
+}
+
+// CommitOp replaces the undo entries of the topmost open operation (back
+// to and including its UndoOpBegin marker) with a single logical undo
+// record, per the multi-level recovery discipline. commitLSN is the LSN
+// of the operation commit record in the system log. It reports an error
+// if no operation is open.
+func (e *TxnEntry) CommitOp(level uint8, key ObjectKey, undo LogicalUndo, commitLSN LSN) error {
+	i := e.topOpBegin()
+	if i < 0 {
+		return fmt.Errorf("wal: txn %d: operation commit with no open operation", e.ID)
+	}
+	e.Undo = e.Undo[:i]
+	e.Undo = append(e.Undo, UndoRec{Kind: UndoLogical, Level: level, Key: key, Logical: undo, CommitLSN: commitLSN})
+	return nil
+}
+
+// CommitCompensationOp completes an operation that was executed during
+// rollback to logically undo an earlier committed operation: the
+// compensation's own undo entries are discarded back through its
+// UndoOpBegin marker, and the compensated UndoLogical entry beneath is
+// popped — its effect has now been reversed and must not be undone again.
+func (e *TxnEntry) CommitCompensationOp() error {
+	i := e.topOpBegin()
+	if i < 0 {
+		return fmt.Errorf("wal: txn %d: compensation commit with no open operation", e.ID)
+	}
+	if i == 0 || e.Undo[i-1].Kind != UndoLogical {
+		return fmt.Errorf("wal: txn %d: compensation commit with no logical undo beneath", e.ID)
+	}
+	e.Undo = e.Undo[:i-1]
+	return nil
+}
+
+// topOpBegin returns the index of the topmost UndoOpBegin marker, or -1.
+func (e *TxnEntry) topOpBegin() int {
+	for i := len(e.Undo) - 1; i >= 0; i-- {
+		if e.Undo[i].Kind == UndoOpBegin {
+			return i
+		}
+	}
+	return -1
+}
+
+// InOperation reports whether an operation is currently open.
+func (e *TxnEntry) InOperation() bool { return e.topOpBegin() >= 0 }
+
+// HasUndoForKey reports whether the undo log contains an operation-level
+// entry (marker or logical undo) for key. The delete-transaction recovery
+// algorithm uses this to decide whether a begin-operation record conflicts
+// with a corrupted transaction (paper §4.3).
+func (e *TxnEntry) HasUndoForKey(key ObjectKey) bool {
+	for i := range e.Undo {
+		k := e.Undo[i].Kind
+		if (k == UndoOpBegin || k == UndoLogical) && e.Undo[i].Key == key {
+			return true
+		}
+	}
+	return false
+}
+
+// ATT is the active transaction table. A copy of the ATT, with the local
+// undo logs, is stored with each checkpoint (paper §2.1).
+type ATT struct {
+	mu     sync.Mutex
+	m      map[TxnID]*TxnEntry
+	nextID TxnID
+}
+
+// NewATT returns an empty table whose first transaction ID is firstID
+// (recovery seeds this above any ID seen in the log).
+func NewATT(firstID TxnID) *ATT {
+	if firstID == 0 {
+		firstID = 1
+	}
+	return &ATT{m: make(map[TxnID]*TxnEntry), nextID: firstID}
+}
+
+// Begin registers a new active transaction and returns its entry.
+func (t *ATT) Begin() *TxnEntry {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	e := &TxnEntry{ID: t.nextID, State: TxnActive}
+	t.nextID++
+	t.m[e.ID] = e
+	return e
+}
+
+// Attach inserts an externally constructed entry (used by recovery when
+// rebuilding the ATT from a checkpoint image and the log).
+func (t *ATT) Attach(e *TxnEntry) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.m[e.ID] = e
+	if e.ID >= t.nextID {
+		t.nextID = e.ID + 1
+	}
+}
+
+// Lookup returns the entry for id, or nil.
+func (t *ATT) Lookup(id TxnID) *TxnEntry {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.m[id]
+}
+
+// Remove deletes the entry for id (at transaction completion).
+func (t *ATT) Remove(id TxnID) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	delete(t.m, id)
+}
+
+// Active returns the entries of all registered transactions, ordered by
+// ID for determinism.
+func (t *ATT) Active() []*TxnEntry {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]*TxnEntry, 0, len(t.m))
+	for _, e := range t.m {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Len reports the number of registered transactions.
+func (t *ATT) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.m)
+}
+
+// NextID reports the next transaction ID to be assigned.
+func (t *ATT) NextID() TxnID {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.nextID
+}
+
+// Snapshot returns deep copies of all entries (undo logs included but not
+// pending redo: updates whose operation has not committed are rolled back
+// from the checkpointed undo information, so their redo records need not
+// survive). The checkpointer calls this while holding the update barrier,
+// so entries are quiescent.
+func (t *ATT) Snapshot() []*TxnEntry {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]*TxnEntry, 0, len(t.m))
+	for _, e := range t.m {
+		c := &TxnEntry{ID: e.ID, State: e.State, Undo: make([]UndoRec, len(e.Undo))}
+		for i := range e.Undo {
+			u := e.Undo[i]
+			u.Before = append([]byte(nil), u.Before...)
+			u.Logical.Args = append([]byte(nil), u.Logical.Args...)
+			c.Undo[i] = u
+		}
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// EncodeEntries serializes checkpoint ATT entries.
+func EncodeEntries(entries []*TxnEntry) []byte {
+	var b []byte
+	b = appendUvarint(b, uint64(len(entries)))
+	for _, e := range entries {
+		b = appendUvarint(b, uint64(e.ID))
+		b = append(b, byte(e.State))
+		b = appendUvarint(b, uint64(len(e.Undo)))
+		for i := range e.Undo {
+			u := &e.Undo[i]
+			b = append(b, byte(u.Kind))
+			switch u.Kind {
+			case UndoPhys:
+				b = appendUvarint(b, uint64(u.Addr))
+				b = appendUvarint(b, uint64(len(u.Before)))
+				b = append(b, u.Before...)
+				if u.CodewordPending {
+					b = append(b, 1)
+				} else {
+					b = append(b, 0)
+				}
+			case UndoOpBegin:
+				b = append(b, u.Level)
+				b = appendUvarint(b, uint64(u.Key))
+			case UndoLogical:
+				b = append(b, u.Level)
+				b = appendUvarint(b, uint64(u.Key))
+				b = appendUvarint(b, uint64(u.CommitLSN))
+				b = append(b, u.Logical.Op)
+				b = appendUvarint(b, uint64(u.Logical.Key))
+				b = appendUvarint(b, uint64(len(u.Logical.Args)))
+				b = append(b, u.Logical.Args...)
+			}
+		}
+	}
+	return b
+}
+
+// DecodeEntries reverses EncodeEntries. Empty input decodes to no
+// entries (an empty ATT).
+func DecodeEntries(b []byte) ([]*TxnEntry, error) {
+	if len(b) == 0 {
+		return nil, nil
+	}
+	d := &decodeReader{buf: b}
+	n := int(d.uvarint())
+	entries := make([]*TxnEntry, 0, n)
+	for i := 0; i < n && d.err == nil; i++ {
+		e := &TxnEntry{ID: TxnID(d.uvarint()), State: TxnState(d.byte())}
+		nu := int(d.uvarint())
+		for j := 0; j < nu && d.err == nil; j++ {
+			u := UndoRec{Kind: UndoKind(d.byte())}
+			switch u.Kind {
+			case UndoPhys:
+				u.Addr = mem.Addr(d.uvarint())
+				ln := int(d.uvarint())
+				u.Before = append([]byte(nil), d.bytes(ln)...)
+				u.CodewordPending = d.byte() == 1
+			case UndoOpBegin:
+				u.Level = d.byte()
+				u.Key = ObjectKey(d.uvarint())
+			case UndoLogical:
+				u.Level = d.byte()
+				u.Key = ObjectKey(d.uvarint())
+				u.CommitLSN = LSN(d.uvarint())
+				u.Logical.Op = d.byte()
+				u.Logical.Key = ObjectKey(d.uvarint())
+				ln := int(d.uvarint())
+				u.Logical.Args = append([]byte(nil), d.bytes(ln)...)
+			default:
+				if d.err == nil {
+					return nil, fmt.Errorf("wal: bad undo kind %d", u.Kind)
+				}
+			}
+			e.Undo = append(e.Undo, u)
+		}
+		entries = append(entries, e)
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	return entries, nil
+}

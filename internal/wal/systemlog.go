@@ -1,0 +1,518 @@
+package wal
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"repro/internal/latch"
+	"repro/internal/mem"
+)
+
+// LogFileName is the name of the stable system log within a database
+// directory.
+const LogFileName = "system.log"
+
+// Log file header: magic plus the base LSN of the first record in the
+// file. Compaction discards a durable prefix by rewriting the file with a
+// higher base, so LSNs stay stable forever while the file stays bounded.
+const (
+	logMagic      = "DALILOG1"
+	logHeaderSize = 16
+)
+
+func encodeLogHeader(base LSN) []byte {
+	h := make([]byte, logHeaderSize)
+	copy(h, logMagic)
+	for i := 0; i < 8; i++ {
+		h[8+i] = byte(uint64(base) >> (8 * i))
+	}
+	return h
+}
+
+func decodeLogHeader(h []byte) (LSN, error) {
+	if len(h) < logHeaderSize || string(h[:8]) != logMagic {
+		return 0, fmt.Errorf("wal: bad log header")
+	}
+	var base uint64
+	for i := 0; i < 8; i++ {
+		base |= uint64(h[8+i]) << (8 * i)
+	}
+	return LSN(base), nil
+}
+
+// DirtyNoter receives the pages touched by physical log records as they
+// are flushed to the stable log. Dalí notes dirtied pages in the dirty
+// page table at flush time (paper §2.1); the checkpointer registers one
+// noter per ping-pong image.
+type DirtyNoter interface {
+	NoteDirty(id mem.PageID)
+}
+
+// DirtyNoterFunc adapts a function to the DirtyNoter interface.
+type DirtyNoterFunc func(id mem.PageID)
+
+// NoteDirty implements DirtyNoter.
+func (f DirtyNoterFunc) NoteDirty(id mem.PageID) { f(id) }
+
+// SystemLog is the system log: an in-memory tail of encoded records plus
+// the stable log on disk. The system log latch serializes flushes and
+// appends so that LSNs are dense byte offsets into the (stable ++ tail)
+// byte stream.
+type SystemLog struct {
+	latch latch.Latch // the paper's "system log latch"
+	// flushDone is signalled whenever a flush completes; committers
+	// waiting for their records to become durable sleep on it (group
+	// commit: the latch is NOT held across the fsync, so appends and
+	// other commits proceed while one force is in flight, and a single
+	// force covers every record appended before it started).
+	flushDone *sync.Cond
+	// flushing is true while some goroutine holds the flusher role.
+	flushing bool
+	// flushLen is the byte length of the buffer currently being forced
+	// (its records sit between stableEnd and stableEnd+flushLen).
+	flushLen int
+
+	dir       string
+	f         *os.File
+	baseLSN   LSN    // LSN of the first record in the file (post-compaction)
+	stableEnd LSN    // everything below this LSN is on disk
+	tail      []byte // encoded records not yet flushed
+	tailRecs  []tailRec
+	pageSize  int
+
+	noters []DirtyNoter
+
+	flushes uint64
+	appends uint64
+}
+
+// endLocked is the LSN one past the last appended record, accounting for
+// an in-flight flush buffer.
+func (l *SystemLog) endLocked() LSN {
+	return l.stableEnd + LSN(l.flushLen+len(l.tail))
+}
+
+type tailRec struct {
+	lsn  LSN
+	kind Kind
+	addr mem.Addr
+	n    int // data length for phys-redo
+}
+
+// OpenSystemLog opens (creating if necessary) the stable log in dir. An
+// existing log is scanned to find its valid end; a torn final record is
+// truncated away. pageSize is used to translate physical record addresses
+// into dirty page notifications.
+func OpenSystemLog(dir string, pageSize int) (*SystemLog, error) {
+	path := filepath.Join(dir, LogFileName)
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("wal: open system log: %w", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("wal: read system log: %w", err)
+	}
+	var base LSN
+	if len(data) == 0 {
+		// Fresh log: write the header.
+		if _, err := f.Write(encodeLogHeader(0)); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("wal: init log header: %w", err)
+		}
+		data = encodeLogHeader(0)
+	} else {
+		base, err = decodeLogHeader(data)
+		if err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
+	// Find the valid record prefix after the header.
+	valid := logHeaderSize
+	for valid < len(data) {
+		_, n, err := DecodeFrame(data[valid:])
+		if err != nil {
+			break
+		}
+		valid += n
+	}
+	if valid < len(data) {
+		if err := f.Truncate(int64(valid)); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("wal: truncate torn log tail: %w", err)
+		}
+	}
+	if _, err := f.Seek(int64(valid), 0); err != nil {
+		f.Close()
+		return nil, err
+	}
+	l := &SystemLog{
+		dir: dir, f: f, baseLSN: base,
+		stableEnd: base + LSN(valid-logHeaderSize),
+		pageSize:  pageSize,
+	}
+	l.flushDone = sync.NewCond(&l.latch)
+	return l, nil
+}
+
+// BaseLSN reports the LSN of the oldest record retained in the stable
+// log (records below it have been compacted away).
+func (l *SystemLog) BaseLSN() LSN {
+	l.latch.Lock()
+	defer l.latch.Unlock()
+	return l.baseLSN
+}
+
+// Compact discards stable records below keepFrom by rewriting the log
+// file with a higher base LSN. The caller must guarantee no consumer
+// needs records below keepFrom (the checkpointer compacts to the current
+// certified anchor's CK_end after toggling it). Compacting to an LSN in
+// the future, below the current base, or not on a record boundary is an
+// error; compacting is atomic (write temp + rename).
+func (l *SystemLog) Compact(keepFrom LSN) error {
+	l.latch.Lock()
+	defer l.latch.Unlock()
+	for l.flushing {
+		l.flushDone.Wait()
+	}
+	if keepFrom < l.baseLSN {
+		return fmt.Errorf("wal: compact to %d below base %d", keepFrom, l.baseLSN)
+	}
+	if keepFrom > l.stableEnd {
+		return fmt.Errorf("wal: compact to %d beyond stable end %d", keepFrom, l.stableEnd)
+	}
+	if keepFrom == l.baseLSN {
+		return nil
+	}
+	path := filepath.Join(l.dir, LogFileName)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("wal: compact read: %w", err)
+	}
+	cut := logHeaderSize + int(keepFrom-l.baseLSN)
+	if cut > len(data) {
+		return fmt.Errorf("wal: compact cut beyond file")
+	}
+	// Verify the cut lands on a record boundary (or end of file).
+	if cut < len(data) {
+		if _, _, err := DecodeFrame(data[cut:]); err != nil {
+			return fmt.Errorf("wal: compact point %d is not a record boundary", keepFrom)
+		}
+	}
+	tmp := path + ".compact"
+	out, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := out.Write(encodeLogHeader(keepFrom)); err != nil {
+		out.Close()
+		return err
+	}
+	if _, err := out.Write(data[cut:]); err != nil {
+		out.Close()
+		return err
+	}
+	if err := out.Sync(); err != nil {
+		out.Close()
+		return err
+	}
+	if err := out.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return err
+	}
+	// Reopen the handle positioned at the new end.
+	nf, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := nf.Seek(0, 2); err != nil {
+		nf.Close()
+		return err
+	}
+	l.f.Close()
+	l.f = nf
+	l.baseLSN = keepFrom
+	return nil
+}
+
+// RegisterDirtyNoter adds a recipient for dirty-page notifications
+// generated during flush. Must be called before concurrent use begins.
+func (l *SystemLog) RegisterDirtyNoter(n DirtyNoter) {
+	l.noters = append(l.noters, n)
+}
+
+// Append encodes records into the log tail, assigning their LSNs. The
+// records become durable only at the next Flush. Append is used by
+// operation commit, which moves a transaction's pending local redo
+// records into the tail as a unit before the operation's locks are
+// released.
+func (l *SystemLog) Append(recs ...*Record) {
+	l.latch.Lock()
+	defer l.latch.Unlock()
+	l.appendLocked(recs)
+}
+
+func (l *SystemLog) appendLocked(recs []*Record) {
+	for _, r := range recs {
+		r.LSN = l.endLocked()
+		l.tail = r.Encode(l.tail)
+		l.tailRecs = append(l.tailRecs, tailRec{lsn: r.LSN, kind: r.Kind, addr: r.Addr, n: len(r.Data)})
+		l.appends++
+	}
+}
+
+// End reports the LSN one past the last appended record (stable or not).
+func (l *SystemLog) End() LSN {
+	l.latch.Lock()
+	defer l.latch.Unlock()
+	return l.endLocked()
+}
+
+// StableEnd reports the paper's end_of_stable_log: every record below this
+// LSN is known to be on disk.
+func (l *SystemLog) StableEnd() LSN {
+	l.latch.Lock()
+	defer l.latch.Unlock()
+	return l.stableEnd
+}
+
+// Flush forces everything appended so far to the stable log and notifies
+// the registered dirty noters of every page touched by a flushed physical
+// record. The system log latch is released during the disk force, so
+// appends and other commits proceed meanwhile (group commit); Flush
+// returns once every record appended before the call is durable.
+func (l *SystemLog) Flush() error {
+	l.latch.Lock()
+	defer l.latch.Unlock()
+	return l.flushToLocked(l.endLocked())
+}
+
+// flushToLocked blocks until stableEnd >= target, becoming the flusher
+// when no other goroutine is forcing. Callers hold the latch; it is
+// dropped across the disk write and reacquired.
+func (l *SystemLog) flushToLocked(target LSN) error {
+	for l.stableEnd < target {
+		if l.flushing {
+			// Another goroutine is forcing; its completion may cover us.
+			l.flushDone.Wait()
+			continue
+		}
+		if len(l.tail) == 0 {
+			// Nothing pending and nobody flushing: target was covered by
+			// a force that completed between our checks.
+			break
+		}
+		// Become the flusher for the whole current tail.
+		buf := l.tail
+		recs := l.tailRecs
+		l.tail = nil
+		l.tailRecs = nil
+		l.flushing = true
+		l.flushLen = len(buf)
+		l.latch.Unlock()
+
+		_, werr := l.f.Write(buf)
+		var serr error
+		if werr == nil {
+			serr = l.f.Sync()
+		}
+
+		l.latch.Lock()
+		l.flushing = false
+		l.flushLen = 0
+		if werr != nil || serr != nil {
+			// Put the unflushed records back at the front so a retry (or
+			// a crash) sees a consistent tail.
+			l.tail = append(buf, l.tail...)
+			l.tailRecs = append(recs, l.tailRecs...)
+			l.flushDone.Broadcast()
+			if werr != nil {
+				return fmt.Errorf("wal: flush: %w", werr)
+			}
+			return fmt.Errorf("wal: sync: %w", serr)
+		}
+		l.stableEnd += LSN(len(buf))
+		l.flushes++
+		for _, tr := range recs {
+			if tr.kind != KindPhysRedo || tr.n == 0 {
+				continue
+			}
+			first := mem.PageID(uint64(tr.addr) / uint64(l.pageSize))
+			last := mem.PageID((uint64(tr.addr) + uint64(tr.n) - 1) / uint64(l.pageSize))
+			for id := first; id <= last; id++ {
+				for _, n := range l.noters {
+					n.NoteDirty(id)
+				}
+			}
+		}
+		l.flushDone.Broadcast()
+	}
+	return nil
+}
+
+// AppendAndFlush appends records and forces them durable before
+// returning (transaction commit). Concurrent committers share forces:
+// whichever becomes the flusher covers everyone appended before it.
+func (l *SystemLog) AppendAndFlush(recs ...*Record) error {
+	l.latch.Lock()
+	defer l.latch.Unlock()
+	l.appendLocked(recs)
+	return l.flushToLocked(l.endLocked())
+}
+
+// Flushes reports the number of flush operations performed.
+func (l *SystemLog) Flushes() uint64 {
+	l.latch.Lock()
+	defer l.latch.Unlock()
+	return l.flushes
+}
+
+// Appends reports the number of records appended.
+func (l *SystemLog) Appends() uint64 {
+	l.latch.Lock()
+	defer l.latch.Unlock()
+	return l.appends
+}
+
+// Reset discards the entire log (stable and tail) and restarts LSNs from
+// zero. Corruption recovery ends with a checkpoint that "invalidates all
+// archives" (paper §4.3); resetting the log afterwards keeps the anchor,
+// checkpoint and log mutually consistent.
+func (l *SystemLog) Reset() error {
+	l.latch.Lock()
+	defer l.latch.Unlock()
+	for l.flushing {
+		l.flushDone.Wait()
+	}
+	if err := l.f.Truncate(0); err != nil {
+		return fmt.Errorf("wal: reset: %w", err)
+	}
+	if _, err := l.f.Seek(0, 0); err != nil {
+		return err
+	}
+	if _, err := l.f.Write(encodeLogHeader(0)); err != nil {
+		return fmt.Errorf("wal: reset header: %w", err)
+	}
+	if err := l.f.Sync(); err != nil {
+		return err
+	}
+	l.baseLSN = 0
+	l.stableEnd = 0
+	l.tail = l.tail[:0]
+	l.tailRecs = l.tailRecs[:0]
+	return nil
+}
+
+// Close flushes and closes the stable log.
+func (l *SystemLog) Close() error {
+	l.latch.Lock()
+	defer l.latch.Unlock()
+	if err := l.flushToLocked(l.endLocked()); err != nil {
+		l.f.Close()
+		return err
+	}
+	return l.f.Close()
+}
+
+// CloseWithoutFlush closes the stable log discarding the in-memory tail.
+// Used by crash simulation in tests: records not yet flushed are lost,
+// exactly as they would be in a process crash.
+func (l *SystemLog) CloseWithoutFlush() error {
+	l.latch.Lock()
+	defer l.latch.Unlock()
+	for l.flushing {
+		l.flushDone.Wait()
+	}
+	return l.f.Close()
+}
+
+// LogBase reports the base LSN of the stable log in dir (the oldest
+// retained record); zero for a missing or empty log.
+func LogBase(dir string) (LSN, error) {
+	data, err := os.ReadFile(filepath.Join(dir, LogFileName))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return 0, nil
+		}
+		return 0, err
+	}
+	if len(data) == 0 {
+		return 0, nil
+	}
+	return decodeLogHeader(data)
+}
+
+// TruncateAt discards every stable record at or after lsn, which must be
+// a record boundary at or above the log base. Prior-state recovery uses
+// this to cut history; the log must not be open for writing.
+func TruncateAt(dir string, lsn LSN) error {
+	path := filepath.Join(dir, LogFileName)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("wal: truncate: %w", err)
+	}
+	base, err := decodeLogHeader(data)
+	if err != nil {
+		return err
+	}
+	if lsn < base {
+		return fmt.Errorf("wal: truncate point %d precedes log base %d", lsn, base)
+	}
+	cut := logHeaderSize + int(lsn-base)
+	if cut > len(data) {
+		return fmt.Errorf("wal: truncate point %d beyond log end", lsn)
+	}
+	if cut < len(data) {
+		if _, _, err := DecodeFrame(data[cut:]); err != nil {
+			return fmt.Errorf("wal: truncate point %d is not a record boundary", lsn)
+		}
+	}
+	return os.Truncate(path, int64(cut))
+}
+
+// Scan reads the stable log in dir from LSN from, invoking fn for each
+// record in order. Scanning stops at the first torn record (treated as end
+// of log) or when fn returns false. It is used by restart and corruption
+// recovery; the log file must not be concurrently written.
+func Scan(dir string, from LSN, fn func(*Record) bool) error {
+	data, err := os.ReadFile(filepath.Join(dir, LogFileName))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return fmt.Errorf("wal: scan: %w", err)
+	}
+	if len(data) == 0 {
+		return nil
+	}
+	base, err := decodeLogHeader(data)
+	if err != nil {
+		return err
+	}
+	if from < base {
+		return fmt.Errorf("wal: scan start %d precedes log base %d (compacted away)", from, base)
+	}
+	end := base + LSN(len(data)-logHeaderSize)
+	if from > end {
+		return fmt.Errorf("wal: scan start %d beyond log end %d", from, end)
+	}
+	pos := logHeaderSize + int(from-base)
+	for pos < len(data) {
+		r, n, err := DecodeFrame(data[pos:])
+		if err != nil {
+			return nil // torn tail: end of log
+		}
+		r.LSN = base + LSN(pos-logHeaderSize)
+		if !fn(r) {
+			return nil
+		}
+		pos += n
+	}
+	return nil
+}

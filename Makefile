@@ -9,8 +9,12 @@ all: build vet test
 build:
 	$(GO) build ./...
 
+# Static checks plus a race-detector pass over the subsystems with the
+# most cross-goroutine state (metrics registry, WAL group commit, the
+# concurrent TPC-B driver).
 vet:
 	$(GO) vet ./...
+	$(GO) test -race ./internal/core ./internal/wal ./internal/obs ./internal/tpcb
 
 test:
 	$(GO) test ./...

@@ -26,6 +26,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/heap"
 	"repro/internal/mem"
+	"repro/internal/obs"
 	"repro/internal/protect"
 	"repro/internal/recovery"
 	"repro/internal/region"
@@ -98,11 +99,17 @@ func BenchmarkTPCB(b *testing.B) {
 		spec := spec
 		b.Run(sanitize(spec.Label), func(b *testing.B) {
 			dir := b.TempDir()
-			db, err := core.Open(core.Config{
+			cfg := core.Config{
 				Dir:       dir,
 				ArenaSize: benchScale.ArenaSize(),
 				Protect:   spec.Protect,
-			})
+			}
+			// Regions larger than the default page need matching pages
+			// (Config.Validate requires whole regions per page).
+			if rs := spec.Protect.Defaulted().RegionSize; rs > 4096 {
+				cfg.PageSize = rs
+			}
+			db, err := core.Open(cfg)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -117,7 +124,7 @@ func BenchmarkTPCB(b *testing.B) {
 				b.Fatal(err)
 			}
 			inTxn := 0
-			callsBefore := db.Stats().ProtectCalls
+			before := db.Metrics()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if err := w.Op(txn); err != nil {
@@ -139,8 +146,19 @@ func BenchmarkTPCB(b *testing.B) {
 			}
 			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "ops/s")
 			b.ReportMetric(spec.PaperSlowdown, "paper-%slower")
-			if calls := db.Stats().ProtectCalls - callsBefore; calls > 0 && b.N > 0 {
+			snap := db.Metrics()
+			delta := snap.Sub(before)
+			if calls := delta.Counter(obs.NameProtectCalls); calls > 0 && b.N > 0 {
 				b.ReportMetric(float64(calls)/2/float64(b.N), "pages/op")
+			}
+			if pre := delta.Counter(obs.NamePrecheckRegions); pre > 0 && b.N > 0 {
+				b.ReportMetric(float64(pre)/float64(b.N), "precheck-regions/op")
+			}
+			if fsync := snap.Histogram(obs.NameWALFsyncNS); fsync.Count > 0 {
+				b.ReportMetric(float64(fsync.Quantile(0.5))/1e3, "fsync-p50-us")
+			}
+			if gc := snap.Histogram(obs.NameWALGroupCommit); gc.Count > 0 {
+				b.ReportMetric(gc.Mean(), "grp-commit-recs")
 			}
 		})
 	}
@@ -245,11 +263,15 @@ func BenchmarkReadPath(b *testing.B) {
 	for _, spec := range specs {
 		spec := spec
 		b.Run(spec.name, func(b *testing.B) {
-			db, err := core.Open(core.Config{
+			cfg := core.Config{
 				Dir:       b.TempDir(),
 				ArenaSize: 1 << 22,
 				Protect:   spec.pc,
-			})
+			}
+			if rs := spec.pc.Defaulted().RegionSize; rs > 4096 {
+				cfg.PageSize = rs
+			}
+			db, err := core.Open(cfg)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -311,7 +333,7 @@ func BenchmarkHWProtectionByLayout(b *testing.B) {
 				b.Fatal(err)
 			}
 			inTxn := 0
-			callsBefore := db.Stats().ProtectCalls
+			before := db.Metrics()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if err := w.Op(txn); err != nil {
@@ -329,7 +351,7 @@ func BenchmarkHWProtectionByLayout(b *testing.B) {
 			}
 			b.StopTimer()
 			txn.Commit()
-			if calls := db.Stats().ProtectCalls - callsBefore; b.N > 0 {
+			if calls := db.Metrics().Sub(before).Counter(obs.NameProtectCalls); b.N > 0 {
 				b.ReportMetric(float64(calls)/2/float64(b.N), "pages/op")
 			}
 			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "ops/s")

@@ -77,4 +77,6 @@ func main() {
 	fmt.Print(benchtab.FormatTable2(rows))
 	fmt.Println("\npages/op is measured from protect-call counts (paper §5.3 observed ~11,")
 	fmt.Println("including off-page allocation and control information updates).")
+	fmt.Printf("\nEngine internals per scheme (obs snapshot of each last run):\n\n")
+	fmt.Print(benchtab.FormatObsSummary(rows))
 }

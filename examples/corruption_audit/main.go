@@ -87,11 +87,16 @@ func demo(pc protect.Config) error {
 		return auditErr
 	}
 
-	// Transactional read (synchronous prevention).
+	// Transactional read (synchronous prevention). The read path wraps
+	// both sentinels, so errors.Is works with the generic
+	// core.ErrCorruption as well as the specific precheck cause.
 	txn2, _ := db.Begin()
 	_, readErr := tb.Read(txn2, rid)
 	switch {
-	case errors.Is(readErr, protect.ErrPrecheckFailed):
+	case errors.Is(readErr, core.ErrCorruption):
+		if !errors.Is(readErr, protect.ErrPrecheckFailed) {
+			return fmt.Errorf("corruption error without precheck cause: %w", readErr)
+		}
 		fmt.Println("  read: PREVENTED — precheck refused to return corrupt data")
 		txn2.Abort()
 	case readErr == nil:

@@ -83,11 +83,14 @@ func main() {
 		log.Fatal(err)
 	}
 
+	// All corruption reports match the core.ErrCorruption sentinel via
+	// errors.Is; errors.As recovers the detail (which regions mismatched).
 	err = db.Audit()
+	if !errors.Is(err, core.ErrCorruption) {
+		log.Fatalf("audit unexpectedly returned %v", err)
+	}
 	var ce *core.CorruptionError
 	if errors.As(err, &ce) {
 		fmt.Printf("audit 2: corruption detected — %v\n", ce.Mismatches)
-	} else {
-		log.Fatalf("audit unexpectedly returned %v", err)
 	}
 }

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/protect"
 	"repro/internal/recovery"
 	"repro/internal/tpcb"
@@ -79,9 +80,18 @@ func main() {
 	}
 	fmt.Println("audit: clean")
 
-	st := db.Stats()
-	fmt.Printf("stats: %d txns, %d ops, %d updates, %d reads, %d read-log records, %d protect calls\n",
-		st.Txns, st.Ops, st.Updates, st.Reads, st.ReadRecords, st.ProtectCalls)
+	// Engine internals via the obs snapshot: counters are atomic reads,
+	// histograms carry the full latency distribution.
+	snap := db.Metrics()
+	fmt.Printf("metrics: %d txns, %d ops, %d updates, %d reads, %d read-log records, %d protect calls\n",
+		snap.Counter(obs.NameTxnsCommitted), snap.Counter(obs.NameOps),
+		snap.Counter(obs.NameUpdates), snap.Counter(obs.NameReads),
+		snap.Counter(obs.NameReadRecords), snap.Counter(obs.NameProtectCalls))
+	if fsync := snap.Histogram(obs.NameWALFsyncNS); fsync.Count > 0 {
+		gc := snap.Histogram(obs.NameWALGroupCommit)
+		fmt.Printf("log: %d fsyncs, p50 %.1fus p99 %.1fus, group commit %.1f records/flush\n",
+			fsync.Count, float64(fsync.Quantile(0.5))/1e3, float64(fsync.Quantile(0.99))/1e3, gc.Mean())
+	}
 
 	// Crash and recover.
 	db.Crash()

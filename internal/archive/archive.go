@@ -134,7 +134,10 @@ func Read(path string) (Info, []byte, []byte, error) {
 // database's checkpoint anchor and images are ignored (presumed lost or
 // distrusted); recovery finishes with a fresh certified checkpoint.
 func Recover(cfg core.Config, archivePath string) (*core.DB, *recovery.Report, error) {
-	cfg = cfg.WithDefaults()
+	cfg, err := cfg.Normalized()
+	if err != nil {
+		return nil, nil, err
+	}
 	info, image, meta, err := Read(archivePath)
 	if err != nil {
 		return nil, nil, err

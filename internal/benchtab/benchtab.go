@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/mem"
+	"repro/internal/obs"
 	"repro/internal/protect"
 	"repro/internal/tpcb"
 )
@@ -63,6 +64,9 @@ type Table1Row struct {
 	// SPECint92 is the paper's integer performance figure where known,
 	// showing that mprotect cost does not track integer speed.
 	SPECint92 float64
+	// PairNS is the per-pair latency distribution from a separate
+	// instrumented sweep (untimed rows leave it empty).
+	PairNS obs.HistogramSnapshot
 }
 
 // PaperTable1 is the paper's measured Table 1, which the simulated
@@ -96,6 +100,30 @@ func MeasureMprotectPairs(prot interface {
 	return float64(pages*reps) / elapsed.Seconds(), nil
 }
 
+// MeasurePairHistogram runs the protect/unprotect loop with per-pair
+// timing into an obs histogram and returns its snapshot (p50/p99 pair
+// latency). It is a separate sweep from MeasureMprotectPairs so the
+// clock reads cannot skew the Table 1 throughput numbers.
+func MeasurePairHistogram(prot interface {
+	Protect(mem.PageID) error
+	Unprotect(mem.PageID) error
+}, pages, reps int) (obs.HistogramSnapshot, error) {
+	h := obs.NewRegistry().Histogram("bench.pair_ns")
+	for r := 0; r < reps; r++ {
+		for p := 0; p < pages; p++ {
+			start := time.Now()
+			if err := prot.Protect(mem.PageID(p)); err != nil {
+				return obs.HistogramSnapshot{}, err
+			}
+			if err := prot.Unprotect(mem.PageID(p)); err != nil {
+				return obs.HistogramSnapshot{}, err
+			}
+			h.Since(start)
+		}
+	}
+	return h.Snapshot(), nil
+}
+
 // RunTable1 regenerates Table 1: the host's real mprotect throughput plus
 // the four paper platforms modeled with calibrated per-call costs. pages
 // and reps default to the paper's 2000 and 50 when zero.
@@ -120,10 +148,14 @@ func RunTable1(pages, reps int) ([]Table1Row, error) {
 			if err != nil {
 				return nil, err
 			}
+			hist, err := MeasurePairHistogram(prot, pages, 1)
+			if err != nil {
+				return nil, err
+			}
 			if err := prot.UnprotectAll(); err != nil {
 				return nil, err
 			}
-			rows = append(rows, Table1Row{Platform: "this host (real mprotect)", PairsPerSec: pps})
+			rows = append(rows, Table1Row{Platform: "this host (real mprotect)", PairsPerSec: pps, PairNS: hist})
 		}
 	}
 
@@ -141,15 +173,20 @@ func RunTable1(pages, reps int) ([]Table1Row, error) {
 		if err != nil {
 			return nil, err
 		}
+		hist, err := MeasurePairHistogram(sim, pages/10, 1)
+		if err != nil {
+			return nil, err
+		}
 		rows = append(rows, Table1Row{
 			Platform: p.Platform + " (simulated)", PairsPerSec: pps,
-			Simulated: true, SPECint92: p.SPECint92,
+			Simulated: true, SPECint92: p.SPECint92, PairNS: hist,
 		})
 	}
 	return rows, nil
 }
 
-// FormatTable1 renders Table 1 rows alongside the paper's figures.
+// FormatTable1 renders Table 1 rows alongside the paper's figures, with
+// per-pair latency quantiles from the instrumented sweep.
 func FormatTable1(rows []Table1Row) string {
 	var out [][]string
 	for _, r := range rows {
@@ -163,9 +200,14 @@ func FormatTable1(rows []Table1Row) string {
 				paper = fmt.Sprintf("%.0f", p.PairsPerSec)
 			}
 		}
-		out = append(out, []string{r.Platform, fmt.Sprintf("%.0f", r.PairsPerSec), paper, spec})
+		p50, p99 := "-", "-"
+		if r.PairNS.Count > 0 {
+			p50 = fmt.Sprintf("%.1f", float64(r.PairNS.Quantile(0.5))/1e3)
+			p99 = fmt.Sprintf("%.1f", float64(r.PairNS.Quantile(0.99))/1e3)
+		}
+		out = append(out, []string{r.Platform, fmt.Sprintf("%.0f", r.PairsPerSec), paper, spec, p50, p99})
 	}
-	return Format([]string{"Platform", "pairs/second", "paper pairs/s", "SPECint92"}, out)
+	return Format([]string{"Platform", "pairs/second", "paper pairs/s", "SPECint92", "pair p50 us", "pair p99 us"}, out)
 }
 
 // --- Table 2: cost of corruption protection ---------------------------------
@@ -219,6 +261,10 @@ type Table2Row struct {
 	Samples    []float64
 	PctSlower  float64
 	PagesPerOp float64 // protect-call pages touched per op (§5.3), HW only
+	// Obs is the metrics snapshot from the last run of this scheme
+	// (counters and histograms: fsync latency, group-commit batch size,
+	// audit durations, precheck traffic). See FormatObsSummary.
+	Obs obs.Snapshot
 }
 
 // Table2Params configures a Table 2 run.
@@ -263,11 +309,12 @@ func RunTable2(params Table2Params) ([]Table2Row, error) {
 	}
 	for run := 0; run < params.Runs; run++ {
 		for i, spec := range specs {
-			ops, pages, err := runOne(params, spec, run)
+			ops, pages, snap, err := runOne(params, spec, run)
 			if err != nil {
 				return nil, fmt.Errorf("benchtab: %s run %d: %w", spec.Label, run, err)
 			}
 			rows[i].Samples = append(rows[i].Samples, ops)
+			rows[i].Obs = snap
 			if pages > 0 {
 				rows[i].PagesPerOp = pages
 			}
@@ -300,37 +347,44 @@ func median(xs []float64) float64 {
 	return (s[n/2-1] + s[n/2]) / 2
 }
 
-func runOne(params Table2Params, spec SchemeSpec, run int) (opsPerSec, pagesPerOp float64, err error) {
+func runOne(params Table2Params, spec SchemeSpec, run int) (opsPerSec, pagesPerOp float64, snap obs.Snapshot, err error) {
 	dir, err := os.MkdirTemp(params.WorkDir, "tpcb-*")
 	if err != nil {
-		return 0, 0, err
+		return 0, 0, snap, err
 	}
 	defer os.RemoveAll(dir)
-	db, err := core.Open(core.Config{
+	cfg := core.Config{
 		Dir:       dir,
 		ArenaSize: params.Scale.ArenaSize(),
 		Protect:   spec.Protect,
-	})
+	}
+	// The 8K-region row needs pages at least as large as its regions
+	// (core.Config.Validate requires whole regions per page).
+	if rs := spec.Protect.Defaulted().RegionSize; rs > 4096 {
+		cfg.PageSize = rs
+	}
+	db, err := core.Open(cfg)
 	if err != nil {
-		return 0, 0, err
+		return 0, 0, snap, err
 	}
 	defer db.Close()
 	w, err := tpcb.Setup(db, params.Scale, int64(run)+1)
 	if err != nil {
-		return 0, 0, err
+		return 0, 0, snap, err
 	}
-	callsBefore := db.Stats().ProtectCalls
+	before := db.Metrics()
 	start := time.Now()
 	if err := w.Run(params.Ops); err != nil {
-		return 0, 0, err
+		return 0, 0, snap, err
 	}
 	elapsed := time.Since(start)
-	calls := db.Stats().ProtectCalls - callsBefore
+	snap = db.Metrics()
+	calls := snap.Counter(obs.NameProtectCalls) - before.Counter(obs.NameProtectCalls)
 	if calls > 0 {
 		// Each touched page costs one unprotect + one protect call.
 		pagesPerOp = float64(calls) / 2 / float64(params.Ops)
 	}
-	return float64(params.Ops) / elapsed.Seconds(), pagesPerOp, nil
+	return float64(params.Ops) / elapsed.Seconds(), pagesPerOp, snap, nil
 }
 
 // SpaceOverhead reports the codeword-table space cost of a scheme as a
@@ -343,6 +397,58 @@ func (s SchemeSpec) SpaceOverhead() float64 {
 		return 0
 	}
 	return 8 / float64(rs)
+}
+
+// FormatObsSummary renders the per-scheme engine internals captured in
+// each row's obs snapshot: log-fsync latency (p50/p99), group-commit batch
+// size, audit-pass durations, and precheck/fold traffic. These are the
+// mechanisms behind Table 2's throughput differences — e.g. the 8K
+// precheck row's slowdown shows up directly as precheck region counts.
+func FormatObsSummary(rows []Table2Row) string {
+	ms := func(h obs.HistogramSnapshot, q float64) string {
+		if h.Count == 0 {
+			return "-"
+		}
+		return fmt.Sprintf("%.2f", float64(h.Quantile(q))/1e6)
+	}
+	count := func(s obs.Snapshot, name string) string {
+		v := s.Counter(name)
+		if v == 0 {
+			return "-"
+		}
+		return fmt.Sprintf("%d", v)
+	}
+	var out [][]string
+	for _, r := range rows {
+		s := r.Obs
+		fsync := s.Histogram(obs.NameWALFsyncNS)
+		gc := s.Histogram(obs.NameWALGroupCommit)
+		audit := s.Histogram(obs.NameAuditPassNS)
+		gcMean := "-"
+		if gc.Count > 0 {
+			gcMean = fmt.Sprintf("%.1f", gc.Mean())
+		}
+		auditMean := "-"
+		if audit.Count > 0 {
+			auditMean = fmt.Sprintf("%.2f", audit.Mean()/1e6)
+		}
+		out = append(out, []string{
+			r.Label,
+			fmt.Sprintf("%d", fsync.Count),
+			ms(fsync, 0.5), ms(fsync, 0.99),
+			gcMean,
+			fmt.Sprintf("%d", audit.Count), auditMean,
+			count(s, obs.NamePrecheckRegions),
+			count(s, obs.NamePrecheckFailures),
+			count(s, obs.NameRegionFolds),
+			count(s, obs.NameCWCaptures),
+		})
+	}
+	return Format([]string{
+		"Algorithm", "fsyncs", "fsync p50 ms", "fsync p99 ms",
+		"grp-commit recs", "audits", "audit ms", "prechecks",
+		"precheck fails", "cw folds", "cw captures",
+	}, out)
 }
 
 // FormatTable2 renders measured rows next to the paper's Table 2.

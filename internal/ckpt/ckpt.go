@@ -27,6 +27,7 @@ import (
 	"sync"
 
 	"repro/internal/mem"
+	"repro/internal/obs"
 	"repro/internal/region"
 	"repro/internal/wal"
 )
@@ -102,6 +103,19 @@ type Set struct {
 	// of a checkpoint (the disk image protected by the same codeword idea
 	// that protects the memory image).
 	pageCW [2][]region.Codeword
+
+	mPages *obs.Counter
+	mBytes *obs.Counter
+	mSkips *obs.Counter
+}
+
+// SetRegistry wires the checkpoint writer's page/byte counters into reg.
+// Must be called before concurrent use (core.Open does this while
+// building the database).
+func (s *Set) SetRegistry(reg *obs.Registry) {
+	s.mPages = reg.Counter(obs.NameCkptPagesWritten)
+	s.mBytes = reg.Counter(obs.NameCkptBytesWritten)
+	s.mSkips = reg.Counter(obs.NameCkptDirtyClean)
 }
 
 // Open prepares checkpoint management in dir, reading the anchor if one
@@ -205,6 +219,7 @@ func (s *Set) Begin(arena *mem.Arena, att, meta []byte, ckEnd wal.LSN) *Snapshot
 	// this point (it cannot be concurrent — the barrier is held) belongs
 	// to the next checkpoint of this image.
 	s.dirty[img] = make(pageSet)
+	s.mSkips.Add(uint64(arena.NumPages() - len(snap.Pages)))
 	return snap
 }
 
@@ -233,6 +248,8 @@ func (s *Set) Write(snap *Snapshot, arenaSize int) error {
 		if _, err := f.WriteAt(snap.Pages[id], int64(id)*int64(s.pageSize)); err != nil {
 			return fmt.Errorf("ckpt: write page %d: %w", id, err)
 		}
+		s.mPages.Inc()
+		s.mBytes.Add(uint64(len(snap.Pages[id])))
 	}
 	if err := f.Sync(); err != nil {
 		return fmt.Errorf("ckpt: sync image: %w", err)

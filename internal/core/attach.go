@@ -1,0 +1,75 @@
+package core
+
+// Typed runtime attachments. Subsystems layered over the core (the heap,
+// the hash index) cache derived control structures — catalog maps, page
+// directories — on the DB they belong to. These are transient control
+// structures in the paper's sense (§3): rebuilt from persistent state on
+// open, never checkpointed, and deliberately outside codeword protection.
+//
+// The old API stored attachments under bare strings and forced every
+// caller through a type assertion:
+//
+//	v, ok := db.Attachment("heap.catalog.live")
+//	cat := v.(*catalog) // panics if another package reused the key
+//
+// AttachKey replaces it. A key is a typed token: the value stored under a
+// key has the key's type parameter, checked at compile time, and two keys
+// never collide even if created with the same name (identity is the key
+// value itself, not the string).
+
+// attachID is the identity behind an AttachKey. Keys compare by pointer,
+// so distinct NewAttachKey calls can never alias.
+type attachID struct{ name string }
+
+// AttachKey is a typed handle for storing one runtime-only value of type T
+// on a DB. Create one per cached structure with NewAttachKey, typically in
+// a package-level var. The zero AttachKey is invalid.
+type AttachKey[T any] struct{ id *attachID }
+
+// NewAttachKey returns a fresh key. The name is diagnostic only (it never
+// collides with other keys, whatever their name).
+func NewAttachKey[T any](name string) AttachKey[T] {
+	return AttachKey[T]{id: &attachID{name: name}}
+}
+
+// Name reports the diagnostic name the key was created with.
+func (k AttachKey[T]) Name() string { return k.id.name }
+
+// Get fetches the value stored under k, reporting whether one is present.
+func (k AttachKey[T]) Get(db *DB) (T, bool) {
+	db.attachMu.Lock()
+	defer db.attachMu.Unlock()
+	v, ok := db.attach[k.id]
+	if !ok {
+		var zero T
+		return zero, false
+	}
+	return v.(T), true
+}
+
+// Set stores v under k, replacing any previous value.
+func (k AttachKey[T]) Set(db *DB, v T) {
+	db.attachMu.Lock()
+	defer db.attachMu.Unlock()
+	db.attach[k.id] = v
+}
+
+// GetOrInit returns the value stored under k, calling init to build it if
+// absent. The whole check-build-store sequence runs under the attachment
+// lock, so two concurrent openers of the same cache get the same value —
+// init must therefore not touch attachments itself. An init error leaves
+// nothing stored.
+func (k AttachKey[T]) GetOrInit(db *DB, init func() (T, error)) (T, error) {
+	db.attachMu.Lock()
+	defer db.attachMu.Unlock()
+	if v, ok := db.attach[k.id]; ok {
+		return v.(T), nil
+	}
+	v, err := init()
+	if err != nil {
+		var zero T
+		return zero, err
+	}
+	db.attach[k.id] = v
+	return v, nil
+}

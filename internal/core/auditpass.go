@@ -2,8 +2,10 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/mem"
+	"repro/internal/obs"
 	"repro/internal/region"
 	"repro/internal/wal"
 )
@@ -27,6 +29,7 @@ type AuditPass struct {
 	next       mem.Addr
 	mismatches []region.Mismatch
 	finished   bool
+	started    time.Time
 }
 
 // BeginAuditPass starts an audit pass, logging its begin record. Passes
@@ -43,10 +46,10 @@ func (db *DB) BeginAuditPass() (*AuditPass, error) {
 		return nil, ErrClosed
 	}
 	db.auditSN++
-	db.statAudits.Add(1)
+	db.mAudits.Inc()
 	begin := &wal.Record{Kind: wal.KindAuditBegin, AuditSN: db.auditSN}
 	db.log.Append(begin)
-	return &AuditPass{db: db, sn: db.auditSN, beginLSN: begin.LSN}, nil
+	return &AuditPass{db: db, sn: db.auditSN, beginLSN: begin.LSN, started: time.Now()}, nil
 }
 
 // Step audits the next maxBytes of the image (rounded to whole protection
@@ -105,6 +108,7 @@ func (p *AuditPass) Finish() error {
 	if err := db.log.AppendAndFlush(end); err != nil {
 		return err
 	}
+	p.note()
 	if len(p.mismatches) > 0 {
 		return &CorruptionError{Mismatches: p.mismatches}
 	}
@@ -114,6 +118,33 @@ func (p *AuditPass) Finish() error {
 		db.lastCleanAudit = p.beginLSN
 	}
 	return nil
+}
+
+// note records the finished pass's duration and verdict in the metrics
+// registry and emits an obs.AuditPassEvent (plus an obs.CorruptionEvent if
+// the pass was dirty). Called with db.auditMu held.
+func (p *AuditPass) note() {
+	db := p.db
+	dur := time.Since(p.started)
+	db.hAuditNS.Observe(uint64(dur.Nanoseconds()))
+	regions := 0
+	if rs := db.scheme.RegionSize(); rs > 0 {
+		regions = int(p.next) / rs
+	}
+	clean := len(p.mismatches) == 0
+	if !clean {
+		db.mAuditMismatch.Add(uint64(len(p.mismatches)))
+		db.mCorruptions.Inc()
+	}
+	if db.reg.HasSinks() {
+		db.reg.Emit(obs.AuditPassEvent{
+			SN: p.sn, Duration: dur, Regions: regions,
+			Mismatches: len(p.mismatches), Clean: clean,
+		})
+		if !clean {
+			db.reg.Emit(obs.CorruptionEvent{Source: "audit", Mismatches: len(p.mismatches)})
+		}
+	}
 }
 
 // Abort abandons the pass without logging an end record (used when the

@@ -373,13 +373,28 @@ func TestAllocPagesExhaustion(t *testing.T) {
 
 func TestAttachments(t *testing.T) {
 	db := testDB(t, protect.Config{})
-	if _, ok := db.Attachment("x"); ok {
+	key := NewAttachKey[int]("x")
+	if _, ok := key.Get(db); ok {
 		t.Fatal("phantom attachment")
 	}
-	db.Attach("x", 42)
-	v, ok := db.Attachment("x")
-	if !ok || v.(int) != 42 {
+	key.Set(db, 42)
+	v, ok := key.Get(db)
+	if !ok || v != 42 {
 		t.Fatal("attachment lost")
+	}
+	// Same name, distinct key: no collision (identity is the key value).
+	other := NewAttachKey[string]("x")
+	if _, ok := other.Get(db); ok {
+		t.Fatal("keys collided by name")
+	}
+	inits := 0
+	got, err := key.GetOrInit(db, func() (int, error) { inits++; return 7, nil })
+	if err != nil || got != 42 || inits != 0 {
+		t.Fatalf("GetOrInit on present key: v=%d inits=%d err=%v", got, inits, err)
+	}
+	s, err := other.GetOrInit(db, func() (string, error) { inits++; return "built", nil })
+	if err != nil || s != "built" || inits != 1 {
+		t.Fatalf("GetOrInit build: v=%q inits=%d err=%v", s, inits, err)
 	}
 }
 

@@ -26,6 +26,7 @@ import (
 	"repro/internal/ckpt"
 	"repro/internal/lockmgr"
 	"repro/internal/mem"
+	"repro/internal/obs"
 	"repro/internal/protect"
 	"repro/internal/region"
 	"repro/internal/wal"
@@ -49,16 +50,71 @@ type Config struct {
 	DisableLogCompaction bool
 }
 
-// WithDefaults returns cfg with unset fields defaulted.
-func (c Config) WithDefaults() Config {
+// Normalized returns cfg with unset fields defaulted (PageSize 4096,
+// LockTimeout 2s) and validates the result. It replaces the old silent
+// WithDefaults mutation: an impossible configuration is reported as a
+// descriptive error instead of a downstream panic.
+func (c Config) Normalized() (Config, error) {
 	if c.PageSize == 0 {
 		c.PageSize = 4096
 	}
 	if c.LockTimeout == 0 {
 		c.LockTimeout = 2 * time.Second
 	}
-	return c
+	if err := c.Validate(); err != nil {
+		return Config{}, err
+	}
+	return c, nil
 }
+
+// Validate checks the configuration for errors that would otherwise
+// surface as panics or obscure failures deep in the engine. Unset fields
+// are judged by the default they would take. Called by Open and
+// NewRecovered via Normalized.
+func (c Config) Validate() error {
+	if c.ArenaSize <= 0 {
+		return fmt.Errorf("core: config: ArenaSize must be positive, got %d", c.ArenaSize)
+	}
+	pageSize := c.PageSize
+	if pageSize == 0 {
+		pageSize = 4096
+	}
+	if pageSize < 0 || pageSize&(pageSize-1) != 0 {
+		return fmt.Errorf("core: config: PageSize must be a power of two, got %d", c.PageSize)
+	}
+	if c.LockTimeout < 0 {
+		return fmt.Errorf("core: config: LockTimeout must not be negative, got %v", c.LockTimeout)
+	}
+	pc := c.Protect.Defaulted()
+	if schemeHasCodewords(pc.Kind) {
+		if pc.RegionSize < region.MinRegionSize || pc.RegionSize&(pc.RegionSize-1) != 0 {
+			return fmt.Errorf("core: config: protection region size must be a power of two >= %d, got %d",
+				region.MinRegionSize, pc.RegionSize)
+		}
+		if pageSize < pc.RegionSize {
+			return fmt.Errorf("core: config: PageSize %d is smaller than the protection region size %d; "+
+				"the arena (a whole number of pages) could not be covered by whole regions", pageSize, pc.RegionSize)
+		}
+	}
+	return nil
+}
+
+// schemeHasCodewords reports whether a scheme kind maintains a codeword
+// table (and therefore has a meaningful region size).
+func schemeHasCodewords(k protect.Kind) bool {
+	switch k {
+	case protect.KindDataCW, protect.KindPrecheck, protect.KindReadLog,
+		protect.KindCWReadLog, protect.KindDeferredCW:
+		return true
+	}
+	return false
+}
+
+// ErrCorruption is the sentinel matched by errors.Is for every corruption
+// detection, whatever path found it (audit pass, read precheck,
+// checkpoint certification). The concrete error is *CorruptionError,
+// which carries the mismatched regions.
+var ErrCorruption = errors.New("core: corruption detected")
 
 // CorruptionError reports codeword mismatches found by an audit or a
 // failed read precheck. Per the paper, the system reacts by noting the
@@ -72,10 +128,24 @@ func (e *CorruptionError) Error() string {
 	return fmt.Sprintf("core: corruption detected in %d region(s): %v", len(e.Mismatches), e.Mismatches)
 }
 
+// Unwrap makes errors.Is(err, ErrCorruption) hold for every
+// *CorruptionError.
+func (e *CorruptionError) Unwrap() error { return ErrCorruption }
+
 // ErrClosed is returned by operations on a closed database.
 var ErrClosed = errors.New("core: database is closed")
 
+// ErrLockTimeout re-exports the lock manager's timeout sentinel so
+// callers of Txn.Lock (and of the subsystems layered above it) can write
+// errors.Is(err, core.ErrLockTimeout) without importing lockmgr.
+var ErrLockTimeout = lockmgr.ErrTimeout
+
 // Stats aggregates instrumentation counters for the benchmark harness.
+//
+// Deprecated: Stats is a thin view over the obs metrics registry, kept
+// for existing harness code. New code should use DB.Metrics, which
+// returns the full, internally consistent obs.Snapshot (histograms
+// included).
 type Stats struct {
 	Txns        uint64
 	Ops         uint64
@@ -110,7 +180,7 @@ type DB struct {
 	nextPage mem.PageID
 
 	attachMu sync.Mutex
-	attach   map[string]any
+	attach   map[*attachID]any
 
 	auditMu        sync.Mutex
 	auditSN        uint64
@@ -118,22 +188,39 @@ type DB struct {
 
 	closed atomic.Bool
 
-	statTxns    atomic.Uint64
-	statOps     atomic.Uint64
-	statUpdates atomic.Uint64
-	statReads   atomic.Uint64
-	statReadRec atomic.Uint64
-	statAudits  atomic.Uint64
-	statCkpts   atomic.Uint64
+	// reg is the database's metrics registry; every subsystem's counters
+	// and histograms live in it, and DB.Metrics snapshots it. The handles
+	// below are resolved once at build so hot paths never take the
+	// registry lock.
+	reg            *obs.Registry
+	mTxnsBegun     *obs.Counter
+	mTxnsCommitted *obs.Counter
+	mTxnsAborted   *obs.Counter
+	mOps           *obs.Counter
+	mUpdates       *obs.Counter
+	mReads         *obs.Counter
+	mReadRec       *obs.Counter
+	mAudits        *obs.Counter
+	mAuditMismatch *obs.Counter
+	mCorruptions   *obs.Counter
+	mCkpts         *obs.Counter
+	hAuditNS       *obs.Histogram
+	hCkptFlushNS   *obs.Histogram
+	hCkptSnapNS    *obs.Histogram
+	hCkptWriteNS   *obs.Histogram
+	hCkptAuditNS   *obs.Histogram
+	hCkptCertifyNS *obs.Histogram
+	hCkptCompactNS *obs.Histogram
+	hCkptTotalNS   *obs.Histogram
 }
 
 // Open creates a fresh database in cfg.Dir. It refuses a directory that
 // already contains a checkpoint anchor: existing databases must be opened
 // through package recovery so restart recovery can run.
 func Open(cfg Config) (*DB, error) {
-	cfg = cfg.WithDefaults()
-	if cfg.ArenaSize <= 0 {
-		return nil, fmt.Errorf("core: arena size required")
+	cfg, err := cfg.Normalized()
+	if err != nil {
+		return nil, err
 	}
 	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
 		return nil, fmt.Errorf("core: create dir: %w", err)
@@ -149,6 +236,7 @@ func anchorPath(dir string) string { return dir + "/" + ckpt.AnchorFileName }
 // build assembles a DB. loaded, when non-nil, carries recovered state
 // (used by package recovery via NewRecovered).
 func build(cfg Config, loaded *RecoveredState) (*DB, error) {
+	reg := obs.NewRegistry()
 	arena, err := mem.NewArena(cfg.ArenaSize, cfg.PageSize)
 	if err != nil {
 		return nil, err
@@ -160,7 +248,9 @@ func build(cfg Config, loaded *RecoveredState) (*DB, error) {
 		}
 		copy(arena.Bytes(), loaded.Image)
 	}
-	scheme, err := protect.New(arena, cfg.Protect)
+	pcfg := cfg.Protect
+	pcfg.Obs = reg
+	scheme, err := protect.New(arena, pcfg)
 	if err != nil {
 		arena.Close()
 		return nil, err
@@ -170,13 +260,17 @@ func build(cfg Config, loaded *RecoveredState) (*DB, error) {
 		arena.Close()
 		return nil, err
 	}
+	log.SetRegistry(reg)
 	ckpts, err := ckpt.Open(cfg.Dir, cfg.PageSize)
 	if err != nil {
 		log.Close()
 		arena.Close()
 		return nil, err
 	}
+	ckpts.SetRegistry(reg)
 	log.RegisterDirtyNoter(ckpts)
+	locks := lockmgr.New(cfg.LockTimeout)
+	locks.SetRegistry(reg)
 
 	db := &DB{
 		cfg:    cfg,
@@ -184,10 +278,31 @@ func build(cfg Config, loaded *RecoveredState) (*DB, error) {
 		scheme: scheme,
 		log:    log,
 		att:    wal.NewATT(1),
-		locks:  lockmgr.New(cfg.LockTimeout),
+		locks:  locks,
 		ckpts:  ckpts,
 		meta:   make(map[string][]byte),
-		attach: make(map[string]any),
+		attach: make(map[*attachID]any),
+
+		reg:            reg,
+		mTxnsBegun:     reg.Counter(obs.NameTxnsBegun),
+		mTxnsCommitted: reg.Counter(obs.NameTxnsCommitted),
+		mTxnsAborted:   reg.Counter(obs.NameTxnsAborted),
+		mOps:           reg.Counter(obs.NameOps),
+		mUpdates:       reg.Counter(obs.NameUpdates),
+		mReads:         reg.Counter(obs.NameReads),
+		mReadRec:       reg.Counter(obs.NameReadRecords),
+		mAudits:        reg.Counter(obs.NameAuditPasses),
+		mAuditMismatch: reg.Counter(obs.NameAuditMismatches),
+		mCorruptions:   reg.Counter(obs.NameCorruptions),
+		mCkpts:         reg.Counter(obs.NameCheckpoints),
+		hAuditNS:       reg.Histogram(obs.NameAuditPassNS),
+		hCkptFlushNS:   reg.Histogram(obs.NameCkptFlushNS),
+		hCkptSnapNS:    reg.Histogram(obs.NameCkptSnapNS),
+		hCkptWriteNS:   reg.Histogram(obs.NameCkptWriteNS),
+		hCkptAuditNS:   reg.Histogram(obs.NameCkptAuditNS),
+		hCkptCertifyNS: reg.Histogram(obs.NameCkptCertifyNS),
+		hCkptCompactNS: reg.Histogram(obs.NameCkptCompactNS),
+		hCkptTotalNS:   reg.Histogram(obs.NameCkptTotalNS),
 	}
 	if loaded != nil {
 		db.att = wal.NewATT(loaded.NextTxnID)
@@ -219,7 +334,10 @@ type RecoveredState struct {
 // incomplete transactions before calling this; the image is trusted.
 // Codewords (and hardware page protection) are then re-derived from it.
 func NewRecovered(cfg Config, st *RecoveredState) (*DB, error) {
-	cfg = cfg.WithDefaults()
+	cfg, err := cfg.Normalized()
+	if err != nil {
+		return nil, err
+	}
 	db, err := build(cfg, st)
 	if err != nil {
 		return nil, err
@@ -257,17 +375,44 @@ func (db *DB) Checkpoints() *ckpt.Set { return db.ckpts }
 // PageSize reports the page size.
 func (db *DB) PageSize() int { return db.cfg.PageSize }
 
-// Stats returns a snapshot of the instrumentation counters.
+// Metrics returns a snapshot of every metric in the database's registry:
+// counters, gauges and histograms from the WAL, the codeword machinery,
+// the protection scheme, the lock manager, the checkpointer and the
+// transaction engine. Every value is an atomic load against a stable
+// metric set — no torn reads, unlike the old Stats fields — though values
+// of different metrics may be skewed by in-flight work; quiesce the
+// database if exact cross-metric agreement is needed. The snapshot
+// marshals directly to JSON.
+func (db *DB) Metrics() obs.Snapshot {
+	s := db.reg.Snapshot()
+	// The page protector keeps its own call counter (it predates the
+	// registry and is also used by the fault injector); mirror it into
+	// the snapshot so one snapshot answers the paper's §5.3 question.
+	s.Counters[obs.NameProtectCalls] = db.scheme.Protector().Calls()
+	return s
+}
+
+// Observability exposes the database's metric registry, primarily for
+// registering event sinks (obs.Sink) and for tests. Metric values should
+// be read through Metrics.
+func (db *DB) Observability() *obs.Registry { return db.reg }
+
+// Stats returns a snapshot of the legacy instrumentation counters.
+//
+// Deprecated: use Metrics. Stats is derived from the same registry
+// snapshot (so it is no longer racy), but carries only the historical
+// counter subset.
 func (db *DB) Stats() Stats {
+	s := db.Metrics()
 	return Stats{
-		Txns:         db.statTxns.Load(),
-		Ops:          db.statOps.Load(),
-		Updates:      db.statUpdates.Load(),
-		Reads:        db.statReads.Load(),
-		ReadRecords:  db.statReadRec.Load(),
-		Audits:       db.statAudits.Load(),
-		Checkpoints:  db.statCkpts.Load(),
-		ProtectCalls: db.scheme.Protector().Calls(),
+		Txns:         s.Counter(obs.NameTxnsBegun),
+		Ops:          s.Counter(obs.NameOps),
+		Updates:      s.Counter(obs.NameUpdates),
+		Reads:        s.Counter(obs.NameReads),
+		ReadRecords:  s.Counter(obs.NameReadRecords),
+		Audits:       s.Counter(obs.NameAuditPasses),
+		Checkpoints:  s.Counter(obs.NameCheckpoints),
+		ProtectCalls: s.Counter(obs.NameProtectCalls),
 	}
 }
 
@@ -313,22 +458,6 @@ func (db *DB) AllocatedPages() int {
 	db.metaMu.Lock()
 	defer db.metaMu.Unlock()
 	return int(db.nextPage)
-}
-
-// Attach stores a runtime-only object under key (e.g. the heap catalog
-// cache); attachments are not persisted.
-func (db *DB) Attach(key string, v any) {
-	db.attachMu.Lock()
-	defer db.attachMu.Unlock()
-	db.attach[key] = v
-}
-
-// Attachment fetches a runtime attachment.
-func (db *DB) Attachment(key string) (any, bool) {
-	db.attachMu.Lock()
-	defer db.attachMu.Unlock()
-	v, ok := db.attach[key]
-	return v, ok
 }
 
 const allocMetaKey = "\x00core.alloc"
@@ -450,40 +579,76 @@ func (db *DB) Checkpoint() error {
 	if db.closed.Load() {
 		return ErrClosed
 	}
+	total := time.Now()
 	db.barrier.Lock()
 	if db.closed.Load() { // see Audit: Close drains the barrier
 		db.barrier.Unlock()
 		return ErrClosed
 	}
+	phase := time.Now()
 	if err := db.log.Flush(); err != nil {
 		db.barrier.Unlock()
 		return err
 	}
+	db.notePhase("flush", db.hCkptFlushNS, phase)
+	phase = time.Now()
 	ckEnd := db.log.StableEnd()
 	attBytes := wal.EncodeEntries(db.att.Snapshot())
 	metaBytes := db.encodeMeta()
 	snap := db.ckpts.Begin(db.arena, attBytes, metaBytes, ckEnd)
 	db.barrier.Unlock()
+	db.notePhase("snapshot", db.hCkptSnapNS, phase)
 
+	phase = time.Now()
 	if err := db.ckpts.Write(snap, db.arena.Size()); err != nil {
 		return err
 	}
+	db.notePhase("write", db.hCkptWriteNS, phase)
+	phase = time.Now()
 	if err := db.Audit(); err != nil {
 		return err // CorruptionError: checkpoint not certified
 	}
+	db.notePhase("audit", db.hCkptAuditNS, phase)
+	phase = time.Now()
 	if err := db.ckpts.Certify(snap, db.LastCleanAuditLSN()); err != nil {
 		return err
 	}
-	db.statCkpts.Add(1)
+	db.notePhase("certify", db.hCkptCertifyNS, phase)
+	db.mCkpts.Inc()
 	// Records below the certified CK_end are no longer needed by any
 	// recovery path (restart and corruption recovery scan from the current
 	// anchor's CK_end); compact them away so the log stays bounded.
 	if !db.cfg.DisableLogCompaction {
+		phase = time.Now()
 		if err := db.log.Compact(snap.CKEnd); err != nil {
 			return fmt.Errorf("core: log compaction: %w", err)
 		}
+		db.notePhase("compact", db.hCkptCompactNS, phase)
+	}
+	db.hCkptTotalNS.Since(total)
+	if db.reg.HasSinks() {
+		var seq uint64
+		if a, ok := db.ckpts.Anchor(); ok {
+			seq = a.SeqNo
+		}
+		db.reg.Emit(obs.CheckpointEvent{SeqNo: seq, Certified: true, Duration: time.Since(total)})
 	}
 	return nil
+}
+
+// notePhase records one checkpoint phase's duration in its histogram and,
+// when a sink is registered, emits an obs.CheckpointPhaseEvent. The event
+// carries the anchor's current sequence number (the phase may precede the
+// certify that increments it).
+func (db *DB) notePhase(name string, h *obs.Histogram, start time.Time) {
+	h.Since(start)
+	if db.reg.HasSinks() {
+		var seq uint64
+		if a, ok := db.ckpts.Anchor(); ok {
+			seq = a.SeqNo
+		}
+		db.reg.Emit(obs.CheckpointPhaseEvent{SeqNo: seq, Phase: name, Duration: time.Since(start)})
+	}
 }
 
 // schemeOpEnd forwards operation-end to schemes that defer work to it

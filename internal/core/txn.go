@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/lockmgr"
 	"repro/internal/mem"
+	"repro/internal/protect"
 	"repro/internal/wal"
 )
 
@@ -46,7 +47,7 @@ func (db *DB) Begin() (*Txn, error) {
 	entry := db.att.Begin()
 	db.log.Append(&wal.Record{Kind: wal.KindTxnBegin, Txn: entry.ID})
 	db.barrier.RUnlock()
-	db.statTxns.Add(1)
+	db.mTxnsBegun.Inc()
 	return &Txn{db: db, entry: entry}, nil
 }
 
@@ -74,7 +75,12 @@ func (t *Txn) Lock(key wal.ObjectKey, mode lockmgr.Mode) error {
 	if t.recoveryMode {
 		return nil
 	}
-	return t.db.locks.Lock(t.entry.ID, key, mode)
+	if err := t.db.locks.Lock(t.entry.ID, key, mode); err != nil {
+		// The lockmgr sentinel stays reachable: errors.Is(err,
+		// core.ErrLockTimeout) holds for a timed-out wait.
+		return fmt.Errorf("core: txn %d: lock key %d (%s): %w", t.entry.ID, key, mode, err)
+	}
+	return nil
 }
 
 // BeginOp opens a lower-level operation on key at the given level. The
@@ -91,7 +97,7 @@ func (t *Txn) BeginOp(level uint8, key wal.ObjectKey) error {
 	t.entry.Redo = append(t.entry.Redo, &wal.Record{
 		Kind: wal.KindOpBegin, Txn: t.entry.ID, Level: level, Key: key,
 	})
-	t.db.statOps.Add(1)
+	t.db.mOps.Inc()
 	return nil
 }
 
@@ -214,15 +220,15 @@ func (t *Txn) Read(addr mem.Addr, n int) ([]byte, error) {
 	}
 	info, err := t.db.scheme.Read(addr, n)
 	if err != nil {
-		return nil, err
+		return nil, t.wrapReadErr(addr, n, err)
 	}
-	t.db.statReads.Add(1)
+	t.db.mReads.Inc()
 	if info.LogRead {
 		t.entry.Redo = append(t.entry.Redo, &wal.Record{
 			Kind: wal.KindRead, Txn: t.entry.ID, Addr: addr, Len: n,
 			HasCW: info.HasCW, CW: info.CW,
 		})
-		t.db.statReadRec.Add(1)
+		t.db.mReadRec.Inc()
 	}
 	out := make([]byte, n)
 	copy(out, t.db.arena.Slice(addr, n))
@@ -240,15 +246,15 @@ func (t *Txn) ReadInto(addr mem.Addr, dst []byte) (int, error) {
 	}
 	info, err := t.db.scheme.Read(addr, len(dst))
 	if err != nil {
-		return 0, err
+		return 0, t.wrapReadErr(addr, len(dst), err)
 	}
-	t.db.statReads.Add(1)
+	t.db.mReads.Inc()
 	if info.LogRead {
 		t.entry.Redo = append(t.entry.Redo, &wal.Record{
 			Kind: wal.KindRead, Txn: t.entry.ID, Addr: addr, Len: len(dst),
 			HasCW: info.HasCW, CW: info.CW,
 		})
-		t.db.statReadRec.Add(1)
+		t.db.mReadRec.Inc()
 	}
 	copy(dst, t.db.arena.Slice(addr, len(dst)))
 	return len(dst), nil
@@ -273,10 +279,20 @@ func (t *Txn) Commit() error {
 	t.entry.Redo = nil
 	t.db.barrier.RUnlock()
 	if err != nil {
-		return err
+		return fmt.Errorf("core: txn %d: commit flush: %w", t.entry.ID, err)
 	}
 	t.finish(wal.TxnCommitted)
 	return nil
+}
+
+// wrapReadErr contextualizes a scheme read failure. A precheck mismatch is
+// corruption: the wrapped chain matches both errors.Is(err, ErrCorruption)
+// and errors.Is(err, protect.ErrPrecheckFailed).
+func (t *Txn) wrapReadErr(addr mem.Addr, n int, err error) error {
+	if errors.Is(err, protect.ErrPrecheckFailed) {
+		return fmt.Errorf("core: txn %d: read [%d,+%d): %w: %w", t.entry.ID, addr, n, ErrCorruption, err)
+	}
+	return fmt.Errorf("core: txn %d: read [%d,+%d): %w", t.entry.ID, addr, n, err)
 }
 
 // Abort rolls the transaction back: physical updates of the open
@@ -393,6 +409,11 @@ func (t *Txn) FinishAborted() {
 func (t *Txn) finish(state wal.TxnState) {
 	// Any deferred page exposures end with the transaction.
 	t.db.schemeOpEnd()
+	if state == wal.TxnCommitted {
+		t.db.mTxnsCommitted.Inc()
+	} else {
+		t.db.mTxnsAborted.Inc()
+	}
 	t.entry.State = state
 	t.db.att.Remove(t.entry.ID)
 	if !t.recoveryMode {

@@ -58,7 +58,7 @@ func (t *Txn) BeginUpdate(addr mem.Addr, n int) (*Update, error) {
 	}
 	t.entry.PushPhysUndo(addr, before)
 	t.pendingUpdate = true
-	db.statUpdates.Add(1)
+	db.mUpdates.Inc()
 	return &Update{
 		t:       t,
 		addr:    addr,

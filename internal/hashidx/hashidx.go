@@ -47,11 +47,14 @@ const (
 )
 
 const (
-	catalogMetaKey   = "hashidx.catalog"
-	catalogAttachKey = "hashidx.catalog.live"
+	catalogMetaKey = "hashidx.catalog"
 	// keySpaceBit distinguishes index object keys from heap RIDs.
 	keySpaceBit = uint64(1) << 63
 )
+
+// catalogKey attaches the live catalog cache to its DB (typed, see the
+// heap catalog's key).
+var catalogKey = core.NewAttachKey[*Catalog]("hashidx.catalog.live")
 
 // Common errors.
 var (
@@ -90,25 +93,23 @@ type Catalog struct {
 
 // Open loads (or initializes) the index catalog for db.
 func Open(db *core.DB) (*Catalog, error) {
-	if v, ok := db.Attachment(catalogAttachKey); ok {
-		return v.(*Catalog), nil
-	}
-	cat := &Catalog{
-		db:     db,
-		byName: make(map[string]*Index),
-		byID:   make(map[uint32]*Index),
-		nextID: 1,
-	}
-	if blob, ok := db.Meta(catalogMetaKey); ok {
-		if err := cat.decode(blob); err != nil {
-			return nil, err
+	return catalogKey.GetOrInit(db, func() (*Catalog, error) {
+		cat := &Catalog{
+			db:     db,
+			byName: make(map[string]*Index),
+			byID:   make(map[uint32]*Index),
+			nextID: 1,
 		}
-		for _, idx := range cat.byID {
-			idx.count = idx.scanCount()
+		if blob, ok := db.Meta(catalogMetaKey); ok {
+			if err := cat.decode(blob); err != nil {
+				return nil, err
+			}
+			for _, idx := range cat.byID {
+				idx.count = idx.scanCount()
+			}
 		}
-	}
-	db.Attach(catalogAttachKey, cat)
-	return cat, nil
+		return cat, nil
+	})
 }
 
 // CreateIndex creates an index with at least minBuckets slots (rounded up

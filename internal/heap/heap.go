@@ -56,7 +56,11 @@ const (
 )
 
 const catalogMetaKey = "heap.catalog"
-const catalogAttachKey = "heap.catalog.live"
+
+// catalogKey attaches the live catalog cache to its DB; the typed key
+// makes lookups compile-time checked (no string collisions, no type
+// assertions at call sites).
+var catalogKey = core.NewAttachKey[*Catalog]("heap.catalog.live")
 
 // Common errors.
 var (
@@ -152,22 +156,23 @@ type Catalog struct {
 // Open loads (or initializes) the heap catalog for db. Repeated calls
 // return the same catalog.
 func Open(db *core.DB) (*Catalog, error) {
-	if v, ok := db.Attachment(catalogAttachKey); ok {
-		return v.(*Catalog), nil
-	}
-	cat := &Catalog{
-		db:     db,
-		byName: make(map[string]*Table),
-		byID:   make(map[uint32]*Table),
-		nextID: 1,
-	}
-	if blob, ok := db.Meta(catalogMetaKey); ok {
-		if err := cat.decode(blob); err != nil {
-			return nil, err
+	// GetOrInit runs the build under the attachment lock, so two
+	// concurrent openers share one catalog (the old check-then-attach
+	// sequence could build two).
+	return catalogKey.GetOrInit(db, func() (*Catalog, error) {
+		cat := &Catalog{
+			db:     db,
+			byName: make(map[string]*Table),
+			byID:   make(map[uint32]*Table),
+			nextID: 1,
 		}
-	}
-	db.Attach(catalogAttachKey, cat)
-	return cat, nil
+		if blob, ok := db.Meta(catalogMetaKey); ok {
+			if err := cat.decode(blob); err != nil {
+				return nil, err
+			}
+		}
+		return cat, nil
+	})
 }
 
 // DB returns the catalog's database.

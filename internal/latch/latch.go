@@ -14,7 +14,31 @@ package latch
 import (
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
 )
+
+// waitMetrics is the optional wait instrumentation shared by a latch (or
+// by every stripe of a Striped table). When present, contended
+// acquisitions — those whose fast-path try fails — record their wait
+// duration in a histogram, bump a contention counter, and (when a sink
+// is registered) emit an obs.LatchWaitEvent.
+type waitMetrics struct {
+	reg       *obs.Registry
+	name      string
+	waitHist  *obs.Histogram
+	contended *obs.Counter
+}
+
+func (wm *waitMetrics) note(start time.Time) {
+	d := time.Since(start)
+	wm.waitHist.ObserveDuration(d)
+	wm.contended.Inc()
+	if wm.reg.HasSinks() {
+		wm.reg.Emit(obs.LatchWaitEvent{Name: wm.name, Wait: d})
+	}
+}
 
 // Latch is a shared/exclusive latch with acquisition counters. The counters
 // are maintained with atomics and are intended for tests and the benchmark
@@ -25,11 +49,29 @@ type Latch struct {
 
 	sharedAcqs    atomic.Uint64
 	exclusiveAcqs atomic.Uint64
+
+	wm *waitMetrics
+}
+
+// Instrument enables wait instrumentation on the latch. name identifies
+// the latch group in events ("wal", "protect", ...). Must be called
+// before the latch is used concurrently; the uninstrumented fast path is
+// a plain mutex acquisition.
+func (l *Latch) Instrument(reg *obs.Registry, name string, waitHist *obs.Histogram, contended *obs.Counter) {
+	l.wm = &waitMetrics{reg: reg, name: name, waitHist: waitHist, contended: contended}
 }
 
 // Lock acquires the latch in exclusive mode.
 func (l *Latch) Lock() {
-	l.mu.Lock()
+	if wm := l.wm; wm != nil {
+		if !l.mu.TryLock() {
+			start := time.Now()
+			l.mu.Lock()
+			wm.note(start)
+		}
+	} else {
+		l.mu.Lock()
+	}
 	l.exclusiveAcqs.Add(1)
 }
 
@@ -38,7 +80,15 @@ func (l *Latch) Unlock() { l.mu.Unlock() }
 
 // RLock acquires the latch in shared mode.
 func (l *Latch) RLock() {
-	l.mu.RLock()
+	if wm := l.wm; wm != nil {
+		if !l.mu.TryRLock() {
+			start := time.Now()
+			l.mu.RLock()
+			wm.note(start)
+		}
+	} else {
+		l.mu.RLock()
+	}
 	l.sharedAcqs.Add(1)
 }
 
@@ -77,6 +127,15 @@ func NewStriped(n int) *Striped {
 
 // Len reports the number of stripes.
 func (s *Striped) Len() int { return len(s.stripes) }
+
+// Instrument enables wait instrumentation on every stripe (shared
+// histogram and counter). Must be called before concurrent use.
+func (s *Striped) Instrument(reg *obs.Registry, name string, waitHist *obs.Histogram, contended *obs.Counter) {
+	wm := &waitMetrics{reg: reg, name: name, waitHist: waitHist, contended: contended}
+	for i := range s.stripes {
+		s.stripes[i].wm = wm
+	}
+}
 
 // For returns the latch for key.
 func (s *Striped) For(key uint64) *Latch {

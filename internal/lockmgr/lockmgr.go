@@ -19,6 +19,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/wal"
 )
 
@@ -58,6 +59,23 @@ type Manager struct {
 
 	waits    uint64
 	timeouts uint64
+
+	reg       *obs.Registry
+	mAcquires *obs.Counter
+	mWaits    *obs.Counter
+	mTimeouts *obs.Counter
+	hWaitNS   *obs.Histogram
+}
+
+// SetRegistry wires the manager's acquire/wait/timeout counters and the
+// wait-duration histogram into reg. Must be called before concurrent use
+// (core.Open does this while building the database).
+func (m *Manager) SetRegistry(reg *obs.Registry) {
+	m.reg = reg
+	m.mAcquires = reg.Counter(obs.NameLockAcquires)
+	m.mWaits = reg.Counter(obs.NameLockWaits)
+	m.mTimeouts = reg.Counter(obs.NameLockTimeouts)
+	m.hWaitNS = reg.Histogram(obs.NameLockWaitNS)
 }
 
 type lockState struct {
@@ -113,17 +131,21 @@ func (m *Manager) Lock(txn wal.TxnID, key wal.ObjectKey, mode Mode) error {
 		m.locks[key] = s
 	}
 
-	var deadline time.Time
+	var deadline, waitStart time.Time
 	waited := false
 	for !s.compatible(txn, mode) {
 		if m.timeout == 0 {
 			m.timeouts++
+			m.mTimeouts.Inc()
+			m.noteWait(key, 0, true)
 			return fmt.Errorf("%w: txn %d, key %d (%s)", ErrTimeout, txn, key, mode)
 		}
 		if !waited {
 			waited = true
 			m.waits++
-			deadline = time.Now().Add(m.timeout)
+			m.mWaits.Inc()
+			waitStart = time.Now()
+			deadline = waitStart.Add(m.timeout)
 			// A single watchdog per wait broadcasts on timeout so the
 			// condition loop can observe the deadline.
 			go func(s *lockState, d time.Time) {
@@ -135,11 +157,16 @@ func (m *Manager) Lock(txn wal.TxnID, key wal.ObjectKey, mode Mode) error {
 		}
 		if time.Now().After(deadline) {
 			m.timeouts++
+			m.mTimeouts.Inc()
+			m.noteWait(key, time.Since(waitStart), true)
 			return fmt.Errorf("%w: txn %d, key %d (%s)", ErrTimeout, txn, key, mode)
 		}
 		s.waiters++
 		s.cond.Wait()
 		s.waiters--
+	}
+	if waited {
+		m.noteWait(key, time.Since(waitStart), false)
 	}
 
 	s.holders[txn] = mode
@@ -147,7 +174,18 @@ func (m *Manager) Lock(txn wal.TxnID, key wal.ObjectKey, mode Mode) error {
 		m.held[txn] = make(map[wal.ObjectKey]Mode)
 	}
 	m.held[txn][key] = mode
+	m.mAcquires.Inc()
 	return nil
+}
+
+// noteWait records a completed lock wait in the wait histogram and, when
+// a sink is registered, emits an obs.LockWaitEvent. Called with m.mu
+// held; sinks must not re-enter the lock manager.
+func (m *Manager) noteWait(key wal.ObjectKey, wait time.Duration, timedOut bool) {
+	m.hWaitNS.ObserveDuration(wait)
+	if m.reg.HasSinks() {
+		m.reg.Emit(obs.LockWaitEvent{Key: uint64(key), Wait: wait, TimedOut: timedOut})
+	}
 }
 
 // TryLock acquires without waiting; it reports false on conflict.
@@ -171,6 +209,7 @@ func (m *Manager) TryLock(txn wal.TxnID, key wal.ObjectKey, mode Mode) bool {
 		m.held[txn] = make(map[wal.ObjectKey]Mode)
 	}
 	m.held[txn][key] = mode
+	m.mAcquires.Inc()
 	return true
 }
 

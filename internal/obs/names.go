@@ -1,0 +1,77 @@
+package obs
+
+// Canonical metric names used by the storage manager. Subsystems create
+// these through Registry get-or-create calls; tools (cmd/dbstat, the
+// benchmark harnesses) read them from snapshots by the same names.
+//
+// Naming: "<subsystem>.<metric>"; histograms of durations end in "_ns"
+// and hold nanoseconds.
+const (
+	// internal/core — transaction and operation rates.
+	NameTxnsBegun     = "core.txns_begun"
+	NameTxnsCommitted = "core.txns_committed"
+	NameTxnsAborted   = "core.txns_aborted"
+	NameOps           = "core.ops"
+	NameUpdates       = "core.updates"
+	NameReads         = "core.reads"
+	NameReadRecords   = "core.read_records"
+
+	// internal/core — audit passes over the codeword table.
+	NameAuditPasses     = "core.audit_passes"
+	NameAuditPassNS     = "core.audit_pass_ns" // histogram
+	NameAuditMismatches = "core.audit_mismatches"
+	NameCorruptions     = "core.corruptions_detected"
+
+	// internal/core — ping-pong checkpoint phases.
+	NameCheckpoints   = "core.checkpoints"
+	NameCkptFlushNS   = "core.ckpt_flush_ns"   // histogram: log flush under barrier
+	NameCkptSnapNS    = "core.ckpt_snapshot_ns" // histogram: ATT/meta/dirty-page capture
+	NameCkptWriteNS   = "core.ckpt_write_ns"   // histogram: image write
+	NameCkptAuditNS   = "core.ckpt_audit_ns"   // histogram: certification audit
+	NameCkptCertifyNS = "core.ckpt_certify_ns" // histogram: anchor certify
+	NameCkptCompactNS = "core.ckpt_compact_ns" // histogram: log compaction
+	NameCkptTotalNS   = "core.ckpt_total_ns"   // histogram: end-to-end
+
+	// internal/wal — system log.
+	NameWALAppends       = "wal.appends"
+	NameWALAppendBytes   = "wal.append_bytes"
+	NameWALFlushes       = "wal.flushes"
+	NameWALFlushErrors   = "wal.flush_errors"
+	NameWALFsyncNS       = "wal.fsync_ns"             // histogram: write+sync duration
+	NameWALFlushBytes    = "wal.flush_bytes"          // histogram: bytes per flush
+	NameWALGroupCommit   = "wal.group_commit_records" // histogram: records per flush
+	NameWALCompactions   = "wal.compactions"
+	NameWALLatchWaitNS   = "wal.latch_wait_ns" // histogram: contended log-latch waits
+	NameWALLatchContends = "wal.latch_contended"
+
+	// internal/region — codeword table maintenance.
+	NameRegionFolds         = "region.folds"
+	NameRegionFoldBytes     = "region.fold_bytes"
+	NameRegionAudited       = "region.regions_audited"
+	NameRegionCWWaitNS      = "region.cwlatch_wait_ns" // histogram
+	NameRegionCWContends    = "region.cwlatch_contended"
+	NameRegionDeferredQueue = "region.deferred_pending" // gauge: queued deltas (DeferredCW)
+
+	// internal/protect — scheme-specific costs.
+	NamePrecheckRegions    = "protect.precheck_regions" // regions verified before reads
+	NamePrecheckFailures   = "protect.precheck_failures"
+	NameCWCaptures         = "protect.cw_captures" // codewords captured into read log records
+	NameDeferredDrains     = "protect.deferred_drains"
+	NameHWExposes          = "protect.hw_exposes"    // mprotect: pages made writable
+	NameHWReprotects       = "protect.hw_reprotects" // mprotect: pages re-protected
+	NameProtLatchWaitNS    = "protect.latch_wait_ns" // histogram: contended protection-latch waits
+	NameProtLatchContends  = "protect.latch_contended"
+	NameProtectCalls       = "protect.protect_calls" // snapshot of Protector.Calls()
+	NameProtectRegionBytes = "protect.region_bytes"  // gauge: configured region size
+
+	// internal/lockmgr — transaction locks.
+	NameLockAcquires = "lockmgr.acquires"
+	NameLockWaits    = "lockmgr.waits"
+	NameLockTimeouts = "lockmgr.timeouts"
+	NameLockWaitNS   = "lockmgr.wait_ns" // histogram: time spent waiting (incl. timeouts)
+
+	// internal/ckpt — checkpoint image writer.
+	NameCkptPagesWritten = "ckpt.pages_written"
+	NameCkptBytesWritten = "ckpt.bytes_written"
+	NameCkptDirtyClean   = "ckpt.dirty_skipped" // pages skipped as clean by the dirty-page map
+)

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/latch"
 	"repro/internal/mem"
+	"repro/internal/obs"
 	"repro/internal/region"
 )
 
@@ -28,6 +29,8 @@ type codewordScheme struct {
 	arena *mem.Arena
 	tab   *region.Table
 	prot  *latch.Striped // the paper's protection latches
+
+	mCWCaptures *obs.Counter // codewords captured for read-log records
 }
 
 func newCodewordScheme(arena *mem.Arena, cfg Config) (*codewordScheme, error) {
@@ -36,11 +39,15 @@ func newCodewordScheme(arena *mem.Arena, cfg Config) (*codewordScheme, error) {
 		return nil, err
 	}
 	s := &codewordScheme{
-		kind:  cfg.Kind,
-		arena: arena,
-		tab:   tab,
-		prot:  latch.NewStriped(min(cfg.LatchStripes, tab.NumRegions())),
+		kind:        cfg.Kind,
+		arena:       arena,
+		tab:         tab,
+		prot:        latch.NewStriped(min(cfg.LatchStripes, tab.NumRegions())),
+		mCWCaptures: cfg.Obs.Counter(obs.NameCWCaptures),
 	}
+	tab.SetRegistry(cfg.Obs)
+	s.prot.Instrument(cfg.Obs, "protect",
+		cfg.Obs.Histogram(obs.NameProtLatchWaitNS), cfg.Obs.Counter(obs.NameProtLatchContends))
 	tab.RecomputeAll(arena)
 	return s, nil
 }
@@ -150,6 +157,7 @@ func (s *codewordScheme) Read(addr mem.Addr, n int) (ReadInfo, error) {
 		cw ^= region.Compute(s.arena.Slice(start, s.tab.RegionSize()))
 	}
 	g.Release()
+	s.mCWCaptures.Inc()
 	return ReadInfo{LogRead: true, HasCW: true, CW: cw}, nil
 }
 

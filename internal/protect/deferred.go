@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/latch"
 	"repro/internal/mem"
+	"repro/internal/obs"
 	"repro/internal/region"
 )
 
@@ -36,6 +37,9 @@ type deferredScheme struct {
 	drainThreshold int
 
 	drains uint64
+
+	mDrains  *obs.Counter
+	gPending *obs.Gauge
 }
 
 func newDeferredScheme(arena *mem.Arena, cfg Config) (*deferredScheme, error) {
@@ -48,7 +52,12 @@ func newDeferredScheme(arena *mem.Arena, cfg Config) (*deferredScheme, error) {
 		tab:            tab,
 		prot:           latch.NewStriped(min(cfg.LatchStripes, tab.NumRegions())),
 		drainThreshold: 4096,
+		mDrains:        cfg.Obs.Counter(obs.NameDeferredDrains),
+		gPending:       cfg.Obs.Gauge(obs.NameRegionDeferredQueue),
 	}
+	tab.SetRegistry(cfg.Obs)
+	s.prot.Instrument(cfg.Obs, "protect",
+		cfg.Obs.Histogram(obs.NameProtLatchWaitNS), cfg.Obs.Counter(obs.NameProtLatchContends))
 	tab.RecomputeAll(arena)
 	return s, nil
 }
@@ -81,6 +90,7 @@ func (s *deferredScheme) EndUpdate(tok *UpdateToken, old, new []byte) error {
 	s.mu.Lock()
 	s.pending = append(s.pending, deltas...)
 	needDrain := len(s.pending) >= s.drainThreshold
+	s.gPending.Set(int64(len(s.pending)))
 	s.mu.Unlock()
 	tok.guard.Release()
 	if needDrain {
@@ -114,6 +124,8 @@ func (s *deferredScheme) Drain() {
 	}
 	s.pending = s.pending[:0]
 	s.drains++
+	s.mDrains.Inc()
+	s.gPending.Set(0)
 }
 
 // PendingDeltas reports the current queue depth (tests, instrumentation).

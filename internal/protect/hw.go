@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/mem"
+	"repro/internal/obs"
 	"repro/internal/region"
 )
 
@@ -33,6 +34,9 @@ type hwScheme struct {
 	// (grouped exposure); pending tracks them.
 	deferReprotect bool
 	pending        map[mem.PageID]struct{}
+
+	mExposes    *obs.Counter
+	mReprotects *obs.Counter
 }
 
 // chanMutex is a tiny mutex built on a buffered channel so hwScheme has
@@ -63,6 +67,8 @@ func newHWScheme(arena *mem.Arena, cfg Config) (*hwScheme, error) {
 		exposed:        make([]int, arena.NumPages()),
 		deferReprotect: cfg.HWDeferReprotect,
 		pending:        make(map[mem.PageID]struct{}),
+		mExposes:       cfg.Obs.Counter(obs.NameHWExposes),
+		mReprotects:    cfg.Obs.Counter(obs.NameHWReprotects),
 	}
 	if err := s.protectAll(); err != nil {
 		return nil, err
@@ -106,6 +112,8 @@ func (s *hwScheme) BeginUpdate(addr mem.Addr, n int) (*UpdateToken, error) {
 					s.exposed[undo]--
 				}
 				return nil, err
+			} else {
+				s.mExposes.Inc()
 			}
 		}
 		tok.pages = append(tok.pages, id)
@@ -134,8 +142,12 @@ func (s *hwScheme) release(tok *UpdateToken) error {
 				s.pending[id] = struct{}{}
 				continue
 			}
-			if err := s.prot.Protect(id); err != nil && firstErr == nil {
-				firstErr = err
+			if err := s.prot.Protect(id); err != nil {
+				if firstErr == nil {
+					firstErr = err
+				}
+			} else {
+				s.mReprotects.Inc()
 			}
 		}
 	}
@@ -151,8 +163,12 @@ func (s *hwScheme) OpEnd() error {
 	var firstErr error
 	for id := range s.pending {
 		if s.exposed[id] == 0 {
-			if err := s.prot.Protect(id); err != nil && firstErr == nil {
-				firstErr = err
+			if err := s.prot.Protect(id); err != nil {
+				if firstErr == nil {
+					firstErr = err
+				}
+			} else {
+				s.mReprotects.Inc()
 			}
 		}
 		delete(s.pending, id)

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/latch"
 	"repro/internal/mem"
+	"repro/internal/obs"
 	"repro/internal/region"
 )
 
@@ -23,6 +24,10 @@ type precheckScheme struct {
 	arena *mem.Arena
 	tab   *region.Table
 	prot  *latch.Striped
+
+	reg       *obs.Registry
+	mRegions  *obs.Counter // regions verified before reads (precheck hits)
+	mFailures *obs.Counter // prechecks that caught corruption
 }
 
 func newPrecheckScheme(arena *mem.Arena, cfg Config) (*precheckScheme, error) {
@@ -31,10 +36,16 @@ func newPrecheckScheme(arena *mem.Arena, cfg Config) (*precheckScheme, error) {
 		return nil, err
 	}
 	s := &precheckScheme{
-		arena: arena,
-		tab:   tab,
-		prot:  latch.NewStriped(min(cfg.LatchStripes, tab.NumRegions())),
+		arena:     arena,
+		tab:       tab,
+		prot:      latch.NewStriped(min(cfg.LatchStripes, tab.NumRegions())),
+		reg:       cfg.Obs,
+		mRegions:  cfg.Obs.Counter(obs.NamePrecheckRegions),
+		mFailures: cfg.Obs.Counter(obs.NamePrecheckFailures),
 	}
+	tab.SetRegistry(cfg.Obs)
+	s.prot.Instrument(cfg.Obs, "protect",
+		cfg.Obs.Histogram(obs.NameProtLatchWaitNS), cfg.Obs.Counter(obs.NameProtLatchContends))
 	tab.RecomputeAll(arena)
 	return s, nil
 }
@@ -89,9 +100,15 @@ func (s *precheckScheme) Read(addr mem.Addr, n int) (ReadInfo, error) {
 	defer g.Release()
 	for r := first; r <= last; r++ {
 		if !s.tab.VerifyRegion(s.arena, r) {
+			s.mFailures.Inc()
+			if s.reg.HasSinks() {
+				s.reg.Emit(obs.PrecheckFailEvent{Region: uint64(r), Addr: uint64(addr), Len: n})
+				s.reg.Emit(obs.CorruptionEvent{Source: "precheck", Mismatches: 1})
+			}
 			return ReadInfo{}, fmt.Errorf("%w: region %d [%d,+%d)",
 				ErrPrecheckFailed, r, s.tab.RegionStart(r), s.tab.RegionSize())
 		}
+		s.mRegions.Inc()
 	}
 	return ReadInfo{}, nil
 }

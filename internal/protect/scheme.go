@@ -28,6 +28,7 @@ import (
 
 	"repro/internal/latch"
 	"repro/internal/mem"
+	"repro/internal/obs"
 	"repro/internal/region"
 )
 
@@ -104,6 +105,11 @@ type Config struct {
 	// record) then pays one protect/unprotect pair instead of one per
 	// update.
 	HWDeferReprotect bool
+	// Obs, when non-nil, receives the scheme's metrics and events
+	// (precheck hits/misses, fold counters, protection-latch waits, page
+	// exposures). core.Open wires the database's registry in here. Nil
+	// leaves the scheme counting into private, unregistered metrics.
+	Obs *obs.Registry
 }
 
 // Defaulted returns the configuration with unset fields defaulted, as New
@@ -217,20 +223,29 @@ type OpEnder interface {
 // New constructs the scheme described by cfg over arena.
 func New(arena *mem.Arena, cfg Config) (Scheme, error) {
 	cfg = cfg.withDefaults()
+	var s Scheme
+	var err error
 	switch cfg.Kind {
 	case KindBaseline:
-		return &baseline{arena: arena}, nil
+		s = &baseline{arena: arena}
 	case KindDataCW, KindReadLog, KindCWReadLog:
-		return newCodewordScheme(arena, cfg)
+		s, err = newCodewordScheme(arena, cfg)
 	case KindPrecheck:
-		return newPrecheckScheme(arena, cfg)
+		s, err = newPrecheckScheme(arena, cfg)
 	case KindDeferredCW:
-		return newDeferredScheme(arena, cfg)
+		s, err = newDeferredScheme(arena, cfg)
 	case KindHW:
-		return newHWScheme(arena, cfg)
+		s, err = newHWScheme(arena, cfg)
 	default:
 		return nil, fmt.Errorf("protect: unknown scheme kind %d", cfg.Kind)
 	}
+	if err != nil {
+		return nil, err
+	}
+	// The effective region size (0 for schemes without codewords) is
+	// published as a gauge so snapshots are self-describing.
+	cfg.Obs.Gauge(obs.NameProtectRegionBytes).Set(int64(s.RegionSize()))
+	return s, nil
 }
 
 // baseline is the unprotected configuration of Table 2's first row.

@@ -25,7 +25,10 @@ import (
 // caller needs an archive image this reproduction does not retain, and an
 // error is returned).
 func PriorState(cfg core.Config, before wal.LSN, opts Options) (*core.DB, *Report, error) {
-	cfg = cfg.WithDefaults()
+	cfg, err := cfg.Normalized()
+	if err != nil {
+		return nil, nil, err
+	}
 	if loaded, err := ckpt.Load(cfg.Dir); err == nil {
 		if loaded.Anchor.CKEnd > before {
 			return nil, nil, fmt.Errorf(

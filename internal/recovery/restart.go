@@ -84,7 +84,10 @@ type Report struct {
 // restart recovery runs. Recovery ends with a checkpoint, so a subsequent
 // crash recovers from a clean image.
 func Open(cfg core.Config, opts Options) (*core.DB, *Report, error) {
-	cfg = cfg.WithDefaults()
+	cfg, err := cfg.Normalized()
+	if err != nil {
+		return nil, nil, err
+	}
 	report := &Report{}
 
 	anchorExists := fileExists(filepath.Join(cfg.Dir, ckpt.AnchorFileName))
@@ -147,7 +150,10 @@ type ImageState struct {
 // anchor and images in the directory are ignored and replaced by the
 // completion checkpoint.
 func OpenFromImage(cfg core.Config, st ImageState, opts Options) (*core.DB, *Report, error) {
-	cfg = cfg.WithDefaults()
+	cfg, err := cfg.Normalized()
+	if err != nil {
+		return nil, nil, err
+	}
 	imageSize := roundUp(cfg.ArenaSize, cfg.PageSize)
 	if len(st.Image) != imageSize {
 		return nil, nil, fmt.Errorf("recovery: supplied image is %d bytes, config implies %d",

@@ -25,6 +25,7 @@ import (
 
 	"repro/internal/latch"
 	"repro/internal/mem"
+	"repro/internal/obs"
 )
 
 // MinRegionSize is the smallest supported protection region: one codeword
@@ -78,6 +79,21 @@ type Table struct {
 	shift      uint
 	cws        []Codeword
 	cwLatch    *latch.Striped // the paper's "codeword latch"
+
+	// Observability: fold and audit counters. Nil until SetRegistry;
+	// nil metric handles are safe no-ops.
+	mFolds     *obs.Counter
+	mFoldBytes *obs.Counter
+	mAudited   *obs.Counter
+}
+
+// SetRegistry wires the table's fold/audit counters and codeword-latch
+// wait instrumentation into reg. Must be called before concurrent use.
+func (t *Table) SetRegistry(reg *obs.Registry) {
+	t.mFolds = reg.Counter(obs.NameRegionFolds)
+	t.mFoldBytes = reg.Counter(obs.NameRegionFoldBytes)
+	t.mAudited = reg.Counter(obs.NameRegionAudited)
+	t.cwLatch.Instrument(reg, "region.cw", reg.Histogram(obs.NameRegionCWWaitNS), reg.Counter(obs.NameRegionCWContends))
 }
 
 // NewTable creates a codeword table for an image of arenaSize bytes with
@@ -184,6 +200,8 @@ func (t *Table) ApplyUpdate(addr mem.Addr, oldData, newData []byte) error {
 			}
 		}
 		t.xorInto(r, delta)
+		t.mFolds.Inc()
+		t.mFoldBytes.Add(uint64(end - i))
 		i = end
 	}
 	return nil
@@ -228,6 +246,8 @@ func (t *Table) UpdateDeltas(buf []Delta, addr mem.Addr, oldData, newData []byte
 		if delta != 0 {
 			buf = append(buf, Delta{Region: r, Delta: delta})
 		}
+		t.mFolds.Inc()
+		t.mFoldBytes.Add(uint64(end - i))
 		i = end
 	}
 	return buf, nil
@@ -287,6 +307,12 @@ func (m Mismatch) String() string {
 func (t *Table) AuditRange(a *mem.Arena, addr mem.Addr, n int) []Mismatch {
 	first, last := t.RegionRange(addr, n)
 	var out []Mismatch
+	if last >= len(t.cws) {
+		last = len(t.cws) - 1
+	}
+	if first <= last {
+		t.mAudited.Add(uint64(last - first + 1))
+	}
 	for r := first; r <= last && r < len(t.cws); r++ {
 		start := t.RegionStart(r)
 		actual := Compute(a.Slice(start, t.regionSize))

@@ -5,9 +5,11 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"time"
 
 	"repro/internal/latch"
 	"repro/internal/mem"
+	"repro/internal/obs"
 )
 
 // LogFileName is the name of the stable system log within a database
@@ -86,6 +88,44 @@ type SystemLog struct {
 
 	flushes uint64
 	appends uint64
+
+	// Observability. The metric handles are resolved once (at open or
+	// SetRegistry) so hot paths pay only the atomic add, never a map
+	// lookup. reg defaults to nil (private metrics, no sinks) until the
+	// owning database wires its registry in.
+	reg          *obs.Registry
+	mAppends     *obs.Counter
+	mAppendBytes *obs.Counter
+	mFlushes     *obs.Counter
+	mFlushErrors *obs.Counter
+	mCompactions *obs.Counter
+	hFsyncNS     *obs.Histogram
+	hFlushBytes  *obs.Histogram
+	hGroupCommit *obs.Histogram
+}
+
+// SetRegistry wires the log's metrics and events into reg: append/flush
+// counters, fsync-duration and flush-size histograms, the group-commit
+// batch-size histogram, and wait instrumentation on the system log latch.
+// Must be called before concurrent use begins (core.Open does this while
+// building the database). A nil registry leaves the log counting into
+// private, unregistered metrics.
+func (l *SystemLog) SetRegistry(reg *obs.Registry) {
+	l.reg = reg
+	l.initMetrics()
+	l.latch.Instrument(reg, "wal", reg.Histogram(obs.NameWALLatchWaitNS), reg.Counter(obs.NameWALLatchContends))
+}
+
+func (l *SystemLog) initMetrics() {
+	reg := l.reg
+	l.mAppends = reg.Counter(obs.NameWALAppends)
+	l.mAppendBytes = reg.Counter(obs.NameWALAppendBytes)
+	l.mFlushes = reg.Counter(obs.NameWALFlushes)
+	l.mFlushErrors = reg.Counter(obs.NameWALFlushErrors)
+	l.mCompactions = reg.Counter(obs.NameWALCompactions)
+	l.hFsyncNS = reg.Histogram(obs.NameWALFsyncNS)
+	l.hFlushBytes = reg.Histogram(obs.NameWALFlushBytes)
+	l.hGroupCommit = reg.Histogram(obs.NameWALGroupCommit)
 }
 
 // endLocked is the LSN one past the last appended record, accounting for
@@ -238,6 +278,7 @@ func (l *SystemLog) Compact(keepFrom LSN) error {
 	l.f.Close()
 	l.f = nf
 	l.baseLSN = keepFrom
+	l.mCompactions.Inc()
 	return nil
 }
 
@@ -261,9 +302,15 @@ func (l *SystemLog) Append(recs ...*Record) {
 func (l *SystemLog) appendLocked(recs []*Record) {
 	for _, r := range recs {
 		r.LSN = l.endLocked()
+		before := len(l.tail)
 		l.tail = r.Encode(l.tail)
 		l.tailRecs = append(l.tailRecs, tailRec{lsn: r.LSN, kind: r.Kind, addr: r.Addr, n: len(r.Data)})
 		l.appends++
+		l.mAppends.Inc()
+		l.mAppendBytes.Add(uint64(len(l.tail) - before))
+		if l.reg.HasSinks() {
+			l.reg.Emit(obs.LogAppendEvent{Bytes: len(l.tail) - before})
+		}
 	}
 }
 
@@ -317,10 +364,29 @@ func (l *SystemLog) flushToLocked(target LSN) error {
 		l.flushLen = len(buf)
 		l.latch.Unlock()
 
+		start := time.Now()
 		_, werr := l.f.Write(buf)
 		var serr error
 		if werr == nil {
 			serr = l.f.Sync()
+		}
+		fsync := time.Since(start)
+		ferr := werr
+		if ferr == nil {
+			ferr = serr
+		}
+		// One group-commit batch: record its size in records and bytes
+		// and the time spent in the write+sync. No latch is held here.
+		l.hFsyncNS.ObserveDuration(fsync)
+		l.hFlushBytes.Observe(uint64(len(buf)))
+		l.hGroupCommit.Observe(uint64(len(recs)))
+		if ferr != nil {
+			l.mFlushErrors.Inc()
+		} else {
+			l.mFlushes.Inc()
+		}
+		if l.reg.HasSinks() {
+			l.reg.Emit(obs.LogFlushEvent{Records: len(recs), Bytes: len(buf), Fsync: fsync, Err: ferr})
 		}
 
 		l.latch.Lock()

@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race cover bench table1 table2 faultstudy examples clean
+.PHONY: all build vet test race cover bench bench-smoke table1 table2 faultstudy examples clean
 
 all: build vet test
 
@@ -11,10 +11,19 @@ build:
 
 # Static checks plus a race-detector pass over the subsystems with the
 # most cross-goroutine state (metrics registry, WAL group commit, the
-# concurrent TPC-B driver).
-vet:
+# concurrent TPC-B driver), and a one-iteration smoke of the codeword
+# kernel benchmarks.
+vet: bench-smoke
 	$(GO) vet ./...
 	$(GO) test -race ./internal/core ./internal/wal ./internal/obs ./internal/tpcb
+
+# Compile-and-run smoke of the kernel/scan microbenchmarks (one iteration
+# each) plus vet and a race pass over the region package, whose pool and
+# latch paths are the most concurrency-sensitive code in the tree.
+bench-smoke:
+	$(GO) vet ./internal/region
+	$(GO) test -race ./internal/region
+	$(GO) test -run=xxx -bench=. -benchtime=1x ./internal/region
 
 test:
 	$(GO) test ./...

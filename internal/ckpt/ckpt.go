@@ -92,6 +92,9 @@ type pageSet map[mem.PageID]struct{}
 type Set struct {
 	dir      string
 	pageSize int
+	// pool chunks the per-page codeword computation of Write across
+	// workers; nil (until SetPool) keeps it on the calling goroutine.
+	pool *region.Pool
 
 	mu          sync.Mutex
 	dirty       [2]pageSet // pages dirtied since image i was last written
@@ -116,6 +119,20 @@ func (s *Set) SetRegistry(reg *obs.Registry) {
 	s.mPages = reg.Counter(obs.NameCkptPagesWritten)
 	s.mBytes = reg.Counter(obs.NameCkptBytesWritten)
 	s.mSkips = reg.Counter(obs.NameCkptDirtyClean)
+}
+
+// SetPool attaches the worker pool used to compute the written pages'
+// codewords. Must be called before concurrent use (core wires the
+// database's shared scan pool in here).
+func (s *Set) SetPool(p *region.Pool) { s.pool = p }
+
+// pageGrain is the minimum number of pages per parallel chunk, chosen so
+// each chunk covers at least 64 KiB of image.
+func pageGrain(pageSize int) int {
+	if g := (64 << 10) / pageSize; g > 1 {
+		return g
+	}
+	return 1
 }
 
 // Open prepares checkpoint management in dir, reading the anchor if one
@@ -256,8 +273,18 @@ func (s *Set) Write(snap *Snapshot, arenaSize int) error {
 	}
 
 	// Maintain the image's per-page codeword table: entries for the pages
-	// written this checkpoint, carried-over entries for the rest.
+	// written this checkpoint, carried-over entries for the rest. The
+	// per-page Compute calls are independent, so they are chunked across
+	// the scan pool (reading the snapshot's page map concurrently is safe:
+	// it is immutable by now); only the table install runs under the
+	// mutex.
 	numPages := arenaSize / s.pageSize
+	written := make([]region.Codeword, len(ids))
+	s.pool.Run(len(ids), pageGrain(s.pageSize), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			written[i] = region.Compute(snap.Pages[ids[i]])
+		}
+	})
 	s.mu.Lock()
 	if s.pageCW[snap.image] == nil {
 		if len(snap.Pages) < numPages {
@@ -267,8 +294,8 @@ func (s *Set) Write(snap *Snapshot, arenaSize int) error {
 		s.pageCW[snap.image] = make([]region.Codeword, numPages)
 	}
 	cws := s.pageCW[snap.image]
-	for id, page := range snap.Pages {
-		cws[id] = region.Compute(page)
+	for i, id := range ids {
+		cws[id] = written[i]
 	}
 	s.mu.Unlock()
 
@@ -400,10 +427,23 @@ func Load(dir string) (*Loaded, error) {
 	if numPages == 0 || len(img)%numPages != 0 {
 		return nil, fmt.Errorf("ckpt: image size %d not divisible into %d pages", len(img), numPages)
 	}
-	for id := 0; id < numPages; id++ {
-		stored := region.Codeword(binary.LittleEndian.Uint64(body[pos+8*id:]))
-		actual := region.Compute(img[id*pageSize : (id+1)*pageSize])
-		if stored != actual {
+	// The verification scan is pure (no state but the image bytes), so it
+	// is chunked across the process-wide default pool; each chunk reports
+	// its lowest corrupt page so the error is deterministic.
+	badChunks := region.RunChunked(region.DefaultPool(), numPages, pageGrain(pageSize), func(lo, hi int) int {
+		for id := lo; id < hi; id++ {
+			stored := region.Codeword(binary.LittleEndian.Uint64(body[pos+8*id:]))
+			actual := region.Compute(img[id*pageSize : (id+1)*pageSize])
+			if stored != actual {
+				return id
+			}
+		}
+		return -1
+	})
+	for _, id := range badChunks {
+		if id >= 0 {
+			stored := region.Codeword(binary.LittleEndian.Uint64(body[pos+8*id:]))
+			actual := region.Compute(img[id*pageSize : (id+1)*pageSize])
 			return nil, fmt.Errorf("ckpt: image page %d corrupt on disk (stored %016x, actual %016x)",
 				id, uint64(stored), uint64(actual))
 		}

@@ -18,6 +18,7 @@ import (
 	"errors"
 	"fmt"
 	"os"
+	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -48,18 +49,28 @@ type Config struct {
 	// DisableLogCompaction keeps the full stable log after checkpoints
 	// instead of compacting records below the certified CK_end.
 	DisableLogCompaction bool
+	// Workers sizes the shared scan worker pool used by startup/recovery
+	// codeword recompute, audit sweeps (foreground, background and
+	// checkpoint certification) and checkpoint-image codeword
+	// computation. 0 defaults to GOMAXPROCS; 1 keeps every scan on the
+	// calling goroutine.
+	Workers int
 }
 
 // Normalized returns cfg with unset fields defaulted (PageSize 4096,
-// LockTimeout 2s) and validates the result. It replaces the old silent
-// WithDefaults mutation: an impossible configuration is reported as a
-// descriptive error instead of a downstream panic.
+// LockTimeout 2s, Workers GOMAXPROCS) and validates the result. It
+// replaces the old silent WithDefaults mutation: an impossible
+// configuration is reported as a descriptive error instead of a
+// downstream panic.
 func (c Config) Normalized() (Config, error) {
 	if c.PageSize == 0 {
 		c.PageSize = 4096
 	}
 	if c.LockTimeout == 0 {
 		c.LockTimeout = 2 * time.Second
+	}
+	if c.Workers == 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
 	}
 	if err := c.Validate(); err != nil {
 		return Config{}, err
@@ -84,6 +95,9 @@ func (c Config) Validate() error {
 	}
 	if c.LockTimeout < 0 {
 		return fmt.Errorf("core: config: LockTimeout must not be negative, got %v", c.LockTimeout)
+	}
+	if c.Workers < 0 {
+		return fmt.Errorf("core: config: Workers must not be negative, got %d", c.Workers)
 	}
 	pc := c.Protect.Defaulted()
 	if schemeHasCodewords(pc.Kind) {
@@ -168,6 +182,9 @@ type DB struct {
 	att    *wal.ATT
 	locks  *lockmgr.Manager
 	ckpts  *ckpt.Set
+	// pool is the shared scan worker pool (Config.Workers): recompute,
+	// audit sweeps and checkpoint codeword computation all draw from it.
+	pool *region.Pool
 
 	// barrier is the update barrier: every state-changing bracket
 	// (BeginUpdate..End, operation begin/commit, transaction begin/
@@ -248,8 +265,11 @@ func build(cfg Config, loaded *RecoveredState) (*DB, error) {
 		}
 		copy(arena.Bytes(), loaded.Image)
 	}
+	pool := region.NewPool(cfg.Workers)
+	pool.Instrument(reg)
 	pcfg := cfg.Protect
 	pcfg.Obs = reg
+	pcfg.Pool = pool
 	scheme, err := protect.New(arena, pcfg)
 	if err != nil {
 		arena.Close()
@@ -268,6 +288,7 @@ func build(cfg Config, loaded *RecoveredState) (*DB, error) {
 		return nil, err
 	}
 	ckpts.SetRegistry(reg)
+	ckpts.SetPool(pool)
 	log.RegisterDirtyNoter(ckpts)
 	locks := lockmgr.New(cfg.LockTimeout)
 	locks.SetRegistry(reg)
@@ -280,6 +301,7 @@ func build(cfg Config, loaded *RecoveredState) (*DB, error) {
 		att:    wal.NewATT(1),
 		locks:  locks,
 		ckpts:  ckpts,
+		pool:   pool,
 		meta:   make(map[string][]byte),
 		attach: make(map[*attachID]any),
 
@@ -371,6 +393,9 @@ func (db *DB) Locks() *lockmgr.Manager { return db.locks }
 
 // Checkpoints exposes the checkpoint set.
 func (db *DB) Checkpoints() *ckpt.Set { return db.ckpts }
+
+// ScanPool exposes the shared scan worker pool (sized by Config.Workers).
+func (db *DB) ScanPool() *region.Pool { return db.pool }
 
 // PageSize reports the page size.
 func (db *DB) PageSize() int { return db.cfg.PageSize }

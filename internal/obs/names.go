@@ -24,13 +24,13 @@ const (
 
 	// internal/core — ping-pong checkpoint phases.
 	NameCheckpoints   = "core.checkpoints"
-	NameCkptFlushNS   = "core.ckpt_flush_ns"   // histogram: log flush under barrier
+	NameCkptFlushNS   = "core.ckpt_flush_ns"    // histogram: log flush under barrier
 	NameCkptSnapNS    = "core.ckpt_snapshot_ns" // histogram: ATT/meta/dirty-page capture
-	NameCkptWriteNS   = "core.ckpt_write_ns"   // histogram: image write
-	NameCkptAuditNS   = "core.ckpt_audit_ns"   // histogram: certification audit
-	NameCkptCertifyNS = "core.ckpt_certify_ns" // histogram: anchor certify
-	NameCkptCompactNS = "core.ckpt_compact_ns" // histogram: log compaction
-	NameCkptTotalNS   = "core.ckpt_total_ns"   // histogram: end-to-end
+	NameCkptWriteNS   = "core.ckpt_write_ns"    // histogram: image write
+	NameCkptAuditNS   = "core.ckpt_audit_ns"    // histogram: certification audit
+	NameCkptCertifyNS = "core.ckpt_certify_ns"  // histogram: anchor certify
+	NameCkptCompactNS = "core.ckpt_compact_ns"  // histogram: log compaction
+	NameCkptTotalNS   = "core.ckpt_total_ns"    // histogram: end-to-end
 
 	// internal/wal — system log.
 	NameWALAppends       = "wal.appends"
@@ -51,6 +51,15 @@ const (
 	NameRegionCWWaitNS      = "region.cwlatch_wait_ns" // histogram
 	NameRegionCWContends    = "region.cwlatch_contended"
 	NameRegionDeferredQueue = "region.deferred_pending" // gauge: queued deltas (DeferredCW)
+
+	// internal/region — the shared scan worker pool and the throughput of
+	// its parallel recompute/audit scans.
+	NameRegionPoolWorkers  = "region.pool_workers"            // gauge: configured pool size
+	NameRegionPoolQueue    = "region.pool_queue_depth"        // gauge: chunks queued, not yet claimed
+	NameRegionPoolChunks   = "region.pool_chunks"             // chunks executed by pool workers
+	NameRegionPoolScans    = "region.pool_scans"              // parallel scans dispatched
+	NameRegionRecomputeBPS = "region.recompute_bytes_per_sec" // histogram: per-worker-chunk throughput
+	NameRegionAuditBPS     = "region.audit_bytes_per_sec"     // histogram: per-worker-chunk throughput
 
 	// internal/protect — scheme-specific costs.
 	NamePrecheckRegions    = "protect.precheck_regions" // regions verified before reads

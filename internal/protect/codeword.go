@@ -29,6 +29,7 @@ type codewordScheme struct {
 	arena *mem.Arena
 	tab   *region.Table
 	prot  *latch.Striped // the paper's protection latches
+	pool  *region.Pool   // workers for whole-arena scans (recompute, audit)
 
 	mCWCaptures *obs.Counter // codewords captured for read-log records
 }
@@ -43,9 +44,11 @@ func newCodewordScheme(arena *mem.Arena, cfg Config) (*codewordScheme, error) {
 		arena:       arena,
 		tab:         tab,
 		prot:        latch.NewStriped(min(cfg.LatchStripes, tab.NumRegions())),
+		pool:        cfg.Pool,
 		mCWCaptures: cfg.Obs.Counter(obs.NameCWCaptures),
 	}
 	tab.SetRegistry(cfg.Obs)
+	tab.SetPool(cfg.Pool)
 	s.prot.Instrument(cfg.Obs, "protect",
 		cfg.Obs.Histogram(obs.NameProtLatchWaitNS), cfg.Obs.Counter(obs.NameProtLatchContends))
 	tab.RecomputeAll(arena)
@@ -118,14 +121,11 @@ func (s *codewordScheme) PreWriteCW(addr mem.Addr, old, new []byte) (region.Code
 
 // foldDelta XORs the lane-aligned old⊕new delta of an update into cw.
 // Folding a delta into the XOR-combined codeword of the covered regions
-// is region-independent because XOR is associative.
+// is region-independent because XOR is associative. region.FoldDelta
+// fuses the XOR of the two images into the fold, so no delta slice is
+// materialized.
 func foldDelta(cw region.Codeword, addr mem.Addr, old, new []byte, tab *region.Table) region.Codeword {
-	lane := int(addr & 7)
-	delta := make([]byte, len(old))
-	for i := range old {
-		delta[i] = old[i] ^ new[i]
-	}
-	return region.Fold(cw, delta, lane)
+	return region.FoldDelta(cw, old, new, int(addr&7))
 }
 
 // Read implements read-side behaviour. For KindCWReadLog the covering
@@ -169,18 +169,17 @@ func (s *codewordScheme) Audit() []region.Mismatch {
 	return s.AuditRange(0, s.arena.Size())
 }
 
-// AuditRange audits the regions intersecting [addr, addr+n).
+// AuditRange audits the regions intersecting [addr, addr+n), chunked
+// across the scheme's worker pool. Each worker takes the protection latch
+// exclusive region by region, exactly as the serial loop did.
 func (s *codewordScheme) AuditRange(addr mem.Addr, n int) []region.Mismatch {
 	first, last := s.tab.RegionRange(addr, n)
-	var out []region.Mismatch
-	for r := first; r <= last && r < s.tab.NumRegions(); r++ {
+	return auditRegions(s.pool, s.tab, first, last, func(r int) []region.Mismatch {
 		l := s.prot.For(uint64(r))
 		l.Lock()
-		ms := s.tab.AuditRange(s.arena, s.tab.RegionStart(r), 1)
-		l.Unlock()
-		out = append(out, ms...)
-	}
-	return out
+		defer l.Unlock()
+		return s.tab.AuditRange(s.arena, s.tab.RegionStart(r), 1)
+	})
 }
 
 // Recompute re-derives all codewords from the image.

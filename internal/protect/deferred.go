@@ -30,6 +30,7 @@ type deferredScheme struct {
 	arena *mem.Arena
 	tab   *region.Table
 	prot  *latch.Striped
+	pool  *region.Pool
 
 	mu      sync.Mutex
 	pending []region.Delta
@@ -51,11 +52,13 @@ func newDeferredScheme(arena *mem.Arena, cfg Config) (*deferredScheme, error) {
 		arena:          arena,
 		tab:            tab,
 		prot:           latch.NewStriped(min(cfg.LatchStripes, tab.NumRegions())),
+		pool:           cfg.Pool,
 		drainThreshold: 4096,
 		mDrains:        cfg.Obs.Counter(obs.NameDeferredDrains),
 		gPending:       cfg.Obs.Gauge(obs.NameRegionDeferredQueue),
 	}
 	tab.SetRegistry(cfg.Obs)
+	tab.SetPool(cfg.Pool)
 	s.prot.Instrument(cfg.Obs, "protect",
 		cfg.Obs.Histogram(obs.NameProtLatchWaitNS), cfg.Obs.Counter(obs.NameProtLatchContends))
 	tab.RecomputeAll(arena)
@@ -146,18 +149,23 @@ func (s *deferredScheme) Audit() []region.Mismatch {
 	return s.AuditRange(0, s.arena.Size())
 }
 
+// AuditRange audits the regions intersecting [addr, addr+n), chunked
+// across the scheme's worker pool. Each worker preserves the serial
+// discipline per region: protection latch exclusive, drain the delta
+// queue, then verify — so a concurrently completed update of region r is
+// either applied by this worker's drain or blocked on r's latch until the
+// verification is done. Workers on other regions draining concurrently
+// only apply deltas sooner than the serial loop would have; XOR
+// commutativity makes the order irrelevant.
 func (s *deferredScheme) AuditRange(addr mem.Addr, n int) []region.Mismatch {
 	first, last := s.tab.RegionRange(addr, n)
-	var out []region.Mismatch
-	for r := first; r <= last && r < s.tab.NumRegions(); r++ {
+	return auditRegions(s.pool, s.tab, first, last, func(r int) []region.Mismatch {
 		l := s.prot.For(uint64(r))
 		l.Lock()
+		defer l.Unlock()
 		s.Drain()
-		ms := s.tab.AuditRange(s.arena, s.tab.RegionStart(r), 1)
-		l.Unlock()
-		out = append(out, ms...)
-	}
-	return out
+		return s.tab.AuditRange(s.arena, s.tab.RegionStart(r), 1)
+	})
 }
 
 func (s *deferredScheme) Recompute() error {

@@ -24,6 +24,7 @@ type precheckScheme struct {
 	arena *mem.Arena
 	tab   *region.Table
 	prot  *latch.Striped
+	pool  *region.Pool
 
 	reg       *obs.Registry
 	mRegions  *obs.Counter // regions verified before reads (precheck hits)
@@ -39,11 +40,13 @@ func newPrecheckScheme(arena *mem.Arena, cfg Config) (*precheckScheme, error) {
 		arena:     arena,
 		tab:       tab,
 		prot:      latch.NewStriped(min(cfg.LatchStripes, tab.NumRegions())),
+		pool:      cfg.Pool,
 		reg:       cfg.Obs,
 		mRegions:  cfg.Obs.Counter(obs.NamePrecheckRegions),
 		mFailures: cfg.Obs.Counter(obs.NamePrecheckFailures),
 	}
 	tab.SetRegistry(cfg.Obs)
+	tab.SetPool(cfg.Pool)
 	s.prot.Instrument(cfg.Obs, "protect",
 		cfg.Obs.Histogram(obs.NameProtLatchWaitNS), cfg.Obs.Counter(obs.NameProtLatchContends))
 	tab.RecomputeAll(arena)
@@ -114,22 +117,19 @@ func (s *precheckScheme) Read(addr mem.Addr, n int) (ReadInfo, error) {
 }
 
 // Audit performs the same check as a read, region by region, under
-// exclusive protection latches.
+// exclusive protection latches, chunked across the scheme's worker pool.
 func (s *precheckScheme) Audit() []region.Mismatch {
 	return s.AuditRange(0, s.arena.Size())
 }
 
 func (s *precheckScheme) AuditRange(addr mem.Addr, n int) []region.Mismatch {
 	first, last := s.tab.RegionRange(addr, n)
-	var out []region.Mismatch
-	for r := first; r <= last && r < s.tab.NumRegions(); r++ {
+	return auditRegions(s.pool, s.tab, first, last, func(r int) []region.Mismatch {
 		l := s.prot.For(uint64(r))
 		l.Lock()
-		ms := s.tab.AuditRange(s.arena, s.tab.RegionStart(r), 1)
-		l.Unlock()
-		out = append(out, ms...)
-	}
-	return out
+		defer l.Unlock()
+		return s.tab.AuditRange(s.arena, s.tab.RegionStart(r), 1)
+	})
 }
 
 func (s *precheckScheme) Recompute() error {

@@ -22,6 +22,7 @@ package region
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/latch"
 	"repro/internal/mem"
@@ -40,34 +41,19 @@ type Codeword uint64
 // lane of a byte at arena address a is a mod 8, so callers pass the
 // address of data's first byte modulo 8. Fold is the primitive both for
 // computing region codewords (phase 0) and for folding old^new deltas of
-// unaligned updates.
+// unaligned updates. It runs the word-at-a-time kernel of kernel.go.
 func Fold(cw Codeword, data []byte, phase int) Codeword {
-	lane := uint(phase&7) * 8
-	for _, b := range data {
-		cw ^= Codeword(uint64(b) << lane)
-		lane += 8
-		if lane == 64 {
-			lane = 0
-		}
-	}
-	return cw
+	return foldKernel(cw, data, phase)
 }
 
-// Compute returns the codeword of a full region image. The region is
-// assumed to start at an 8-byte-aligned address (regions always do, since
-// region sizes are powers of two >= 8).
+// Compute returns the codeword of a full region image: the XOR of its
+// little-endian 64-bit words (a trailing sub-word, which regions never
+// have, folds at phase 0).
 func Compute(data []byte) Codeword {
-	var cw Codeword
-	// Word-at-a-time fast path; regions are multiples of 8 bytes.
-	i := 0
-	for ; i+8 <= len(data); i += 8 {
-		w := uint64(data[i]) | uint64(data[i+1])<<8 | uint64(data[i+2])<<16 |
-			uint64(data[i+3])<<24 | uint64(data[i+4])<<32 | uint64(data[i+5])<<40 |
-			uint64(data[i+6])<<48 | uint64(data[i+7])<<56
-		cw ^= Codeword(w)
-	}
+	acc, i := foldWords(data)
+	cw := Codeword(acc)
 	if i < len(data) {
-		cw = Fold(cw, data[i:], 0)
+		cw = foldGeneric(cw, data[i:], 0)
 	}
 	return cw
 }
@@ -79,12 +65,17 @@ type Table struct {
 	shift      uint
 	cws        []Codeword
 	cwLatch    *latch.Striped // the paper's "codeword latch"
+	// pool runs the table's whole-arena scans (RecomputeAll, AuditRange)
+	// across workers. A nil pool runs them on the calling goroutine.
+	pool *Pool
 
 	// Observability: fold and audit counters. Nil until SetRegistry;
 	// nil metric handles are safe no-ops.
-	mFolds     *obs.Counter
-	mFoldBytes *obs.Counter
-	mAudited   *obs.Counter
+	mFolds        *obs.Counter
+	mFoldBytes    *obs.Counter
+	mAudited      *obs.Counter
+	mRecomputeBPS *obs.Histogram // per-worker-chunk recompute throughput, bytes/s
+	mAuditBPS     *obs.Histogram // per-worker-chunk audit throughput, bytes/s
 }
 
 // SetRegistry wires the table's fold/audit counters and codeword-latch
@@ -93,7 +84,31 @@ func (t *Table) SetRegistry(reg *obs.Registry) {
 	t.mFolds = reg.Counter(obs.NameRegionFolds)
 	t.mFoldBytes = reg.Counter(obs.NameRegionFoldBytes)
 	t.mAudited = reg.Counter(obs.NameRegionAudited)
+	t.mRecomputeBPS = reg.Histogram(obs.NameRegionRecomputeBPS)
+	t.mAuditBPS = reg.Histogram(obs.NameRegionAuditBPS)
 	t.cwLatch.Instrument(reg, "region.cw", reg.Histogram(obs.NameRegionCWWaitNS), reg.Counter(obs.NameRegionCWContends))
+}
+
+// SetPool attaches the worker pool used by whole-arena scans. Must be set
+// before concurrent use; nil (the default) keeps the scans serial.
+func (t *Table) SetPool(p *Pool) { t.pool = p }
+
+// Pool reports the attached worker pool (nil when scans are serial).
+func (t *Table) Pool() *Pool { return t.pool }
+
+// noteThroughput starts a throughput sample of processing n bytes; the
+// returned func completes it, recording bytes/second into h. Workers call
+// it once per chunk, so the histogram holds per-worker-chunk throughput.
+func (t *Table) noteThroughput(h *obs.Histogram, n int) func() {
+	if h == nil || n <= 0 {
+		return func() {}
+	}
+	start := time.Now()
+	return func() {
+		if ns := time.Since(start).Nanoseconds(); ns > 0 {
+			h.Observe(uint64(float64(n) * 1e9 / float64(ns)))
+		}
+	}
 }
 
 // NewTable creates a codeword table for an image of arenaSize bytes with
@@ -149,10 +164,18 @@ func (t *Table) RegionStart(r int) mem.Addr {
 	return mem.Addr(uint64(r) << t.shift)
 }
 
+// latchFor returns region r's stripe of the codeword latch. Every access
+// to t.cws[r] — Codeword, Set, xorInto — must go through this one helper
+// so that readers and writers of the same region can never end up on
+// different stripes (which would make a torn 64-bit read observable).
+func (t *Table) latchFor(r int) *latch.Latch {
+	return t.cwLatch.For(uint64(r))
+}
+
 // Codeword returns the stored codeword for region r, read under the
 // codeword latch.
 func (t *Table) Codeword(r int) Codeword {
-	l := t.cwLatch.For(uint64(r))
+	l := t.latchFor(r)
 	l.Lock()
 	cw := t.cws[r]
 	l.Unlock()
@@ -164,17 +187,17 @@ func (t *Table) xorInto(r int, delta Codeword) {
 	if delta == 0 {
 		return
 	}
-	l := t.cwLatch.For(uint64(r))
+	l := t.latchFor(r)
 	l.Lock()
 	t.cws[r] ^= delta
 	l.Unlock()
 }
 
-// ApplyUpdate folds the effect of replacing old with new at addr into the
-// affected region codewords. old and new must be the same length. This is
-// the "codeword maintenance" step performed at endUpdate (and again during
-// rollback of an update whose codeword had already been applied).
-func (t *Table) ApplyUpdate(addr mem.Addr, oldData, newData []byte) error {
+// forEachRegionDelta walks the regions covered by replacing old with new
+// at addr, computing each region's codeword delta with the word-at-a-time
+// kernel and invoking fn(region, delta). It is the shared core of
+// ApplyUpdate and UpdateDeltas.
+func (t *Table) forEachRegionDelta(addr mem.Addr, oldData, newData []byte, fn func(r int, delta Codeword)) error {
 	if len(oldData) != len(newData) {
 		return fmt.Errorf("region: undo image %d bytes but new image %d bytes", len(oldData), len(newData))
 	}
@@ -190,21 +213,21 @@ func (t *Table) ApplyUpdate(addr mem.Addr, oldData, newData []byte) error {
 		if end > len(oldData) {
 			end = len(oldData)
 		}
-		var delta Codeword
-		lane := uint(a&7) * 8
-		for j := i; j < end; j++ {
-			delta ^= Codeword(uint64(oldData[j]^newData[j]) << lane)
-			lane += 8
-			if lane == 64 {
-				lane = 0
-			}
-		}
-		t.xorInto(r, delta)
+		delta := foldDeltaKernel(0, oldData[i:end], newData[i:end], int(a&7))
+		fn(r, delta)
 		t.mFolds.Inc()
 		t.mFoldBytes.Add(uint64(end - i))
 		i = end
 	}
 	return nil
+}
+
+// ApplyUpdate folds the effect of replacing old with new at addr into the
+// affected region codewords. old and new must be the same length. This is
+// the "codeword maintenance" step performed at endUpdate (and again during
+// rollback of an update whose codeword had already been applied).
+func (t *Table) ApplyUpdate(addr mem.Addr, oldData, newData []byte) error {
+	return t.forEachRegionDelta(addr, oldData, newData, t.xorInto)
 }
 
 // Delta is a pending codeword change for one region, used by the
@@ -220,37 +243,12 @@ type Delta struct {
 // touching the table. XorInto applies them later; applying the deltas in
 // any order and interleaving is correct because XOR commutes.
 func (t *Table) UpdateDeltas(buf []Delta, addr mem.Addr, oldData, newData []byte) ([]Delta, error) {
-	if len(oldData) != len(newData) {
-		return buf, fmt.Errorf("region: undo image %d bytes but new image %d bytes", len(oldData), len(newData))
-	}
-	i := 0
-	for i < len(oldData) {
-		a := addr + mem.Addr(i)
-		r := t.RegionOf(a)
-		if r >= len(t.cws) {
-			return buf, fmt.Errorf("region: address %d beyond codeword table", a)
-		}
-		end := int(t.RegionStart(r+1) - addr)
-		if end > len(oldData) {
-			end = len(oldData)
-		}
-		var delta Codeword
-		lane := uint(a&7) * 8
-		for j := i; j < end; j++ {
-			delta ^= Codeword(uint64(oldData[j]^newData[j]) << lane)
-			lane += 8
-			if lane == 64 {
-				lane = 0
-			}
-		}
+	err := t.forEachRegionDelta(addr, oldData, newData, func(r int, delta Codeword) {
 		if delta != 0 {
 			buf = append(buf, Delta{Region: r, Delta: delta})
 		}
-		t.mFolds.Inc()
-		t.mFoldBytes.Add(uint64(end - i))
-		i = end
-	}
-	return buf, nil
+	})
+	return buf, err
 }
 
 // XorInto folds a previously computed delta into region r's codeword
@@ -262,19 +260,25 @@ func (t *Table) XorInto(r int, delta Codeword) {
 // Set stores a codeword directly (used when loading a checkpointed table
 // or initializing from a fresh image).
 func (t *Table) Set(r int, cw Codeword) {
-	l := t.cwLatch.For(uint64(r))
+	l := t.latchFor(r)
 	l.Lock()
 	t.cws[r] = cw
 	l.Unlock()
 }
 
 // RecomputeAll recomputes every codeword from the arena contents. Used at
-// startup and after recovery, when the image is known to be good.
+// startup and after recovery, when the image is known to be good. When a
+// pool has been attached with SetPool the region range is chunked across
+// its workers; the per-region Set still goes through the codeword latch.
 func (t *Table) RecomputeAll(a *mem.Arena) {
-	for r := range t.cws {
-		start := t.RegionStart(r)
-		t.Set(r, Compute(a.Slice(start, t.regionSize)))
-	}
+	t.pool.Run(len(t.cws), poolMinGrainBytes/t.regionSize, func(lo, hi int) {
+		done := t.noteThroughput(t.mRecomputeBPS, (hi-lo)*t.regionSize)
+		for r := lo; r < hi; r++ {
+			start := t.RegionStart(r)
+			t.Set(r, Compute(a.Slice(start, t.regionSize)))
+		}
+		done()
+	})
 }
 
 // VerifyRegion recomputes region r's codeword from the arena and compares
@@ -300,26 +304,56 @@ func (m Mismatch) String() string {
 		m.Region, m.Start, m.Len, uint64(m.Stored), uint64(m.Actual))
 }
 
+// auditRegion checks one region, appending to out on mismatch.
+func (t *Table) auditRegion(a *mem.Arena, r int, out []Mismatch) []Mismatch {
+	start := t.RegionStart(r)
+	actual := Compute(a.Slice(start, t.regionSize))
+	stored := t.Codeword(r)
+	if actual != stored {
+		out = append(out, Mismatch{Region: r, Start: start, Len: t.regionSize, Stored: stored, Actual: actual})
+	}
+	return out
+}
+
 // AuditRange verifies every region intersecting [addr, addr+n) and returns
-// the mismatches found. Latching discipline is the caller's responsibility
-// (the Data Codeword auditor takes protection latches exclusive region by
-// region; see protect.Scheme.Audit).
+// the mismatches found, in ascending region order. Latching discipline is
+// the caller's responsibility (the Data Codeword auditor takes protection
+// latches exclusive region by region; see protect.Scheme.Audit). When a
+// pool is attached the range is chunked across its workers; each worker
+// only reads the arena and takes the codeword latch per region, so the
+// caller's latching covers the parallel case exactly as the serial one.
 func (t *Table) AuditRange(a *mem.Arena, addr mem.Addr, n int) []Mismatch {
 	first, last := t.RegionRange(addr, n)
-	var out []Mismatch
 	if last >= len(t.cws) {
 		last = len(t.cws) - 1
 	}
-	if first <= last {
-		t.mAudited.Add(uint64(last - first + 1))
+	if first > last {
+		return nil
 	}
-	for r := first; r <= last && r < len(t.cws); r++ {
-		start := t.RegionStart(r)
-		actual := Compute(a.Slice(start, t.regionSize))
-		stored := t.Codeword(r)
-		if actual != stored {
-			out = append(out, Mismatch{Region: r, Start: start, Len: t.regionSize, Stored: stored, Actual: actual})
+	count := last - first + 1
+	t.mAudited.Add(uint64(count))
+	if !t.pool.parallel(count) {
+		var out []Mismatch
+		done := t.noteThroughput(t.mAuditBPS, count*t.regionSize)
+		for r := first; r <= last; r++ {
+			out = t.auditRegion(a, r, out)
 		}
+		done()
+		return out
+	}
+	// Chunked scan; per-chunk results keep deterministic ascending order.
+	chunks := RunChunked(t.pool, count, poolMinGrainBytes/t.regionSize, func(lo, hi int) []Mismatch {
+		done := t.noteThroughput(t.mAuditBPS, (hi-lo)*t.regionSize)
+		var out []Mismatch
+		for r := first + lo; r < first+hi; r++ {
+			out = t.auditRegion(a, r, out)
+		}
+		done()
+		return out
+	})
+	var out []Mismatch
+	for _, c := range chunks {
+		out = append(out, c...)
 	}
 	return out
 }

@@ -1,0 +1,120 @@
+// Codeword kernels: the byte-folding primitives behind Fold, Compute and
+// delta maintenance, in two implementations.
+//
+// The fast kernels work a 64-bit word at a time. A codeword is the XOR of
+// the region's little-endian 64-bit words, so for phase-0 data the kernel
+// is just an unrolled XOR of 8-byte loads (encoding/binary little-endian
+// loads compile to single MOVs on little-endian hardware and remain
+// correct, if slower, on big-endian hardware). Arbitrary phase reduces to
+// the aligned case by one rotation: a byte at data offset j of an update
+// whose first byte sits at byte lane p lands in lane (p+j) mod 8, i.e.
+// its contribution is the phase-0 contribution rotated left by 8·p bits —
+// and since rotation distributes over XOR, the whole fold at phase p is
+//
+//	Fold(data, p) = RotateLeft64(Fold(data, 0), 8*p).
+//
+// The kernels therefore accumulate aligned words, rotate once, and handle
+// the sub-word tail with the scalar loop. There is no head fixup: data
+// offsets need no memory alignment for the loads, and the tail starts at
+// a multiple of 8, so its first byte is again at lane p.
+//
+// The byte-at-a-time reference kernels (foldGeneric, computeGeneric) are
+// retained verbatim as the specification: the differential tests in
+// kernel_test.go cross-check the fast kernels against them for every
+// phase and length, and the microbenchmarks in bench_test.go report the
+// speedup.
+package region
+
+import (
+	"encoding/binary"
+	"math/bits"
+)
+
+// foldGeneric is the byte-at-a-time reference fold: XOR data into cw
+// starting at byte lane phase (0..7). Retained as the specification for
+// the word-at-a-time kernels.
+func foldGeneric(cw Codeword, data []byte, phase int) Codeword {
+	lane := uint(phase&7) * 8
+	for _, b := range data {
+		cw ^= Codeword(uint64(b) << lane)
+		lane += 8
+		if lane == 64 {
+			lane = 0
+		}
+	}
+	return cw
+}
+
+// computeGeneric is the byte-at-a-time reference for Compute.
+func computeGeneric(data []byte) Codeword {
+	return foldGeneric(0, data, 0)
+}
+
+// foldWords XORs the 8-byte little-endian words of data[0:8*(len/8)] and
+// reports the accumulated word and the index where the sub-word tail
+// begins. The main loop is unrolled 4x: the four loads are independent,
+// so the XOR chain is the only serial dependency.
+func foldWords(data []byte) (acc uint64, tail int) {
+	i := 0
+	for ; i+32 <= len(data); i += 32 {
+		acc ^= binary.LittleEndian.Uint64(data[i:]) ^
+			binary.LittleEndian.Uint64(data[i+8:]) ^
+			binary.LittleEndian.Uint64(data[i+16:]) ^
+			binary.LittleEndian.Uint64(data[i+24:])
+	}
+	for ; i+8 <= len(data); i += 8 {
+		acc ^= binary.LittleEndian.Uint64(data[i:])
+	}
+	return acc, i
+}
+
+// foldKernel is the word-at-a-time fold of data at the given phase.
+func foldKernel(cw Codeword, data []byte, phase int) Codeword {
+	acc, i := foldWords(data)
+	cw ^= Codeword(bits.RotateLeft64(acc, (phase&7)*8))
+	// Sub-word tail: i is a multiple of 8, so the tail starts at lane
+	// phase again.
+	if i < len(data) {
+		cw = foldGeneric(cw, data[i:], phase)
+	}
+	return cw
+}
+
+// foldDeltaKernel folds the old⊕new delta of an in-place update at the
+// given phase into cw without materializing the delta bytes: old and new
+// words are loaded pairwise and XORed in registers. len(old) must equal
+// len(new).
+func foldDeltaKernel(cw Codeword, old, new []byte, phase int) Codeword {
+	var acc uint64
+	i := 0
+	for ; i+32 <= len(old); i += 32 {
+		acc ^= (binary.LittleEndian.Uint64(old[i:]) ^ binary.LittleEndian.Uint64(new[i:])) ^
+			(binary.LittleEndian.Uint64(old[i+8:]) ^ binary.LittleEndian.Uint64(new[i+8:])) ^
+			(binary.LittleEndian.Uint64(old[i+16:]) ^ binary.LittleEndian.Uint64(new[i+16:])) ^
+			(binary.LittleEndian.Uint64(old[i+24:]) ^ binary.LittleEndian.Uint64(new[i+24:]))
+	}
+	for ; i+8 <= len(old); i += 8 {
+		acc ^= binary.LittleEndian.Uint64(old[i:]) ^ binary.LittleEndian.Uint64(new[i:])
+	}
+	cw ^= Codeword(bits.RotateLeft64(acc, (phase&7)*8))
+	lane := uint(phase&7) * 8
+	for ; i < len(old); i++ {
+		cw ^= Codeword(uint64(old[i]^new[i]) << lane)
+		lane += 8
+		if lane == 64 {
+			lane = 0
+		}
+	}
+	return cw
+}
+
+// FoldDelta folds the old⊕new delta of an update whose first byte sits at
+// byte lane phase into cw. It is the fused form of building the delta
+// slice and calling Fold, used by schemes that reconstruct pre-update
+// codewords (CW Read Logging) and by delta maintenance.
+func FoldDelta(cw Codeword, old, new []byte, phase int) Codeword {
+	if len(old) != len(new) {
+		panic("region: FoldDelta images differ in length")
+	}
+	return foldDeltaKernel(cw, old, new, phase)
+}

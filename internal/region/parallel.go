@@ -1,0 +1,199 @@
+// Pool: a shared bounded worker pool for the data-parallel whole-arena
+// scans of the codeword machinery — startup/recovery recompute, audit
+// sweeps, and checkpoint image certification. These scans are pure
+// region-chunked loops over the image, so the pool is a parallel-for:
+// each call partitions its index range into chunks and lets up to
+// Workers goroutines (the caller included) claim chunks from an atomic
+// cursor.
+//
+// Two properties matter for the callers:
+//
+//   - Bounded, shared concurrency. All scans of one database share one
+//     pool; helper slots are claimed non-blockingly from a semaphore, and
+//     the calling goroutine always works too (caller-runs). Overlapping
+//     scans (a background audit tick racing a checkpoint certification)
+//     therefore degrade to fewer helpers each — never deadlock, never
+//     exceed the configured worker count in total.
+//
+//   - Latch discipline is untouched. The pool only moves loop iterations
+//     onto other goroutines; whatever latches the loop body takes per
+//     region (protection latch, codeword latch) are taken by the worker
+//     exactly as the serial loop would take them, one region at a time.
+package region
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/obs"
+)
+
+// poolMinGrainBytes is the minimum number of image bytes a chunk should
+// cover: small enough to balance load across workers, large enough that
+// the per-chunk scheduling cost (an atomic add and a gauge update) is
+// noise against the scan itself.
+const poolMinGrainBytes = 64 << 10
+
+// chunksPerWorker oversubscribes chunks relative to workers so a slow
+// worker (descheduled, or slowed by latch waits) cannot stall the scan
+// behind one oversized chunk.
+const chunksPerWorker = 4
+
+// Pool is a bounded worker pool for chunked parallel scans. A nil *Pool
+// is valid and runs every scan serially on the calling goroutine.
+type Pool struct {
+	workers int
+	// sem holds the helper slots (workers-1; the caller is the last
+	// worker). Helpers are acquired with a non-blocking try so that
+	// nested or overlapping scans degrade to caller-runs instead of
+	// deadlocking on the pool's own capacity.
+	sem chan struct{}
+
+	gWorkers *obs.Gauge   // configured size
+	gQueue   *obs.Gauge   // chunks queued but not yet claimed
+	mChunks  *obs.Counter // chunks executed
+	mScans   *obs.Counter // Run/RunChunked calls
+}
+
+// NewPool creates a pool of the given size. workers <= 0 selects
+// runtime.GOMAXPROCS(0).
+func NewPool(workers int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Pool{workers: workers, sem: make(chan struct{}, workers-1)}
+}
+
+var defaultPool = sync.OnceValue(func() *Pool { return NewPool(0) })
+
+// DefaultPool returns the process-wide pool sized to GOMAXPROCS, used by
+// callers with no configured pool (standalone scheme construction,
+// checkpoint-image verification at load time). It carries no metrics;
+// configure a per-database pool via core.Config.Workers to observe one.
+func DefaultPool() *Pool { return defaultPool() }
+
+// Workers reports the pool size (1 for a nil pool).
+func (p *Pool) Workers() int {
+	if p == nil {
+		return 1
+	}
+	return p.workers
+}
+
+// Instrument wires the pool's gauges and counters into reg. Must be
+// called before concurrent use.
+func (p *Pool) Instrument(reg *obs.Registry) {
+	if p == nil {
+		return
+	}
+	p.gWorkers = reg.Gauge(obs.NameRegionPoolWorkers)
+	p.gQueue = reg.Gauge(obs.NameRegionPoolQueue)
+	p.mChunks = reg.Counter(obs.NameRegionPoolChunks)
+	p.mScans = reg.Counter(obs.NameRegionPoolScans)
+	p.gWorkers.Set(int64(p.workers))
+}
+
+// parallel reports whether a scan over n items would use more than the
+// calling goroutine.
+func (p *Pool) parallel(n int) bool {
+	return p != nil && p.workers > 1 && n > 1
+}
+
+// grainFor picks the chunk size for n items with the given per-chunk
+// minimum.
+func (p *Pool) grainFor(n, minGrain int) int {
+	if minGrain < 1 {
+		minGrain = 1
+	}
+	target := p.Workers() * chunksPerWorker
+	grain := (n + target - 1) / target
+	if grain < minGrain {
+		grain = minGrain
+	}
+	return grain
+}
+
+// Run partitions [0, n) into chunks of at least minGrain items and calls
+// fn(lo, hi) for each, concurrently on up to Workers goroutines including
+// the caller. fn must be safe to call concurrently for disjoint ranges.
+// Run returns when every chunk has completed.
+func (p *Pool) Run(n, minGrain int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if !p.parallel(n) {
+		fn(0, n)
+		return
+	}
+	grain := p.grainFor(n, minGrain)
+	chunks := (n + grain - 1) / grain
+	if chunks == 1 {
+		fn(0, n)
+		return
+	}
+	p.mScans.Inc()
+	p.gQueue.Add(int64(chunks))
+	var next atomic.Int64
+	work := func() {
+		for {
+			i := int(next.Add(1)) - 1
+			if i >= chunks {
+				return
+			}
+			p.gQueue.Add(-1)
+			p.mChunks.Inc()
+			lo := i * grain
+			hi := lo + grain
+			if hi > n {
+				hi = n
+			}
+			fn(lo, hi)
+		}
+	}
+	var wg sync.WaitGroup
+	helpers := chunks - 1
+	if m := p.workers - 1; helpers > m {
+		helpers = m
+	}
+spawn:
+	for i := 0; i < helpers; i++ {
+		select {
+		case p.sem <- struct{}{}:
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				defer func() { <-p.sem }()
+				work()
+			}()
+		default:
+			// Pool saturated by an overlapping scan; the chunks left
+			// unclaimed fall to the goroutines already working.
+			break spawn
+		}
+	}
+	work()
+	wg.Wait()
+}
+
+// RunChunked is Run with a per-chunk result: it returns one T per chunk,
+// ordered by chunk position, so callers can concatenate partial results
+// into the same order a serial loop would have produced.
+func RunChunked[T any](p *Pool, n, minGrain int, fn func(lo, hi int) T) []T {
+	if n <= 0 {
+		return nil
+	}
+	if !p.parallel(n) {
+		return []T{fn(0, n)}
+	}
+	grain := p.grainFor(n, minGrain)
+	chunks := (n + grain - 1) / grain
+	if chunks == 1 {
+		return []T{fn(0, n)}
+	}
+	out := make([]T, chunks)
+	p.Run(n, minGrain, func(lo, hi int) {
+		out[lo/grain] = fn(lo, hi)
+	})
+	return out
+}

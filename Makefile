@@ -12,9 +12,12 @@ build:
 # Static checks plus a race-detector pass over the subsystems with the
 # most cross-goroutine state (metrics registry, WAL group commit, the
 # concurrent TPC-B driver), and a one-iteration smoke of the codeword
-# kernel benchmarks.
+# kernel benchmarks. dbvet is the repo's own pass suite (latch order,
+# guarded writes, codeword pairing, metric names); see DESIGN.md
+# "Machine-checked invariants".
 vet: bench-smoke
 	$(GO) vet ./...
+	$(GO) run ./cmd/dbvet ./...
 	$(GO) test -race ./internal/core ./internal/wal ./internal/obs ./internal/tpcb
 
 # Compile-and-run smoke of the kernel/scan microbenchmarks (one iteration

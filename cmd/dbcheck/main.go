@@ -1,8 +1,10 @@
 // Command dbcheck opens a database (running restart recovery if needed)
 // and runs the full consistency check suite: codeword audit, heap
 // structure, index structure, and checkpoint/log agreement. Exit status 0
-// means consistent; 1 means problems were found; 2 means the check could
-// not run.
+// means consistent (warning-severity findings are printed but do not
+// fail the check); 1 means error-severity problems were found; 2 means
+// the check could not run. Problem lines carry stable CW0xx codes for
+// machine consumption.
 //
 // Usage:
 //
@@ -61,12 +63,15 @@ func main() {
 		fmt.Fprintln(os.Stderr, "dbcheck:", err)
 		os.Exit(2)
 	}
-	if len(problems) == 0 {
-		fmt.Println("dbcheck: consistent")
-		return
-	}
+	errors := 0
 	for _, p := range problems {
 		fmt.Println("dbcheck:", p)
+		if p.Severity == check.SevError {
+			errors++
+		}
 	}
-	os.Exit(1)
+	if errors > 0 {
+		os.Exit(1)
+	}
+	fmt.Println("dbcheck: consistent")
 }

@@ -1,0 +1,89 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/analysis/anztest"
+)
+
+// TestBuggySchemeDifferential runs the full multichecker over the
+// synthetic buggy scheme, which commits exactly one violation per pass.
+// Each pass must fire exactly once, at the expected position — no
+// misses, no bleed between passes.
+func TestBuggySchemeDifferential(t *testing.T) {
+	diags := anztest.Diagnostics(t, ".", "../../internal/analysis/testdata/buggyscheme", analyzers...)
+
+	// Expected line per pass in testdata/buggyscheme/buggy.go; update
+	// alongside the fixture.
+	wantLine := map[string]int{
+		"latchorder":   30, // s.prot.Lock() under the syslog latch
+		"guardedwrite": 37, // direct store through arena.Slice
+		"cwpair":       44, // return nil without a fold
+		"obsnames":     50, // undeclared metric name
+	}
+	got := make(map[string][]int)
+	for _, d := range diags {
+		got[d.Pass] = append(got[d.Pass], d.Pos.Line)
+	}
+	for pass, line := range wantLine {
+		switch lines := got[pass]; {
+		case len(lines) != 1:
+			t.Errorf("%s: fired %d times (%v), want exactly once", pass, len(lines), lines)
+		case lines[0] != line:
+			t.Errorf("%s: fired at line %d, want line %d", pass, lines[0], line)
+		}
+	}
+	if len(diags) != len(wantLine) {
+		t.Errorf("got %d diagnostics, want %d:", len(diags), len(wantLine))
+		for _, d := range diags {
+			t.Errorf("  %s", d)
+		}
+	}
+}
+
+// TestAllowDirectives checks the escape hatch: a well-formed
+// //dbvet:allow suppresses each pass, and a directive naming an unknown
+// pass is itself reported without suppressing anything.
+func TestAllowDirectives(t *testing.T) {
+	anztest.Run(t, ".", "../../internal/analysis/testdata/allow", analyzers...)
+}
+
+// TestAllowWithoutReason checks that a reason-less directive is rejected
+// and does not suppress the violation under it. (Asserted directly: a
+// want comment cannot share the directive's line, since trailing text
+// would become the reason.)
+func TestAllowWithoutReason(t *testing.T) {
+	diags := anztest.Diagnostics(t, ".", "../../internal/analysis/testdata/allowbad", analyzers...)
+	var sawMalformed, sawViolation bool
+	for _, d := range diags {
+		if d.Pass == "dbvet" && strings.Contains(d.Message, "a reason is required") {
+			sawMalformed = true
+		}
+		if d.Pass == "obsnames" && strings.Contains(d.Message, "not declared") {
+			sawViolation = true
+		}
+	}
+	if !sawMalformed {
+		t.Errorf("reason-less //dbvet:allow was not reported; got %v", diags)
+	}
+	if !sawViolation {
+		t.Errorf("reason-less //dbvet:allow suppressed the violation; got %v", diags)
+	}
+	if len(diags) != 2 {
+		t.Errorf("got %d diagnostics, want 2: %v", len(diags), diags)
+	}
+}
+
+// TestRepoTreeClean pins the acceptance criterion that dbvet exits zero
+// over the repository: every real diagnostic is either fixed or carries
+// a reasoned //dbvet:allow.
+func TestRepoTreeClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-tree load in -short mode")
+	}
+	diags := anztest.Diagnostics(t, "../..", "./...", analyzers...)
+	for _, d := range diags {
+		t.Errorf("unexpected diagnostic in tree: %s", d)
+	}
+}

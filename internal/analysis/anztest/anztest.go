@@ -1,0 +1,134 @@
+// Package anztest is the golden-test harness for dbvet passes, a
+// stdlib-only analogue of golang.org/x/tools/go/analysis/analysistest.
+// A fixture is an ordinary package under internal/analysis/testdata/
+// (invisible to ./... wildcards, loadable by explicit path) whose
+// sources carry want comments on the lines where diagnostics are
+// expected:
+//
+//	l.Lock() // want "acquires the protection latch"
+//
+// Each `// want "substr" ...` lists one quoted substring per expected
+// diagnostic on that line. Run loads the fixture, applies the analyzers,
+// and fails the test for every unmatched expectation and every
+// unexpected diagnostic.
+package anztest
+
+import (
+	"go/parser"
+	"go/token"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis/anz"
+	"repro/internal/analysis/load"
+)
+
+// expectation is one want substring at a file:line.
+type expectation struct {
+	file    string
+	line    int
+	substr  string
+	matched bool
+}
+
+var wantRE = regexp.MustCompile(`//\s*want\s+(.*)$`)
+var quotedRE = regexp.MustCompile(`"(?:[^"\\]|\\.)*"`)
+
+// Run loads the fixture package at pattern (a path relative to dir, e.g.
+// "../testdata/latchorder"), runs the analyzers over it, and checks the
+// diagnostics against the fixture's want comments.
+func Run(t *testing.T, dir, pattern string, analyzers ...*anz.Analyzer) {
+	t.Helper()
+	prog, err := load.Load(dir, pattern)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", pattern, err)
+	}
+	diags, err := anz.Run(prog, analyzers)
+	if err != nil {
+		t.Fatalf("running analyzers on %s: %v", pattern, err)
+	}
+
+	expects := collectWants(t, prog)
+	for _, d := range diags {
+		if !claim(expects, d) {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, e := range expects {
+		if !e.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", e.file, e.line, e.substr)
+		}
+	}
+}
+
+// claim marks the first unmatched expectation on the diagnostic's line
+// whose substring occurs in the message.
+func claim(expects []*expectation, d anz.Diagnostic) bool {
+	for _, e := range expects {
+		if e.matched || e.line != d.Pos.Line || e.file != d.Pos.Filename {
+			continue
+		}
+		if strings.Contains(d.Message, e.substr) {
+			e.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+// collectWants reparses the fixture sources and extracts want comments.
+// (Reparsing rather than walking prog's ASTs keeps the harness
+// independent of how the loader attaches comments.)
+func collectWants(t *testing.T, prog *load.Program) []*expectation {
+	t.Helper()
+	var expects []*expectation
+	fset := token.NewFileSet()
+	for _, pkg := range prog.Targets {
+		for _, file := range pkg.GoFiles {
+			path := pkg.Dir + "/" + file
+			f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+			if err != nil {
+				t.Fatalf("reparsing %s: %v", path, err)
+			}
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					m := wantRE.FindStringSubmatch(c.Text)
+					if m == nil {
+						continue
+					}
+					pos := fset.Position(c.Pos())
+					quoted := quotedRE.FindAllString(m[1], -1)
+					if len(quoted) == 0 {
+						t.Fatalf("%s:%d: malformed want comment %q", path, pos.Line, c.Text)
+					}
+					for _, q := range quoted {
+						substr, err := strconv.Unquote(q)
+						if err != nil {
+							t.Fatalf("%s:%d: bad want string %s: %v", path, pos.Line, q, err)
+						}
+						expects = append(expects, &expectation{file: pos.Filename, line: pos.Line, substr: substr})
+					}
+				}
+			}
+		}
+	}
+	return expects
+}
+
+// Diagnostics loads pattern and returns the raw diagnostics, for tests
+// that assert on counts and positions directly (the differential
+// buggy-scheme test).
+func Diagnostics(t *testing.T, dir, pattern string, analyzers ...*anz.Analyzer) []anz.Diagnostic {
+	t.Helper()
+	prog, err := load.Load(dir, pattern)
+	if err != nil {
+		t.Fatalf("loading %s: %v", pattern, err)
+	}
+	diags, err := anz.Run(prog, analyzers)
+	if err != nil {
+		t.Fatalf("running analyzers on %s: %v", pattern, err)
+	}
+	return diags
+}

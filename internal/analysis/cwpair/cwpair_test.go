@@ -1,0 +1,12 @@
+package cwpair_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/anztest"
+	"repro/internal/analysis/cwpair"
+)
+
+func TestFixture(t *testing.T) {
+	anztest.Run(t, ".", "../testdata/cwpair", cwpair.Analyzer)
+}

@@ -1,0 +1,185 @@
+// Package guardedwrite statically enforces the paper's prescribed update
+// interface: database bytes live in a mem.Arena, and the only code
+// allowed to store into arena-backed memory is the update/maintenance
+// machinery (the protect schemes, WAL replay, checkpoint image I/O,
+// recovery). Everywhere else, a store through a slice obtained from an
+// Arena accessor — Bytes, Slice, Page — is exactly the "direct physical
+// corruption" of paper §1, performed by the repo's own code instead of a
+// wild pointer.
+//
+// The pass taints slices returned by Arena accessors and every value
+// derived from them by assignment, reslicing or append, then flags
+// element stores, copy-into, and compound assignments whose destination
+// is tainted. Maintenance packages (internal/protect, internal/wal,
+// internal/ckpt, internal/recovery) are allowlisted wholesale; the
+// handful of sanctioned sites elsewhere — the fault injector's
+// deliberate wild-write primitive, the rollback paths that restore undo
+// images — carry //dbvet:allow guardedwrite directives naming their
+// justification.
+package guardedwrite
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis/anz"
+)
+
+// Analyzer is the guardedwrite pass.
+var Analyzer = &anz.Analyzer{
+	Name: "guardedwrite",
+	Doc:  "flag stores into mem.Arena-backed slices outside the update/maintenance machinery",
+	Run:  run,
+}
+
+// allowedPkgs are the maintenance packages whose whole job is writing
+// the image: the prescribed-interface implementation itself.
+var allowedPkgs = []string{
+	"internal/protect",
+	"internal/wal",
+	"internal/ckpt",
+	"internal/recovery",
+}
+
+func run(pass *anz.Pass) error {
+	path := pass.Pkg.ImportPath
+	for _, allowed := range allowedPkgs {
+		if strings.HasSuffix(path, allowed) {
+			return nil
+		}
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				checkFunc(pass, fd.Body)
+			}
+		}
+	}
+	return nil
+}
+
+// checkFunc runs the per-function taint analysis. Taint is propagated
+// through local assignments to a fixpoint (derivation chains are short),
+// then sinks are flagged.
+func checkFunc(pass *anz.Pass, body *ast.BlockStmt) {
+	tainted := make(map[types.Object]bool)
+	isTainted := func(e ast.Expr) bool { return exprTainted(pass, tainted, e) }
+
+	for changed := true; changed; {
+		changed = false
+		ast.Inspect(body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				if len(n.Lhs) != len(n.Rhs) {
+					return true
+				}
+				for i, lhs := range n.Lhs {
+					id, ok := lhs.(*ast.Ident)
+					if !ok {
+						continue
+					}
+					obj := pass.TypesInfo.Defs[id]
+					if obj == nil {
+						obj = pass.TypesInfo.Uses[id]
+					}
+					if obj != nil && !tainted[obj] && isTainted(n.Rhs[i]) {
+						tainted[obj] = true
+						changed = true
+					}
+				}
+			case *ast.ValueSpec:
+				if len(n.Names) != len(n.Values) {
+					return true
+				}
+				for i, id := range n.Names {
+					obj := pass.TypesInfo.Defs[id]
+					if obj != nil && !tainted[obj] && isTainted(n.Values[i]) {
+						tainted[obj] = true
+						changed = true
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	report := func(pos ast.Node, what string) {
+		pass.Reportf(pos.Pos(), "%s into mem.Arena-backed memory outside the prescribed update interface (guarded-write discipline, DESIGN.md)", what)
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if ix, ok := ast.Unparen(lhs).(*ast.IndexExpr); ok && isTainted(ix.X) {
+					report(n, "store")
+				}
+			}
+		case *ast.IncDecStmt:
+			if ix, ok := ast.Unparen(n.X).(*ast.IndexExpr); ok && isTainted(ix.X) {
+				report(n, "store")
+			}
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok && id.Name == "copy" && len(n.Args) == 2 {
+				if _, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin); isBuiltin && isTainted(n.Args[0]) {
+					report(n, "copy")
+				}
+			}
+		}
+		return true
+	})
+}
+
+// exprTainted reports whether e evaluates to arena-backed memory: a
+// direct Arena accessor call, a tainted local, or a reslice/append of
+// either.
+func exprTainted(pass *anz.Pass, tainted map[types.Object]bool, e ast.Expr) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		obj := pass.TypesInfo.Uses[e]
+		if obj == nil {
+			obj = pass.TypesInfo.Defs[e]
+		}
+		return obj != nil && tainted[obj]
+	case *ast.CallExpr:
+		if isArenaAccessor(pass, e) {
+			return true
+		}
+		// append(tainted, ...) aliases the arena when capacity suffices.
+		if id, ok := ast.Unparen(e.Fun).(*ast.Ident); ok && id.Name == "append" && len(e.Args) > 0 {
+			if _, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin); isBuiltin {
+				return exprTainted(pass, tainted, e.Args[0])
+			}
+		}
+	case *ast.SliceExpr:
+		return exprTainted(pass, tainted, e.X)
+	}
+	return false
+}
+
+// isArenaAccessor matches calls to (*mem.Arena).Bytes, .Slice, .Page.
+func isArenaAccessor(pass *anz.Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	switch sel.Sel.Name {
+	case "Bytes", "Slice", "Page":
+	default:
+		return false
+	}
+	tv, ok := pass.TypesInfo.Types[sel.X]
+	if !ok {
+		return false
+	}
+	t := tv.Type
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Arena" && obj.Pkg() != nil && obj.Pkg().Name() == "mem"
+}

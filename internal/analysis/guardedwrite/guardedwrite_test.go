@@ -1,0 +1,12 @@
+package guardedwrite_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/anztest"
+	"repro/internal/analysis/guardedwrite"
+)
+
+func TestFixture(t *testing.T) {
+	anztest.Run(t, ".", "../testdata/guardedwrite", guardedwrite.Analyzer)
+}

@@ -1,0 +1,12 @@
+package latchorder_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/anztest"
+	"repro/internal/analysis/latchorder"
+)
+
+func TestFixture(t *testing.T) {
+	anztest.Run(t, ".", "../testdata/latchorder", latchorder.Analyzer)
+}

@@ -1,0 +1,189 @@
+// Package load is dbvet's stdlib-only package loader: it resolves Go
+// packages with `go list -deps -json`, parses their sources, and type
+// checks them in dependency order with a map-backed importer. It stands
+// in for golang.org/x/tools/go/packages, which the repo's zero-dependency
+// rule keeps out of go.mod.
+//
+// Standard-library packages are type checked with IgnoreFuncBodies (only
+// their exported API shape is needed to resolve the repo's own types),
+// so a full load of the repository tree — including the transitive
+// stdlib closure down to runtime — costs a few hundred milliseconds.
+// Explicit paths under testdata directories resolve too (Go's wildcard
+// expansion skips testdata, but a literal path does not), which is how
+// the analysistest-style fixtures are loaded.
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os/exec"
+	"path/filepath"
+)
+
+// Package is one loaded, parsed, type-checked package.
+type Package struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	GoFiles    []string
+	Standard   bool
+
+	Syntax    []*ast.File
+	Types     *types.Package
+	TypesInfo *types.Info
+	// TypeErrors collects type-checker complaints without aborting the
+	// load; analysis of a package with errors proceeds best-effort.
+	TypeErrors []error
+}
+
+// Program is a loaded package graph.
+type Program struct {
+	Fset *token.FileSet
+	// Packages in dependency order: every package appears after all of
+	// its imports.
+	Packages []*Package
+	ByPath   map[string]*Package
+	// Targets are the packages named by the load patterns (the packages
+	// to report on); Packages additionally holds their dependencies.
+	Targets []*Package
+}
+
+// listEntry is the subset of `go list -json` output the loader uses.
+type listEntry struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	GoFiles    []string
+	Imports    []string
+	Standard   bool
+	Error      *struct{ Err string }
+}
+
+// goList runs `go list` in dir and decodes its JSON stream.
+func goList(dir string, args ...string) ([]*listEntry, error) {
+	cmd := exec.Command("go", append([]string{"list", "-e", "-json=ImportPath,Name,Dir,GoFiles,Imports,Standard,Error"}, args...)...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %v: %v\n%s", args, err, stderr.String())
+	}
+	var entries []*listEntry
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var e listEntry
+		if err := dec.Decode(&e); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list %v: decoding output: %v", args, err)
+		}
+		entries = append(entries, &e)
+	}
+	return entries, nil
+}
+
+// mapImporter resolves imports from the already-type-checked set.
+type mapImporter map[string]*types.Package
+
+func (m mapImporter) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if p := m[path]; p != nil {
+		return p, nil
+	}
+	return nil, fmt.Errorf("load: package %q not in dependency set", path)
+}
+
+// Load resolves patterns (run from dir) plus their transitive
+// dependencies, parses and type checks everything, and returns the
+// program. Patterns may name packages inside testdata directories by
+// explicit path.
+func Load(dir string, patterns ...string) (*Program, error) {
+	deps, err := goList(dir, append([]string{"-deps"}, patterns...)...)
+	if err != nil {
+		return nil, err
+	}
+	roots, err := goList(dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	for _, e := range append(append([]*listEntry{}, deps...), roots...) {
+		if e.Error != nil && e.Error.Err != "" {
+			return nil, fmt.Errorf("load: %s: %s", e.ImportPath, e.Error.Err)
+		}
+	}
+	rootSet := make(map[string]bool, len(roots))
+	for _, e := range roots {
+		rootSet[e.ImportPath] = true
+	}
+
+	prog := &Program{
+		Fset:   token.NewFileSet(),
+		ByPath: make(map[string]*Package, len(deps)),
+	}
+	typed := make(mapImporter, len(deps))
+
+	// go list -deps emits dependencies before dependents, so a single
+	// forward sweep type checks every import before its importers.
+	for _, e := range deps {
+		if e.ImportPath == "unsafe" {
+			continue
+		}
+		pkg := &Package{
+			ImportPath: e.ImportPath,
+			Name:       e.Name,
+			Dir:        e.Dir,
+			GoFiles:    e.GoFiles,
+			Standard:   e.Standard,
+		}
+		for _, name := range e.GoFiles {
+			f, err := parser.ParseFile(prog.Fset, filepath.Join(e.Dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+			if err != nil {
+				return nil, fmt.Errorf("load: %s: %v", e.ImportPath, err)
+			}
+			pkg.Syntax = append(pkg.Syntax, f)
+		}
+		pkg.TypesInfo = &types.Info{
+			Types:      make(map[ast.Expr]types.TypeAndValue),
+			Defs:       make(map[*ast.Ident]types.Object),
+			Uses:       make(map[*ast.Ident]types.Object),
+			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+			Implicits:  make(map[ast.Node]types.Object),
+			Scopes:     make(map[ast.Node]*types.Scope),
+		}
+		cfg := &types.Config{
+			Importer: typed,
+			Error: func(err error) {
+				pkg.TypeErrors = append(pkg.TypeErrors, err)
+			},
+			// Stdlib bodies are irrelevant: only exported API shapes are
+			// needed to resolve the analyzed packages' types.
+			IgnoreFuncBodies: e.Standard,
+		}
+		tpkg, _ := cfg.Check(e.ImportPath, prog.Fset, pkg.Syntax, pkg.TypesInfo)
+		pkg.Types = tpkg
+		typed[e.ImportPath] = tpkg
+
+		prog.Packages = append(prog.Packages, pkg)
+		prog.ByPath[e.ImportPath] = pkg
+		if rootSet[e.ImportPath] {
+			prog.Targets = append(prog.Targets, pkg)
+		}
+	}
+	// Surface hard type errors in the target packages: analyzing a
+	// package that does not type check produces junk.
+	for _, pkg := range prog.Targets {
+		if len(pkg.TypeErrors) > 0 {
+			return nil, fmt.Errorf("load: %s: %d type errors, first: %v", pkg.ImportPath, len(pkg.TypeErrors), pkg.TypeErrors[0])
+		}
+	}
+	return prog, nil
+}

@@ -1,0 +1,149 @@
+// Package obsnames keeps the observability namespace closed: every
+// metric name passed to obs.Registry's Counter/Gauge/Histogram must be
+// one of the Name* constants declared in internal/obs/names.go, and a
+// given name must always be registered as the same instrument kind.
+// Free-form string literals at call sites are how dashboards silently
+// break — a typo mints a new, never-scraped series instead of failing.
+//
+// The pass runs in dependency order: visiting package obs it records the
+// declared constants (value → constant name); visiting every other
+// package it resolves each registry call's name argument to its constant
+// string value and flags (1) values not in the declared set, (2) declared
+// values spelled as raw literals instead of the constant, and (3) a name
+// registered under two different instrument kinds anywhere in the
+// program.
+package obsnames
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis/anz"
+)
+
+// Analyzer is the obsnames pass.
+var Analyzer = &anz.Analyzer{
+	Name: "obsnames",
+	Doc:  "metric names must be obs Name* constants, each registered with one instrument kind",
+	Run:  run,
+}
+
+// registryMethods are the get-or-create instrument constructors on
+// *obs.Registry whose first argument is the metric name.
+var registryMethods = map[string]bool{
+	"Counter":   true,
+	"Gauge":     true,
+	"Histogram": true,
+}
+
+// kindSeen records the first registration of a metric name.
+type kindSeen struct {
+	kind string
+	at   string
+}
+
+func run(pass *anz.Pass) error {
+	if isObsPackage(pass.Pkg.ImportPath) {
+		declare(pass)
+	}
+	shared := pass.Shared()
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			method, ok := registryCall(pass, call)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			arg := ast.Unparen(call.Args[0])
+			tv, ok := pass.TypesInfo.Types[arg]
+			if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+				// Dynamic name (parameter, concatenation of a parameter):
+				// the declaration is checked where the constant is spelled.
+				return true
+			}
+			name := constant.StringVal(tv.Value)
+
+			declKey := "decl:" + name
+			constName, declared := shared[declKey].(string)
+			switch {
+			case !declared:
+				pass.Reportf(arg.Pos(), "metric name %q is not declared in internal/obs/names.go", name)
+			case isRawLiteral(arg) && !isObsPackage(pass.Pkg.ImportPath):
+				pass.Reportf(arg.Pos(), "metric name %q spelled as a string literal; use obs.%s", name, constName)
+			}
+
+			kindKey := "kind:" + name
+			if prev, ok := shared[kindKey].(kindSeen); ok {
+				if prev.kind != method {
+					pass.Reportf(call.Pos(), "metric %q registered as %s here but as %s at %s", name, method, prev.kind, prev.at)
+				}
+			} else {
+				shared[kindKey] = kindSeen{kind: method, at: pass.Fset.Position(call.Pos()).String()}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// declare records package obs's exported string constants as the
+// declared metric namespace.
+func declare(pass *anz.Pass) {
+	shared := pass.Shared()
+	scope := pass.Pkg.Types.Scope()
+	for _, name := range scope.Names() {
+		cns, ok := scope.Lookup(name).(*types.Const)
+		if !ok || cns.Val().Kind() != constant.String {
+			continue
+		}
+		shared["decl:"+constant.StringVal(cns.Val())] = name
+	}
+}
+
+// registryCall reports whether call is an instrument constructor on
+// *obs.Registry and returns the method name.
+func registryCall(pass *anz.Pass, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || !registryMethods[sel.Sel.Name] {
+		return "", false
+	}
+	tv, ok := pass.TypesInfo.Types[sel.X]
+	if !ok {
+		return "", false
+	}
+	t := tv.Type
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return "", false
+	}
+	obj := named.Obj()
+	if obj.Name() != "Registry" || obj.Pkg() == nil || !isObsPackage(obj.Pkg().Path()) {
+		return "", false
+	}
+	return sel.Sel.Name, true
+}
+
+// isRawLiteral reports whether the name argument is spelled as a string
+// literal (possibly concatenated from literals) rather than a constant
+// reference.
+func isRawLiteral(e ast.Expr) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.BasicLit:
+		return true
+	case *ast.BinaryExpr:
+		return isRawLiteral(e.X) && isRawLiteral(e.Y)
+	}
+	return false
+}
+
+func isObsPackage(path string) bool {
+	return path == "repro/internal/obs" || strings.HasSuffix(path, "/internal/obs")
+}

@@ -1,0 +1,12 @@
+package obsnames_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/anztest"
+	"repro/internal/analysis/obsnames"
+)
+
+func TestFixture(t *testing.T) {
+	anztest.Run(t, ".", "../testdata/obsnames", obsnames.Analyzer)
+}

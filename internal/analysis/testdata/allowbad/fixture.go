@@ -1,0 +1,13 @@
+// Package allowbad holds a //dbvet:allow directive with no reason. The
+// directive test asserts (by direct diagnostic inspection — a want
+// comment cannot be embedded, since any trailing text would become the
+// reason) that the malformed directive is reported and does not
+// suppress the violation it sits on.
+package allowbad
+
+import "repro/internal/obs"
+
+func terse(reg *obs.Registry) {
+	//dbvet:allow obsnames
+	reg.Gauge("allowbad.terse")
+}

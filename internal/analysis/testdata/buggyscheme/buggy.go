@@ -1,0 +1,51 @@
+// Package buggyscheme is the differential fixture: a synthetic protect
+// scheme that commits exactly one violation per dbvet pass. The
+// differential test pins each pass to one diagnostic at one position,
+// proving the passes neither miss their target class nor bleed into
+// each other's.
+package buggyscheme
+
+import (
+	"repro/internal/latch"
+	"repro/internal/mem"
+	"repro/internal/obs"
+)
+
+type scheme struct {
+	prot  latch.Latch //dbvet:latch protection
+	slog  latch.Latch //dbvet:latch syslog
+	arena *mem.Arena
+	undo  []byte
+}
+
+func (s *scheme) PushPhysUndo(addr mem.Addr, before []byte) {
+	s.undo = append(s.undo, before...)
+}
+
+// Violation 1 (latchorder): acquires the protection latch under the
+// system-log latch.
+func (s *scheme) logThenProtect() {
+	s.slog.Lock()
+	defer s.slog.Unlock()
+	s.prot.Lock()
+	defer s.prot.Unlock()
+}
+
+// Violation 2 (guardedwrite): writes the image directly instead of
+// going through the update bracket.
+func (s *scheme) pokeImage(addr mem.Addr, b byte) {
+	s.arena.Slice(addr, 1)[0] = b
+}
+
+// Violation 3 (cwpair): captures the undo image, never folds the
+// codeword.
+func (s *scheme) EndUpdate(addr mem.Addr, before, after []byte) error {
+	s.PushPhysUndo(addr, before)
+	return nil
+}
+
+// Violation 4 (obsnames): mints a metric name outside the closed
+// namespace.
+func (s *scheme) metrics(reg *obs.Registry) {
+	reg.Counter("buggy.updates_total")
+}

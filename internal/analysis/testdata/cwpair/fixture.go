@@ -1,0 +1,80 @@
+// Package cwfix is the golden fixture for the cwpair pass: an update
+// that captures an undo image (or any EndUpdate method) must fold into
+// the codeword on every successful path.
+package cwfix
+
+type entry struct{}
+
+func (entry) PushPhysUndo(addr int, before []byte) {}
+
+type table struct{}
+
+func (table) ApplyUpdate(addr int, before, after []byte) error { return nil }
+
+type scheme struct {
+	e   entry
+	tab table
+}
+
+// Shape 1: an EndUpdate that never folds.
+func (s *scheme) EndUpdate(addr int, before, after []byte) error {
+	return nil // want "returns success without a codeword fold"
+}
+
+// Shape 2: the fold is skipped on the fast path.
+func (s *scheme) update(addr int, before, after []byte, fast bool) error {
+	s.e.PushPhysUndo(addr, before)
+	if fast {
+		return nil // want "returns success without a codeword fold"
+	}
+	return s.tab.ApplyUpdate(addr, before, after)
+}
+
+// Shape 3: a fold inside a loop body does not cover the zero-iteration
+// case.
+func (s *scheme) updateMany(addrs []int, before, after []byte) error {
+	for _, a := range addrs {
+		s.e.PushPhysUndo(a, before)
+	}
+	for _, a := range addrs {
+		if err := s.tab.ApplyUpdate(a, before, after); err != nil {
+			return err
+		}
+	}
+	return nil // want "returns success without a codeword fold"
+}
+
+// ---- clean code ----
+
+// Folding on both branches (one fused with the return) is clean.
+func (s *scheme) good(addr int, before, after []byte, fast bool) error {
+	s.e.PushPhysUndo(addr, before)
+	if fast {
+		return s.tab.ApplyUpdate(addr, before, after)
+	}
+	if err := s.tab.ApplyUpdate(addr, before, after); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Error exits are exempt: a failed update is rolled back, not folded.
+func (s *scheme) errExit(addr int, before []byte, err error) error {
+	s.e.PushPhysUndo(addr, before)
+	if err != nil {
+		return err
+	}
+	return s.tab.ApplyUpdate(addr, nil, nil)
+}
+
+// drain folds on its only path, so it exports the folds-fact …
+func (s *scheme) drain(addr int) {
+	_ = s.tab.ApplyUpdate(addr, nil, nil)
+}
+
+// … and calling it counts as the fold here.
+func (s *scheme) viaWrapper(addr int, before []byte) error {
+	s.e.PushPhysUndo(addr, before)
+	s.drain(addr)
+	return nil
+}

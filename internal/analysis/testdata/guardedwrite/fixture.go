@@ -1,0 +1,43 @@
+// Package gwfix is the golden fixture for the guardedwrite pass: stores
+// into mem.Arena-backed slices outside the maintenance packages must be
+// flagged; reads and writes to ordinary slices must not.
+package gwfix
+
+import "repro/internal/mem"
+
+// Shape 1: direct index store through an accessor call.
+func direct(a *mem.Arena) {
+	a.Bytes()[0] = 1 // want "store into mem.Arena-backed memory"
+}
+
+// Shape 2: copy into a reslice derived from an accessor result.
+func viaCopy(a *mem.Arena, src []byte) {
+	buf := a.Slice(0, 16)
+	sub := buf[4:8]
+	copy(sub, src) // want "copy into mem.Arena-backed memory"
+}
+
+// Shape 3: increment through a chain of aliases.
+func viaAlias(a *mem.Arena) {
+	p := a.Page(0)
+	q := p
+	q[3]++ // want "store into mem.Arena-backed memory"
+}
+
+// ---- clean code ----
+
+// Reading arena memory is always fine.
+func reader(a *mem.Arena) byte {
+	return a.Bytes()[0]
+}
+
+// Copying OUT of the arena is fine (the arena is the source).
+func snapshot(a *mem.Arena, dst []byte) {
+	copy(dst, a.Slice(0, len(dst)))
+}
+
+// Ordinary slices are not arena-backed.
+func plain(dst []byte) {
+	dst[0] = 1
+	copy(dst, []byte{2})
+}

@@ -1,0 +1,38 @@
+// Package obsfix is the golden fixture for the obsnames pass: metric
+// names must come from the closed namespace in internal/obs/names.go,
+// spelled as the Name* constant, and each name must keep one instrument
+// kind.
+package obsfix
+
+import "repro/internal/obs"
+
+// A locally declared constant is still outside the closed namespace.
+const localName = "fixture.local_gauge"
+
+func register(reg *obs.Registry) {
+	// Shape 1: a name nobody declared.
+	reg.Counter("fixture.bogus_counter") // want "not declared in internal/obs/names.go"
+
+	// Shape 2: a declared value spelled as a raw literal.
+	reg.Counter("core.txns_begun") // want "use obs.NameTxnsBegun"
+
+	// Shape 3: a local constant masquerading as a metric name.
+	reg.Gauge(localName) // want "not declared in internal/obs/names.go"
+
+	// Shape 4: one name, two instrument kinds.
+	reg.Counter(obs.NameCkptPagesWritten)
+	reg.Gauge(obs.NameCkptPagesWritten) // want "registered as Gauge here but as Counter"
+}
+
+// ---- clean code ----
+
+func registerGood(reg *obs.Registry) {
+	reg.Counter(obs.NameTxnsBegun)
+	reg.Histogram(obs.NameBenchPairNS)
+}
+
+// Dynamic names are out of scope for the static check: the constant is
+// checked where it is spelled.
+func registerDynamic(reg *obs.Registry, name string) {
+	reg.Gauge(name)
+}

@@ -108,7 +108,7 @@ func MeasurePairHistogram(prot interface {
 	Protect(mem.PageID) error
 	Unprotect(mem.PageID) error
 }, pages, reps int) (obs.HistogramSnapshot, error) {
-	h := obs.NewRegistry().Histogram("bench.pair_ns")
+	h := obs.NewRegistry().Histogram(obs.NameBenchPairNS)
 	for r := 0; r < reps; r++ {
 		for p := 0; p < pages; p++ {
 			start := time.Now()

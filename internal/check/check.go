@@ -16,34 +16,78 @@ import (
 	"repro/internal/wal"
 )
 
-// Problem is one consistency violation.
+// Severity grades a Problem for exit-status and alerting decisions.
+type Severity int
+
+const (
+	// SevWarning marks advisory findings: the check ran under conditions
+	// that weaken its guarantees (active transactions) but no structural
+	// invariant is known broken. dbcheck exits 0 on warnings alone.
+	SevWarning Severity = iota
+	// SevError marks a violated invariant: corruption or inconsistency a
+	// DBA must act on. dbcheck exits 1.
+	SevError
+)
+
+func (s Severity) String() string {
+	if s == SevWarning {
+		return "warning"
+	}
+	return "error"
+}
+
+// Stable machine-readable problem codes. Tooling keys on these; the
+// human-readable Desc text may be reworded freely. Codes are grouped by
+// area (CW00x att, CW01x codeword, CW02x heap, CW03x index, CW04x
+// checkpoint) and are never renumbered or reused.
+const (
+	CodeActiveTxns       = "CW001" // transactions active while checking
+	CodeCodewordMismatch = "CW010" // region codeword does not match data
+	CodeHeapRecordRange  = "CW020" // allocated record outside the arena
+	CodeHeapCount        = "CW021" // table count disagrees with bitmap scan
+	CodeIndexUnreadable  = "CW030" // index bucket chain unreadable
+	CodeIndexDupKey      = "CW031" // duplicate key in a unique index
+	CodeIndexDangling    = "CW032" // entry points at unallocated record
+	CodeIndexCount       = "CW033" // index count disagrees with entry scan
+	CodeCkptAnchorBase   = "CW040" // anchor precedes retained log base
+	CodeCkptAnchorEnd    = "CW041" // anchor beyond log end
+	CodeCkptImage        = "CW042" // checkpoint image unloadable
+)
+
+// Problem is one consistency finding.
 type Problem struct {
+	// Code is the stable machine-readable identifier (CW0xx).
+	Code string
+	// Severity grades the finding; see the Sev constants.
+	Severity Severity
 	// Area is "codeword", "heap", "index", "checkpoint" or "att".
 	Area string
 	// Desc describes the violation.
 	Desc string
 }
 
-func (p Problem) String() string { return p.Area + ": " + p.Desc }
+func (p Problem) String() string {
+	return p.Code + " " + p.Severity.String() + " " + p.Area + ": " + p.Desc
+}
 
 // Run checks db and returns every problem found (empty means consistent).
 // The database should be quiescent; concurrent transactions may cause
 // spurious findings.
 func Run(db *core.DB) ([]Problem, error) {
 	var out []Problem
-	add := func(area, format string, args ...any) {
-		out = append(out, Problem{Area: area, Desc: fmt.Sprintf(format, args...)})
+	add := func(code string, sev Severity, area, format string, args ...any) {
+		out = append(out, Problem{Code: code, Severity: sev, Area: area, Desc: fmt.Sprintf(format, args...)})
 	}
 
 	// Quiescence.
 	if n := db.ATT().Len(); n != 0 {
-		add("att", "%d transactions active; results may be unreliable", n)
+		add(CodeActiveTxns, SevWarning, "att", "%d transactions active; results may be unreliable", n)
 	}
 
 	// Codewords.
 	if bad := db.Scheme().Audit(); len(bad) != 0 {
 		for _, m := range bad {
-			add("codeword", "region mismatch: %v", m)
+			add(CodeCodewordMismatch, SevError, "codeword", "region mismatch: %v", m)
 		}
 	}
 
@@ -68,11 +112,11 @@ func Run(db *core.DB) ([]Problem, error) {
 			allocated[rid.Key()] = true
 			addr := tb.RecordAddr(slot)
 			if err := db.Arena().CheckRange(addr, tb.RecSize); err != nil {
-				add("heap", "table %q slot %d: record out of arena: %v", name, slot, err)
+				add(CodeHeapRecordRange, SevError, "heap", "table %q slot %d: record out of arena: %v", name, slot, err)
 			}
 		}
 		if got := tb.Count(); got != count {
-			add("heap", "table %q: Count()=%d but scan found %d", name, got, count)
+			add(CodeHeapCount, SevError, "heap", "table %q: Count()=%d but scan found %d", name, got, count)
 		}
 	}
 
@@ -85,22 +129,22 @@ func Run(db *core.DB) ([]Problem, error) {
 		seenKeys := make(map[uint64]bool)
 		entries, err := idx.Entries()
 		if err != nil {
-			add("index", "index %q: %v", idx.Name, err)
+			add(CodeIndexUnreadable, SevError, "index", "index %q: %v", idx.Name, err)
 			continue
 		}
 		for _, e := range entries {
 			if seenKeys[e.Key] {
-				add("index", "index %q: duplicate key %d", idx.Name, e.Key)
+				add(CodeIndexDupKey, SevError, "index", "index %q: duplicate key %d", idx.Name, e.Key)
 			}
 			seenKeys[e.Key] = true
 			if _, err := hcat.TableByID(e.RID.Table); err == nil {
 				if !allocated[e.RID.Key()] {
-					add("index", "index %q: key %d points at unallocated record %v", idx.Name, e.Key, e.RID)
+					add(CodeIndexDangling, SevError, "index", "index %q: key %d points at unallocated record %v", idx.Name, e.Key, e.RID)
 				}
 			}
 		}
 		if idx.Count() != len(entries) {
-			add("index", "index %q: Count()=%d but scan found %d", idx.Name, idx.Count(), len(entries))
+			add(CodeIndexCount, SevError, "index", "index %q: Count()=%d but scan found %d", idx.Name, idx.Count(), len(entries))
 		}
 	}
 
@@ -111,13 +155,13 @@ func Run(db *core.DB) ([]Problem, error) {
 			return nil, err
 		}
 		if anchor.CKEnd < base {
-			add("checkpoint", "anchor CK_end %d precedes the retained log base %d", anchor.CKEnd, base)
+			add(CodeCkptAnchorBase, SevError, "checkpoint", "anchor CK_end %d precedes the retained log base %d", anchor.CKEnd, base)
 		}
 		if anchor.CKEnd > db.Log().End() {
-			add("checkpoint", "anchor CK_end %d beyond log end %d", anchor.CKEnd, db.Log().End())
+			add(CodeCkptAnchorEnd, SevError, "checkpoint", "anchor CK_end %d beyond log end %d", anchor.CKEnd, db.Log().End())
 		}
 		if _, err := ckpt.Load(db.Config().Dir); err != nil {
-			add("checkpoint", "current image unloadable: %v", err)
+			add(CodeCkptImage, SevError, "checkpoint", "current image unloadable: %v", err)
 		}
 	}
 	return out, nil

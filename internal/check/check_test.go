@@ -57,6 +57,17 @@ func problemAreas(ps []Problem) map[string]int {
 		if p.String() == "" {
 			panic("empty problem string")
 		}
+		if p.Code == "" {
+			panic("problem without a stable code: " + p.String())
+		}
+	}
+	return m
+}
+
+func problemCodes(ps []Problem) map[string]int {
+	m := map[string]int{}
+	for _, p := range ps {
+		m[p.Code]++
 	}
 	return m
 }
@@ -84,6 +95,14 @@ func TestDetectsCodewordMismatch(t *testing.T) {
 	}
 	if problemAreas(problems)["codeword"] == 0 {
 		t.Fatalf("codeword corruption missed: %v", problems)
+	}
+	if problemCodes(problems)[CodeCodewordMismatch] == 0 {
+		t.Fatalf("mismatch not coded %s: %v", CodeCodewordMismatch, problems)
+	}
+	for _, p := range problems {
+		if p.Code == CodeCodewordMismatch && p.Severity != SevError {
+			t.Fatalf("codeword mismatch should be error severity: %v", p)
+		}
 	}
 }
 
@@ -124,6 +143,13 @@ func TestReportsActiveTransactions(t *testing.T) {
 	}
 	if problemAreas(problems)["att"] == 0 {
 		t.Fatalf("active transaction not reported: %v", problems)
+	}
+	// Active transactions are advisory: warning severity, so dbcheck run
+	// against a live database still exits 0.
+	for _, p := range problems {
+		if p.Area == "att" && (p.Severity != SevWarning || p.Code != CodeActiveTxns) {
+			t.Fatalf("att finding should be %s at warning severity: %v", CodeActiveTxns, p)
+		}
 	}
 	txn.Commit()
 }

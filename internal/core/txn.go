@@ -437,6 +437,7 @@ func (t *Txn) applyPhysUndo(u wal.UndoRec) error {
 	}
 	cur := make([]byte, n)
 	copy(cur, t.db.arena.Slice(u.Addr, n))
+	//dbvet:allow guardedwrite rollback restores the undo image; AbortUpdate squares the codeword
 	copy(t.db.arena.Slice(u.Addr, n), u.Before)
 	if u.CodewordPending {
 		return t.db.scheme.AbortUpdate(tok)

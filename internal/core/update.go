@@ -44,6 +44,9 @@ func (t *Txn) BeginUpdate(addr mem.Addr, n int) (*Update, error) {
 		return nil, fmt.Errorf("core: txn %d: update outside an operation", t.entry.ID)
 	}
 	db := t.db
+	// The audit barrier is held across the whole bracket so an audit
+	// cannot observe the half-updated region; End/Cancel release it.
+	//dbvet:allow latchorder update bracket spans functions; End/Cancel defer the RUnlock
 	db.barrier.RLock()
 	if err := db.arena.CheckRange(addr, n); err != nil {
 		db.barrier.RUnlock()
@@ -59,6 +62,7 @@ func (t *Txn) BeginUpdate(addr mem.Addr, n int) (*Update, error) {
 	t.entry.PushPhysUndo(addr, before)
 	t.pendingUpdate = true
 	db.mUpdates.Inc()
+	//dbvet:allow cwpair bracket folds in Update.End via scheme.EndUpdate, not at Begin
 	return &Update{
 		t:       t,
 		addr:    addr,
@@ -126,6 +130,7 @@ func (u *Update) Cancel() error {
 	defer db.barrier.RUnlock()
 	t.pendingUpdate = false
 
+	//dbvet:allow guardedwrite Cancel restores the before image the codeword still covers
 	copy(db.arena.Slice(u.addr, u.n), u.before)
 	if err := db.scheme.AbortUpdate(u.tok); err != nil {
 		return err

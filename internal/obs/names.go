@@ -83,4 +83,7 @@ const (
 	NameCkptPagesWritten = "ckpt.pages_written"
 	NameCkptBytesWritten = "ckpt.bytes_written"
 	NameCkptDirtyClean   = "ckpt.dirty_skipped" // pages skipped as clean by the dirty-page map
+
+	// internal/benchtab — Table 1/2 measurement sweeps.
+	NameBenchPairNS = "bench.pair_ns" // histogram: one protect/unprotect pair, nanoseconds
 )

@@ -28,7 +28,7 @@ type codewordScheme struct {
 	kind  Kind
 	arena *mem.Arena
 	tab   *region.Table
-	prot  *latch.Striped // the paper's protection latches
+	prot  *latch.Striped //dbvet:latch protection — the paper's protection latches
 	pool  *region.Pool   // workers for whole-arena scans (recompute, audit)
 
 	mCWCaptures *obs.Counter // codewords captured for read-log records

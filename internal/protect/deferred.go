@@ -29,7 +29,7 @@ import (
 type deferredScheme struct {
 	arena *mem.Arena
 	tab   *region.Table
-	prot  *latch.Striped
+	prot  *latch.Striped //dbvet:latch protection
 	pool  *region.Pool
 
 	mu      sync.Mutex

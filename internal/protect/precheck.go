@@ -23,7 +23,7 @@ var ErrPrecheckFailed = errors.New("protect: read precheck failed (corruption de
 type precheckScheme struct {
 	arena *mem.Arena
 	tab   *region.Table
-	prot  *latch.Striped
+	prot  *latch.Striped //dbvet:latch protection
 	pool  *region.Pool
 
 	reg       *obs.Registry

@@ -64,7 +64,7 @@ type Table struct {
 	regionSize int
 	shift      uint
 	cws        []Codeword
-	cwLatch    *latch.Striped // the paper's "codeword latch"
+	cwLatch    *latch.Striped //dbvet:latch codeword — the paper's "codeword latch"
 	// pool runs the table's whole-arena scans (RecomputeAll, AuditRange)
 	// across workers. A nil pool runs them on the calling goroutine.
 	pool *Pool

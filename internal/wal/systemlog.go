@@ -63,7 +63,7 @@ func (f DirtyNoterFunc) NoteDirty(id mem.PageID) { f(id) }
 // appends so that LSNs are dense byte offsets into the (stable ++ tail)
 // byte stream.
 type SystemLog struct {
-	latch latch.Latch // the paper's "system log latch"
+	latch latch.Latch //dbvet:latch syslog — the paper's "system log latch"
 	// flushDone is signalled whenever a flush completes; committers
 	// waiting for their records to become durable sleep on it (group
 	// commit: the latch is NOT held across the fsync, so appends and
@@ -389,6 +389,7 @@ func (l *SystemLog) flushToLocked(target LSN) error {
 			l.reg.Emit(obs.LogFlushEvent{Records: len(recs), Bytes: len(buf), Fsync: fsync, Err: ferr})
 		}
 
+		//dbvet:allow latchorder flush reacquires the log latch it dropped for disk I/O; the caller's bracket releases it
 		l.latch.Lock()
 		l.flushing = false
 		l.flushLen = 0

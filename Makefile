@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race cover bench bench-smoke table1 table2 faultstudy examples clean
+.PHONY: all build vet test race cover bench bench-smoke torture torture-smoke table1 table2 faultstudy faultstudy-disk examples clean
 
 all: build vet test
 
@@ -15,10 +15,22 @@ build:
 # kernel benchmarks. dbvet is the repo's own pass suite (latch order,
 # guarded writes, codeword pairing, metric names); see DESIGN.md
 # "Machine-checked invariants".
-vet: bench-smoke
+vet: bench-smoke torture-smoke
 	$(GO) vet ./...
 	$(GO) run ./cmd/dbvet ./...
 	$(GO) test -race ./internal/core ./internal/wal ./internal/obs ./internal/tpcb
+
+# Bounded crash-point recovery torture: the smoke workload is crashed at
+# every I/O point, recovery is verified from each frozen durable state,
+# and the fail-stop log-poisoning tests run under the race detector.
+torture-smoke:
+	$(GO) test -race -short ./internal/iofault/...
+
+# The full exhaustive sweep (DefaultConfig workload, hundreds of crash
+# points) plus the disk fault-study campaign.
+torture:
+	$(GO) test -race ./internal/iofault/...
+	$(GO) run ./cmd/faultstudy -disk
 
 # Compile-and-run smoke of the kernel/scan microbenchmarks (one iteration
 # each) plus vet and a race pass over the region package, whose pool and
@@ -50,6 +62,9 @@ table2:
 
 faultstudy:
 	$(GO) run ./cmd/faultstudy -campaigns 25
+
+faultstudy-disk:
+	$(GO) run ./cmd/faultstudy -disk
 
 examples:
 	$(GO) run ./examples/quickstart

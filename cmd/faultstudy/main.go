@@ -6,9 +6,15 @@
 // the paper cites to argue that detection and recovery are necessary even
 // where prevention exists.
 //
+// With -disk it instead runs the storage-fault campaign: the deterministic
+// torture workload is crashed at every I/O point (fsyncs, page writes,
+// renames, directory syncs) and recovery from each frozen durable state is
+// verified, followed by fsync-failure drills that must fail-stop.
+//
 // Usage:
 //
 //	faultstudy [-campaigns N] [-txns N] [-seed N]
+//	faultstudy -disk [-disk-txns N] [-disk-ckpt-every N]
 package main
 
 import (
@@ -17,13 +23,43 @@ import (
 	"os"
 
 	"repro/internal/faultstudy"
+	"repro/internal/iofault/torture"
 )
 
 func main() {
 	campaigns := flag.Int("campaigns", 20, "campaigns per scheme")
 	txns := flag.Int("txns", 8, "carrier transactions per campaign")
 	seed := flag.Int64("seed", 1, "random seed")
+	disk := flag.Bool("disk", false, "run the storage-fault campaign (exhaustive crash points) instead")
+	diskTxns := flag.Int("disk-txns", 0, "disk campaign: update transactions (0 = workload default)")
+	diskCkptEvery := flag.Int("disk-ckpt-every", -1, "disk campaign: checkpoint every N txns (-1 = workload default)")
 	flag.Parse()
+
+	if *disk {
+		wl := torture.DefaultConfig()
+		if *diskTxns > 0 {
+			wl.Txns = *diskTxns
+		}
+		if *diskCkptEvery >= 0 {
+			wl.CheckpointEvery = *diskCkptEvery
+		}
+		fmt.Printf("Storage-fault study: %d update txns, checkpoint every %d, crash at every I/O point\n\n",
+			wl.Txns, wl.CheckpointEvery)
+		out, err := faultstudy.DiskCampaign(faultstudy.DiskConfig{Workload: wl})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "faultstudy:", err)
+			os.Exit(1)
+		}
+		fmt.Print(faultstudy.FormatDiskOutcome(out))
+		if len(out.Failures) > 0 {
+			fmt.Println("\nVIOLATIONS > 0 means a crash point exists from which recovery breaks")
+			fmt.Println("the acknowledged-commit contract — a durability bug.")
+			os.Exit(1)
+		}
+		fmt.Println("\nEvery crash point recovered: committed work present, uncommitted work absent,")
+		fmt.Println("codeword audit clean — the multi-level recovery contract holds on disk too.")
+		return
+	}
 
 	fmt.Printf("Fault-injection study: %d campaigns/scheme, %d carrier txns each, one wild write per campaign\n\n",
 		*campaigns, *txns)

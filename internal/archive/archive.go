@@ -21,8 +21,10 @@ import (
 	"fmt"
 	"hash/crc32"
 	"os"
+	"path/filepath"
 
 	"repro/internal/core"
+	"repro/internal/iofault"
 	"repro/internal/recovery"
 	"repro/internal/wal"
 )
@@ -83,12 +85,23 @@ func Write(db *core.DB, path string) (Info, error) {
 	b = append(b, image...)
 	b = binary.LittleEndian.AppendUint32(b, crc32.Checksum(b, crcTable))
 
+	// Install durably through the database's filesystem: fsynced temp file,
+	// atomic rename, directory fsync. An archive that vanishes in a crash
+	// because its directory entry was never forced is worse than no archive
+	// — the operator believes a restore point exists.
+	fsys := db.FS()
+	if fsys == nil {
+		fsys = iofault.OS
+	}
 	tmp := path + ".tmp"
-	if err := os.WriteFile(tmp, b, 0o644); err != nil {
+	if err := iofault.WriteFileSync(fsys, tmp, b); err != nil {
 		return Info{}, fmt.Errorf("archive: write: %w", err)
 	}
-	if err := os.Rename(tmp, path); err != nil {
+	if err := fsys.Rename(tmp, path); err != nil {
 		return Info{}, fmt.Errorf("archive: install: %w", err)
+	}
+	if err := fsys.SyncDir(filepath.Dir(path)); err != nil {
+		return Info{}, fmt.Errorf("archive: sync dir: %w", err)
 	}
 	return info, nil
 }

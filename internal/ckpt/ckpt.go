@@ -19,6 +19,7 @@ package ckpt
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"os"
@@ -26,11 +27,21 @@ import (
 	"sort"
 	"sync"
 
+	"repro/internal/iofault"
 	"repro/internal/mem"
 	"repro/internal/obs"
 	"repro/internal/region"
 	"repro/internal/wal"
 )
+
+// ErrImageCorrupt is wrapped by every Load failure that means "the
+// checkpoint files the anchor names cannot be trusted" — a torn or
+// corrupt image page (per-page codeword mismatch), a bad meta checksum,
+// truncated metadata, or missing files. Recovery uses errors.Is against
+// it to decide whether falling back to the other ping-pong image is
+// worth attempting. A missing anchor is NOT an ErrImageCorrupt: that is
+// a database that never checkpointed.
+var ErrImageCorrupt = errors.New("ckpt: checkpoint image corrupt on disk")
 
 // File names inside the database directory.
 const (
@@ -40,6 +51,16 @@ const (
 	metaAName      = "ckpt_A.meta"
 	metaBName      = "ckpt_B.meta"
 )
+
+// ImageFileName returns the on-disk file name of checkpoint image 0 (A)
+// or 1 (B) — the Anchor.Current numbering — for tools that corrupt or
+// inspect images directly.
+func ImageFileName(which int) string {
+	if which == 0 {
+		return imageAName
+	}
+	return imageBName
+}
 
 var crcTable = crc32.MakeTable(crc32.Castagnoli)
 
@@ -90,6 +111,7 @@ type pageSet map[mem.PageID]struct{}
 
 // Set manages the pair of checkpoint images for one database directory.
 type Set struct {
+	fs       iofault.FS
 	dir      string
 	pageSize int
 	// pool chunks the per-page codeword computation of Write across
@@ -107,9 +129,10 @@ type Set struct {
 	// that protects the memory image).
 	pageCW [2][]region.Codeword
 
-	mPages *obs.Counter
-	mBytes *obs.Counter
-	mSkips *obs.Counter
+	mPages    *obs.Counter
+	mBytes    *obs.Counter
+	mSkips    *obs.Counter
+	mDirSyncs *obs.Counter
 }
 
 // SetRegistry wires the checkpoint writer's page/byte counters into reg.
@@ -119,6 +142,7 @@ func (s *Set) SetRegistry(reg *obs.Registry) {
 	s.mPages = reg.Counter(obs.NameCkptPagesWritten)
 	s.mBytes = reg.Counter(obs.NameCkptBytesWritten)
 	s.mSkips = reg.Counter(obs.NameCkptDirtyClean)
+	s.mDirSyncs = reg.Counter(obs.NameCkptDirSyncs)
 }
 
 // SetPool attaches the worker pool used to compute the written pages'
@@ -138,12 +162,21 @@ func pageGrain(pageSize int) int {
 // Open prepares checkpoint management in dir, reading the anchor if one
 // exists. A database that has never completed a checkpoint has no anchor.
 func Open(dir string, pageSize int) (*Set, error) {
+	return OpenFS(iofault.OS, dir, pageSize)
+}
+
+// OpenFS is Open with the checkpointer's durability I/O (image writes,
+// meta writes, the anchor install and its directory fsync) routed
+// through an iofault.FS, so storage-fault campaigns can inject torn
+// pages, ENOSPC and crash points into the checkpoint path.
+func OpenFS(fsys iofault.FS, dir string, pageSize int) (*Set, error) {
 	s := &Set{
+		fs:       fsys,
 		dir:      dir,
 		pageSize: pageSize,
 		dirty:    [2]pageSet{make(pageSet), make(pageSet)},
 	}
-	b, err := os.ReadFile(filepath.Join(dir, AnchorFileName))
+	b, err := fsys.ReadFile(filepath.Join(dir, AnchorFileName))
 	switch {
 	case err == nil:
 		a, err := decodeAnchor(b)
@@ -247,7 +280,7 @@ func (s *Set) Begin(arena *mem.Arena, att, meta []byte, ckEnd wal.LSN) *Snapshot
 // Certify.
 func (s *Set) Write(snap *Snapshot, arenaSize int) error {
 	imgPath := filepath.Join(s.dir, imageName(snap.image))
-	f, err := os.OpenFile(imgPath, os.O_RDWR|os.O_CREATE, 0o644)
+	f, err := s.fs.OpenFile(imgPath, os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
 		return fmt.Errorf("ckpt: open image: %w", err)
 	}
@@ -312,7 +345,7 @@ func (s *Set) Write(snap *Snapshot, arenaSize int) error {
 	}
 	sum := crc32.Checksum(mb, crcTable)
 	mb = binary.LittleEndian.AppendUint32(mb, sum)
-	if err := writeFileSync(filepath.Join(s.dir, metaName(snap.image)), mb); err != nil {
+	if err := iofault.WriteFileSync(s.fs, filepath.Join(s.dir, metaName(snap.image)), mb); err != nil {
 		return fmt.Errorf("ckpt: write meta: %w", err)
 	}
 	return nil
@@ -341,13 +374,31 @@ func (s *Set) Certify(snap *Snapshot, auditSN wal.LSN) error {
 
 func (s *Set) writeAnchor(a Anchor) error {
 	tmp := filepath.Join(s.dir, AnchorFileName+".tmp")
-	if err := writeFileSync(tmp, a.encode()); err != nil {
+	if err := iofault.WriteFileSync(s.fs, tmp, a.encode()); err != nil {
 		return fmt.Errorf("ckpt: write anchor: %w", err)
 	}
-	if err := os.Rename(tmp, filepath.Join(s.dir, AnchorFileName)); err != nil {
+	if err := s.fs.Rename(tmp, filepath.Join(s.dir, AnchorFileName)); err != nil {
 		return fmt.Errorf("ckpt: install anchor: %w", err)
 	}
-	return syncDir(s.dir)
+	return s.syncDir()
+}
+
+// syncDir fsyncs the database directory after an anchor install, making
+// the rename durable. On platforms where directory fsync is reliable
+// (Linux) a failure fails the checkpoint — the anchor toggle is not
+// durable, so certifying on top of it would let a crash resurrect the
+// previous checkpoint while the log has already been compacted past it.
+// Elsewhere the failure is ignored, matching the historical best-effort
+// behavior.
+func (s *Set) syncDir() error {
+	if err := s.fs.SyncDir(s.dir); err != nil {
+		if dirSyncMandatory {
+			return fmt.Errorf("ckpt: sync dir after anchor install: %w", err)
+		}
+		return nil
+	}
+	s.mDirSyncs.Inc()
+	return nil
 }
 
 // Loaded is a checkpoint image read back for recovery.
@@ -362,6 +413,9 @@ type Loaded struct {
 }
 
 // Load reads the current checkpoint image named by the anchor in dir.
+// Failures that mean the anchored image cannot be trusted (torn pages,
+// bad checksums, missing files) wrap ErrImageCorrupt so recovery can
+// attempt LoadFallback.
 func Load(dir string) (*Loaded, error) {
 	ab, err := os.ReadFile(filepath.Join(dir, AnchorFileName))
 	if err != nil {
@@ -371,62 +425,116 @@ func Load(dir string) (*Loaded, error) {
 	if err != nil {
 		return nil, err
 	}
-	img, err := os.ReadFile(filepath.Join(dir, imageName(a.Current)))
+	ckEnd, img, entries, meta, err := loadImage(dir, a.Current)
 	if err != nil {
-		return nil, fmt.Errorf("ckpt: read image: %w", err)
+		return nil, err
 	}
-	mb, err := os.ReadFile(filepath.Join(dir, metaName(a.Current)))
+	if ckEnd != a.CKEnd {
+		return nil, fmt.Errorf("%w: meta CK_end %d disagrees with anchor %d", ErrImageCorrupt, ckEnd, a.CKEnd)
+	}
+	return &Loaded{
+		Anchor:     a,
+		Image:      img,
+		ATTEntries: entries,
+		Meta:       meta,
+	}, nil
+}
+
+// LoadFallback reads the OTHER ping-pong image — the one the anchor does
+// not name — verified against its own meta file. It is recovery's last
+// resort when Load finds the anchored image corrupt on disk: the
+// fallback image is one checkpoint older, so the returned anchor carries
+// the fallback meta's own CK_end (replay must start there) and a zero
+// AuditSN (the audit position that certified the older image is not
+// recorded, so corruption recovery must assume the conservative bound).
+// The fallback is only usable when the stable log still retains records
+// back to that older CK_end — log compaction normally discards them, so
+// callers must check wal.LogBase against the returned CKEnd.
+func LoadFallback(dir string) (*Loaded, error) {
+	ab, err := os.ReadFile(filepath.Join(dir, AnchorFileName))
 	if err != nil {
-		return nil, fmt.Errorf("ckpt: read meta: %w", err)
+		return nil, fmt.Errorf("ckpt: no checkpoint anchor: %w", err)
+	}
+	a, err := decodeAnchor(ab)
+	if err != nil {
+		return nil, err
+	}
+	fb := 1 - a.Current
+	ckEnd, img, entries, meta, err := loadImage(dir, fb)
+	if err != nil {
+		return nil, fmt.Errorf("ckpt: fallback image %d: %w", fb, err)
+	}
+	la := a
+	la.Current = fb
+	la.CKEnd = ckEnd
+	la.AuditSN = 0
+	return &Loaded{
+		Anchor:     la,
+		Image:      img,
+		ATTEntries: entries,
+		Meta:       meta,
+	}, nil
+}
+
+// loadImage reads and verifies one checkpoint image and its meta file,
+// returning the meta's CK_end, the image bytes, the checkpointed ATT and
+// the database metadata. Every verification failure wraps
+// ErrImageCorrupt.
+func loadImage(dir string, image int) (wal.LSN, []byte, []*wal.TxnEntry, []byte, error) {
+	img, err := os.ReadFile(filepath.Join(dir, imageName(image)))
+	if err != nil {
+		return 0, nil, nil, nil, fmt.Errorf("%w: read image: %v", ErrImageCorrupt, err)
+	}
+	mb, err := os.ReadFile(filepath.Join(dir, metaName(image)))
+	if err != nil {
+		return 0, nil, nil, nil, fmt.Errorf("%w: read meta: %v", ErrImageCorrupt, err)
 	}
 	if len(mb) < 20 {
-		return nil, fmt.Errorf("ckpt: meta too short")
+		return 0, nil, nil, nil, fmt.Errorf("%w: meta too short", ErrImageCorrupt)
 	}
 	body, sumb := mb[:len(mb)-4], mb[len(mb)-4:]
 	if crc32.Checksum(body, crcTable) != binary.LittleEndian.Uint32(sumb) {
-		return nil, fmt.Errorf("ckpt: meta checksum mismatch")
+		return 0, nil, nil, nil, fmt.Errorf("%w: meta checksum mismatch", ErrImageCorrupt)
 	}
 	ckEnd := wal.LSN(binary.LittleEndian.Uint64(body))
-	if ckEnd != a.CKEnd {
-		return nil, fmt.Errorf("ckpt: meta CK_end %d disagrees with anchor %d", ckEnd, a.CKEnd)
-	}
 	pos := 8
 	attLen := int(binary.LittleEndian.Uint64(body[pos:]))
 	pos += 8
 	if pos+attLen > len(body) {
-		return nil, fmt.Errorf("ckpt: meta truncated")
+		return 0, nil, nil, nil, fmt.Errorf("%w: meta truncated", ErrImageCorrupt)
 	}
 	entries, err := wal.DecodeEntries(body[pos : pos+attLen])
 	if err != nil {
-		return nil, fmt.Errorf("ckpt: decode ATT: %w", err)
+		return 0, nil, nil, nil, fmt.Errorf("%w: decode ATT: %v", ErrImageCorrupt, err)
 	}
 	pos += attLen
 	if pos+8 > len(body) {
-		return nil, fmt.Errorf("ckpt: meta truncated")
+		return 0, nil, nil, nil, fmt.Errorf("%w: meta truncated", ErrImageCorrupt)
 	}
 	metaLen := int(binary.LittleEndian.Uint64(body[pos:]))
 	pos += 8
 	if pos+metaLen > len(body) {
-		return nil, fmt.Errorf("ckpt: meta truncated")
+		return 0, nil, nil, nil, fmt.Errorf("%w: meta truncated", ErrImageCorrupt)
 	}
 	meta := append([]byte(nil), body[pos:pos+metaLen]...)
 	pos += metaLen
 
 	// Verify the image against its per-page codeword table: corruption of
-	// the checkpoint file itself (bad disk, truncation, tampering) must
-	// not be trusted as a recovery starting point.
+	// the checkpoint file itself (bad disk, a torn page from a lying
+	// write, truncation, tampering) must not be trusted as a recovery
+	// starting point.
 	if pos+8 > len(body) {
-		return nil, fmt.Errorf("ckpt: meta truncated (no page codewords)")
+		return 0, nil, nil, nil, fmt.Errorf("%w: meta truncated (no page codewords)", ErrImageCorrupt)
 	}
 	numPages := int(binary.LittleEndian.Uint64(body[pos:]))
 	pos += 8
 	if pos+8*numPages > len(body) {
-		return nil, fmt.Errorf("ckpt: page codeword table truncated")
+		return 0, nil, nil, nil, fmt.Errorf("%w: page codeword table truncated", ErrImageCorrupt)
+	}
+	if numPages == 0 || len(img)%numPages != 0 {
+		return 0, nil, nil, nil, fmt.Errorf("%w: image size %d not divisible into %d pages", ErrImageCorrupt, len(img), numPages)
 	}
 	pageSize := len(img) / numPages
-	if numPages == 0 || len(img)%numPages != 0 {
-		return nil, fmt.Errorf("ckpt: image size %d not divisible into %d pages", len(img), numPages)
-	}
 	// The verification scan is pure (no state but the image bytes), so it
 	// is chunked across the process-wide default pool; each chunk reports
 	// its lowest corrupt page so the error is deterministic.
@@ -444,16 +552,11 @@ func Load(dir string) (*Loaded, error) {
 		if id >= 0 {
 			stored := region.Codeword(binary.LittleEndian.Uint64(body[pos+8*id:]))
 			actual := region.Compute(img[id*pageSize : (id+1)*pageSize])
-			return nil, fmt.Errorf("ckpt: image page %d corrupt on disk (stored %016x, actual %016x)",
-				id, uint64(stored), uint64(actual))
+			return 0, nil, nil, nil, fmt.Errorf("%w: image page %d (stored %016x, actual %016x)",
+				ErrImageCorrupt, id, uint64(stored), uint64(actual))
 		}
 	}
-	return &Loaded{
-		Anchor:     a,
-		Image:      img,
-		ATTEntries: entries,
-		Meta:       meta,
-	}, nil
+	return ckEnd, img, entries, meta, nil
 }
 
 func imageName(i int) string {
@@ -470,29 +573,3 @@ func metaName(i int) string {
 	return metaBName
 }
 
-func writeFileSync(path string, data []byte) error {
-	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
-	if err != nil {
-		return err
-	}
-	if _, err := f.Write(data); err != nil {
-		f.Close()
-		return err
-	}
-	if err := f.Sync(); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
-}
-
-func syncDir(dir string) error {
-	d, err := os.Open(dir)
-	if err != nil {
-		return err
-	}
-	defer d.Close()
-	// Directory fsync is best-effort on some platforms.
-	_ = d.Sync()
-	return nil
-}

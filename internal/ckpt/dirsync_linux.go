@@ -1,0 +1,8 @@
+//go:build linux
+
+package ckpt
+
+// dirSyncMandatory: on Linux, fsync of a directory durably commits the
+// entry operations inside it and reports real errors, so a failed
+// directory sync after the anchor install must fail the checkpoint.
+const dirSyncMandatory = true

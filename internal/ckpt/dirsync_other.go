@@ -1,0 +1,8 @@
+//go:build !linux
+
+package ckpt
+
+// dirSyncMandatory: outside Linux, fsync on a directory handle is not
+// reliably supported (it can fail spuriously on some filesystems), so a
+// failed directory sync stays best-effort.
+const dirSyncMandatory = false

@@ -48,7 +48,9 @@ func (db *DB) BeginAuditPass() (*AuditPass, error) {
 	db.auditSN++
 	db.mAudits.Inc()
 	begin := &wal.Record{Kind: wal.KindAuditBegin, AuditSN: db.auditSN}
-	db.log.Append(begin)
+	if err := db.log.Append(begin); err != nil {
+		return nil, fmt.Errorf("core: begin audit pass: %w", err)
+	}
 	return &AuditPass{db: db, sn: db.auditSN, beginLSN: begin.LSN, started: time.Now()}, nil
 }
 

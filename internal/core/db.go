@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"repro/internal/ckpt"
+	"repro/internal/iofault"
 	"repro/internal/lockmgr"
 	"repro/internal/mem"
 	"repro/internal/obs"
@@ -55,6 +56,10 @@ type Config struct {
 	// computation. 0 defaults to GOMAXPROCS; 1 keeps every scan on the
 	// calling goroutine.
 	Workers int
+	// FS routes the durability I/O (system log, checkpoint images and
+	// anchor, archives) through an iofault.FS. nil defaults to the real
+	// filesystem; storage-fault campaigns install an iofault.FaultFS here.
+	FS iofault.FS
 }
 
 // Normalized returns cfg with unset fields defaulted (PageSize 4096,
@@ -71,6 +76,9 @@ func (c Config) Normalized() (Config, error) {
 	}
 	if c.Workers == 0 {
 		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.FS == nil {
+		c.FS = iofault.OS
 	}
 	if err := c.Validate(); err != nil {
 		return Config{}, err
@@ -276,13 +284,13 @@ func build(cfg Config, loaded *RecoveredState) (*DB, error) {
 		arena.Close()
 		return nil, err
 	}
-	log, err := wal.OpenSystemLog(cfg.Dir, cfg.PageSize)
+	log, err := wal.OpenSystemLogFS(cfg.FS, cfg.Dir, cfg.PageSize)
 	if err != nil {
 		arena.Close()
 		return nil, err
 	}
 	log.SetRegistry(reg)
-	ckpts, err := ckpt.Open(cfg.Dir, cfg.PageSize)
+	ckpts, err := ckpt.OpenFS(cfg.FS, cfg.Dir, cfg.PageSize)
 	if err != nil {
 		log.Close()
 		arena.Close()
@@ -394,6 +402,10 @@ func (db *DB) Locks() *lockmgr.Manager { return db.locks }
 
 // Checkpoints exposes the checkpoint set.
 func (db *DB) Checkpoints() *ckpt.Set { return db.ckpts }
+
+// FS exposes the filesystem the durability paths write through (the real
+// filesystem unless a fault-injecting one was configured).
+func (db *DB) FS() iofault.FS { return db.cfg.FS }
 
 // ScanPool exposes the shared scan worker pool (sized by Config.Workers).
 func (db *DB) ScanPool() *region.Pool { return db.pool }

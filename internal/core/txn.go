@@ -45,7 +45,12 @@ func (db *DB) Begin() (*Txn, error) {
 		return nil, ErrClosed
 	}
 	entry := db.att.Begin()
-	db.log.Append(&wal.Record{Kind: wal.KindTxnBegin, Txn: entry.ID})
+	if err := db.log.Append(&wal.Record{Kind: wal.KindTxnBegin, Txn: entry.ID}); err != nil {
+		// Poisoned log: the transaction can never commit, so don't admit it.
+		db.att.Remove(entry.ID)
+		db.barrier.RUnlock()
+		return nil, fmt.Errorf("core: begin txn: %w", err)
+	}
 	db.barrier.RUnlock()
 	db.mTxnsBegun.Inc()
 	return &Txn{db: db, entry: entry}, nil
@@ -133,7 +138,12 @@ func (t *Txn) commitOp(level uint8, key wal.ObjectKey, undo wal.LogicalUndo, com
 		Undo: undo, Compensation: compensation,
 	}
 	t.entry.Redo = append(t.entry.Redo, rec)
-	t.db.log.Append(t.entry.Redo...)
+	if err := t.db.log.Append(t.entry.Redo...); err != nil {
+		// Poisoned log: the records stayed local (nothing was appended), so
+		// the operation remains open and the caller can still Abort — the
+		// undo log is intact and rollback is purely in-memory.
+		return fmt.Errorf("core: txn %d: commit op: %w", t.entry.ID, err)
+	}
 	t.entry.Redo = t.entry.Redo[:0]
 	if n := len(t.opRedoMarks); n > 0 {
 		t.opRedoMarks = t.opRedoMarks[:n-1]
@@ -311,10 +321,14 @@ func (t *Txn) Abort() error {
 		return err
 	}
 	t.db.barrier.RLock()
-	t.db.log.Append(&wal.Record{Kind: wal.KindTxnAbort, Txn: t.entry.ID})
+	// A poisoned log cannot take the abort record, but the rollback above
+	// already restored the in-memory state and nothing of this transaction
+	// can be durable beyond the stable prefix — restart recovery rolls it
+	// back again from the log. Finish locally either way.
+	appendErr := t.db.log.Append(&wal.Record{Kind: wal.KindTxnAbort, Txn: t.entry.ID})
 	t.db.barrier.RUnlock()
 	t.finish(wal.TxnAborted)
-	return nil
+	return appendErr
 }
 
 // Rollback undoes all of the transaction's work without completing the
@@ -401,7 +415,10 @@ func (t *Txn) UndoOpenOp() error {
 // after an externally driven rollback (recovery).
 func (t *Txn) FinishAborted() {
 	t.db.barrier.RLock()
-	t.db.log.Append(&wal.Record{Kind: wal.KindTxnAbort, Txn: t.entry.ID})
+	// Ignore a poisoned-log failure: recovery-driven rollback is already
+	// reconstructing state from the stable log, and the missing abort
+	// record only means the next restart repeats the (idempotent) rollback.
+	_ = t.db.log.Append(&wal.Record{Kind: wal.KindTxnAbort, Txn: t.entry.ID})
 	t.db.barrier.RUnlock()
 	t.finish(wal.TxnAborted)
 }

@@ -12,6 +12,7 @@ import (
 	"math/rand"
 
 	"repro/internal/mem"
+	"repro/internal/obs"
 )
 
 // Event records one injected fault.
@@ -29,6 +30,7 @@ type Injector struct {
 	rng   *rand.Rand
 
 	events []Event
+	mWild  *obs.Counter
 }
 
 // New returns an injector over arena whose writes are subject to prot
@@ -39,7 +41,14 @@ func New(arena *mem.Arena, prot mem.Protector, seed int64) *Injector {
 	return &Injector{arena: arena, prot: prot, rng: rand.New(rand.NewSource(seed))}
 }
 
+// SetRegistry wires the injector's fault.wild_writes counter into reg, so
+// campaigns show up alongside the storage-fault and recovery metrics.
+func (in *Injector) SetRegistry(reg *obs.Registry) {
+	in.mWild = reg.Counter(obs.NameFaultWildWrites)
+}
+
 func (in *Injector) note(kind string, addr mem.Addr, n int, trapped bool) {
+	in.mWild.Inc()
 	in.events = append(in.events, Event{Kind: kind, Addr: addr, Len: n, Trapped: trapped})
 }
 

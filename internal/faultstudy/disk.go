@@ -1,0 +1,125 @@
+package faultstudy
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/iofault"
+	"repro/internal/iofault/torture"
+	"repro/internal/wal"
+)
+
+// DiskConfig parameterizes a storage-fault campaign: the paper's
+// software-error study turned toward the disk stack. Where the memory
+// campaigns ask "what does a wild write do to the image", the disk
+// campaign asks "what does a crash at every I/O point — or a lying
+// write — do to durability".
+type DiskConfig struct {
+	// Workload is the deterministic torture workload; zero value means
+	// torture.DefaultConfig().
+	Workload torture.Config
+	// WorkDir for scratch databases (default: system temp).
+	WorkDir string
+}
+
+// DiskOutcome tabulates a storage-fault campaign.
+type DiskOutcome struct {
+	// Points is the workload's I/O-point count — the crash-point space.
+	Points int
+	// Recovered counts crash points whose recovery converged with a clean
+	// audit, acknowledged commits present and unacknowledged ones absent.
+	Recovered int
+	// FailStops counts fsync-failure drills in which the failure surfaced
+	// as a hard error (no silent retry) and the frozen durable state still
+	// satisfied the recovery contract — out of FailStopDrills attempted.
+	FailStops      int
+	FailStopDrills int
+	// LogPoisons counts the subset of those drills in which the failing
+	// fsync was the log's, permanently poisoning it (wal.ErrLogPoisoned);
+	// the remainder hit checkpoint-path syncs, which abort the checkpoint.
+	LogPoisons int
+	// Failures lists crash points whose recovery contract was violated —
+	// must be empty for the fail-stop discipline to hold.
+	Failures []DiskFailure
+}
+
+// DiskFailure is one violated crash point.
+type DiskFailure struct {
+	Point int
+	Err   error
+}
+
+// DiskCampaign crashes the torture workload at every I/O point and
+// verifies recovery from each frozen durable state, then runs the
+// fsync-failure (fail-stop poison) drills. It is the exhaustive-sweep
+// core of TestCrashPointExhaustive packaged for the faultstudy CLI.
+func DiskCampaign(cfg DiskConfig) (*DiskOutcome, error) {
+	wl := cfg.Workload
+	if wl.PageSize == 0 {
+		wl = torture.DefaultConfig()
+	}
+	root, err := os.MkdirTemp(cfg.WorkDir, "faultstudy-disk-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(root)
+
+	n, err := torture.CountPoints(filepath.Join(root, "dry"), wl)
+	if err != nil {
+		return nil, fmt.Errorf("faultstudy: fault-free torture run: %w", err)
+	}
+	out := &DiskOutcome{Points: int(n)}
+	for k := int64(0); k < int64(n); k++ {
+		_, _, verr := torture.CrashPoint(
+			filepath.Join(root, fmt.Sprintf("w%d", k)),
+			filepath.Join(root, fmt.Sprintf("r%d", k)),
+			wl, k)
+		if verr != nil {
+			out.Failures = append(out.Failures, DiskFailure{Point: int(k), Err: verr})
+			continue
+		}
+		out.Recovered++
+	}
+
+	// Fail-stop drills: fail each of the first few fsyncs in its own run.
+	// The failure must surface as a hard error — a failed log fsync poisons
+	// the log permanently, a failed checkpoint-path fsync aborts the
+	// checkpoint — and the durable state left behind must still satisfy
+	// the acknowledged-commit recovery contract.
+	out.FailStopDrills = 3
+	for i := 1; i <= out.FailStopDrills; i++ {
+		dir := filepath.Join(root, fmt.Sprintf("fsync%d", i))
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, err
+		}
+		fsys := iofault.NewFaultFS(dir)
+		fsys.FailNthSync(uint64(i))
+		res := torture.Run(dir, fsys, wl)
+		if res.Err == nil {
+			continue // fsync i never happened under this workload
+		}
+		if errors.Is(res.Err, wal.ErrLogPoisoned) {
+			out.LogPoisons++
+		}
+		if _, err := torture.Verify(fsys, filepath.Join(root, fmt.Sprintf("fsyncrec%d", i)), wl, res); err == nil {
+			out.FailStops++
+		}
+	}
+	return out, nil
+}
+
+// FormatDiskOutcome renders a DiskOutcome for terminals.
+func FormatDiskOutcome(o *DiskOutcome) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Storage-fault campaign (%d I/O points)\n", o.Points)
+	fmt.Fprintf(&b, "  crash-point recoveries: %d/%d verified\n", o.Recovered, o.Points)
+	fmt.Fprintf(&b, "  fsync-failure drills:   %d/%d fail-stopped with contract intact (%d log poisons)\n",
+		o.FailStops, o.FailStopDrills, o.LogPoisons)
+	for _, f := range o.Failures {
+		fmt.Fprintf(&b, "  VIOLATION at point %d: %v\n", f.Point, f.Err)
+	}
+	return b.String()
+}

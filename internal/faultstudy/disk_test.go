@@ -1,0 +1,40 @@
+package faultstudy
+
+import (
+	"testing"
+
+	"repro/internal/iofault/torture"
+)
+
+// TestDiskCampaignSmoke runs the storage-fault campaign over the bounded
+// smoke workload: every crash point must recover and no violation may be
+// reported (the exhaustive variant lives in the torture package's tests;
+// this pins the CLI-facing wrapper and its tallies).
+func TestDiskCampaignSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("disk campaign sweeps every crash point; skipped in -short")
+	}
+	out, err := DiskCampaign(DiskConfig{Workload: torture.SmokeConfig(), WorkDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Points < 20 {
+		t.Fatalf("only %d I/O points; workload too small to exercise anything", out.Points)
+	}
+	if len(out.Failures) != 0 {
+		t.Fatalf("crash-point violations: %+v", out.Failures)
+	}
+	if out.Recovered != out.Points {
+		t.Fatalf("recovered %d of %d crash points", out.Recovered, out.Points)
+	}
+	if out.FailStops != out.FailStopDrills {
+		t.Fatalf("%d of %d fsync-failure drills fail-stopped with the contract intact",
+			out.FailStops, out.FailStopDrills)
+	}
+	if out.LogPoisons == 0 {
+		t.Fatal("no drill poisoned the log (fsync #1 is the load commit's flush)")
+	}
+	if s := FormatDiskOutcome(out); s == "" {
+		t.Fatal("empty formatted outcome")
+	}
+}

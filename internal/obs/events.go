@@ -99,6 +99,38 @@ type CheckpointEvent struct {
 
 func (CheckpointEvent) EventName() string { return "ckpt.done" }
 
+// LogPoisonedEvent is emitted once, when a failed write or fsync
+// fail-stops the system log: no further Append or Flush will succeed
+// (retrying a failed fsync is unsound — the kernel may have dropped the
+// dirty pages, so a later "successful" fsync proves nothing).
+type LogPoisonedEvent struct {
+	Cause error // the write/fsync error that poisoned the log
+}
+
+func (LogPoisonedEvent) EventName() string { return "wal.poisoned" }
+
+// IOFaultEvent is emitted by the injectable storage-fault layer for each
+// fault it fires. Kind is "crash", "failsync", "shortwrite", "enospc" or
+// "tornwrite"; Point is the global I/O point at which it fired.
+type IOFaultEvent struct {
+	Kind  string
+	Op    string // the mutating operation kind ("write", "sync", ...)
+	Path  string // base name of the file involved
+	Point uint64
+}
+
+func (IOFaultEvent) EventName() string { return "iofault.fault" }
+
+// CkptFallbackEvent is emitted when recovery found the anchored
+// checkpoint image corrupt on disk (torn page, bad meta) and fell back to
+// the other ping-pong image.
+type CkptFallbackEvent struct {
+	From int // the corrupt image the anchor named
+	To   int // the image recovery fell back to
+}
+
+func (CkptFallbackEvent) EventName() string { return "ckpt.fallback" }
+
 // LockWaitEvent is emitted when a transaction lock acquisition had to
 // wait (it is not emitted for immediate grants). TimedOut reports whether
 // the wait ended in ErrLockTimeout.

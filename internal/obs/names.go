@@ -37,6 +37,7 @@ const (
 	NameWALAppendBytes   = "wal.append_bytes"
 	NameWALFlushes       = "wal.flushes"
 	NameWALFlushErrors   = "wal.flush_errors"
+	NameWALPoisoned      = "wal.poisoned" // log fail-stopped after a write/fsync failure
 	NameWALFsyncNS       = "wal.fsync_ns"             // histogram: write+sync duration
 	NameWALFlushBytes    = "wal.flush_bytes"          // histogram: bytes per flush
 	NameWALGroupCommit   = "wal.group_commit_records" // histogram: records per flush
@@ -82,7 +83,17 @@ const (
 	// internal/ckpt — checkpoint image writer.
 	NameCkptPagesWritten = "ckpt.pages_written"
 	NameCkptBytesWritten = "ckpt.bytes_written"
-	NameCkptDirtyClean   = "ckpt.dirty_skipped" // pages skipped as clean by the dirty-page map
+	NameCkptDirtyClean   = "ckpt.dirty_skipped"   // pages skipped as clean by the dirty-page map
+	NameCkptDirSyncs     = "ckpt.dir_syncs"       // directory fsyncs after anchor installs
+	NameCkptFallbacks    = "ckpt.fallback_loads"  // recoveries that fell back to the other ping-pong image
+
+	// internal/iofault — injectable storage-fault layer.
+	NameIOFaultOps      = "iofault.ops"      // I/O points consumed (mutating FS operations)
+	NameIOFaultInjected = "iofault.injected" // non-crash faults injected (failed fsync, short write, ENOSPC, torn write)
+	NameIOFaultCrashes  = "iofault.crashes"  // simulated crash failpoints fired
+
+	// internal/fault — memory fault injector (wild writes).
+	NameFaultWildWrites = "fault.wild_writes"
 
 	// internal/benchtab — Table 1/2 measurement sweeps.
 	NameBenchPairNS = "bench.pair_ns" // histogram: one protect/unprotect pair, nanoseconds

@@ -1,6 +1,7 @@
 package recovery
 
 import (
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -9,6 +10,7 @@ import (
 	"repro/internal/ckpt"
 	"repro/internal/core"
 	"repro/internal/mem"
+	"repro/internal/obs"
 	"repro/internal/protect"
 	"repro/internal/region"
 	"repro/internal/wal"
@@ -74,6 +76,11 @@ type Report struct {
 	RolledBack []wal.TxnID
 	// FinalCorrupt is the final CorruptDataTable contents.
 	FinalCorrupt []Range
+	// UsedFallbackImage reports that the anchored checkpoint image was
+	// corrupt on disk (torn page, bad meta) and recovery started from the
+	// other ping-pong image instead, replaying the log from its older
+	// CK_end.
+	UsedFallbackImage bool
 }
 
 // Open opens the database in cfg.Dir, running restart recovery if it has
@@ -110,9 +117,37 @@ func Open(cfg core.Config, opts Options) (*core.DB, *Report, error) {
 		entries = make(map[wal.TxnID]*wal.TxnEntry)
 		ckEnd   wal.LSN
 		auditSN wal.LSN
+		fbFrom  int // images involved in a fallback load, for the event
+		fbTo    int
 	)
 	if anchorExists {
 		loaded, err := ckpt.Load(cfg.Dir)
+		if errors.Is(err, ckpt.ErrImageCorrupt) {
+			// The anchored image cannot be trusted (a torn page from lying
+			// storage, a bad meta checksum). The other ping-pong image is
+			// one checkpoint older but was certified in its day; it is a
+			// valid starting point exactly when the stable log still
+			// reaches back to its CK_end (log compaction normally discards
+			// those records, so this rescue mostly applies to databases run
+			// with DisableLogCompaction).
+			loadErr := err
+			fb, fberr := ckpt.LoadFallback(cfg.Dir)
+			if fberr != nil {
+				return nil, nil, fmt.Errorf("recovery: %w (fallback image also unusable: %v)", loadErr, fberr)
+			}
+			base, berr := wal.LogBase(cfg.Dir)
+			if berr != nil {
+				return nil, nil, fmt.Errorf("recovery: %w (fallback log base: %v)", loadErr, berr)
+			}
+			if base > fb.Anchor.CKEnd {
+				return nil, nil, fmt.Errorf("recovery: %w (fallback image needs log from %d but log was compacted to %d)",
+					loadErr, fb.Anchor.CKEnd, base)
+			}
+			loaded, err = fb, nil
+			report.UsedFallbackImage = true
+			fbTo = fb.Anchor.Current
+			fbFrom = 1 - fbTo
+		}
 		if err != nil {
 			return nil, nil, fmt.Errorf("recovery: %w", err)
 		}
@@ -131,7 +166,15 @@ func Open(cfg core.Config, opts Options) (*core.DB, *Report, error) {
 	} else {
 		image = make([]byte, imageSize)
 	}
-	return openFrom(cfg, image, meta, entries, ckEnd, auditSN, opts, report)
+	db, rep, err := openFrom(cfg, image, meta, entries, ckEnd, auditSN, opts, report)
+	if err == nil && rep.UsedFallbackImage {
+		reg := db.Observability()
+		reg.Counter(obs.NameCkptFallbacks).Inc()
+		if reg.HasSinks() {
+			reg.Emit(obs.CkptFallbackEvent{From: fbFrom, To: fbTo})
+		}
+	}
+	return db, rep, err
 }
 
 // ImageState is an externally supplied starting point for recovery: a

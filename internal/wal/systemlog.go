@@ -1,16 +1,27 @@
 package wal
 
 import (
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
 	"sync"
 	"time"
 
+	"repro/internal/iofault"
 	"repro/internal/latch"
 	"repro/internal/mem"
 	"repro/internal/obs"
 )
+
+// ErrLogPoisoned is returned by every Append/Flush after a write or fsync
+// of the stable log has failed. The log is fail-stop: retrying a failed
+// fsync is unsound (the kernel may already have discarded the dirty pages
+// whose writeback failed, so a later fsync returning nil proves nothing
+// about the lost bytes — the classic "fsyncgate" pattern). Once poisoned,
+// the only safe continuation is to crash and run restart recovery, which
+// trusts only what the stable log actually contains.
+var ErrLogPoisoned = errors.New("wal: log poisoned by write/fsync failure (fail-stop)")
 
 // LogFileName is the name of the stable system log within a database
 // directory.
@@ -76,13 +87,18 @@ type SystemLog struct {
 	// (its records sit between stableEnd and stableEnd+flushLen).
 	flushLen int
 
+	fs        iofault.FS
 	dir       string
-	f         *os.File
+	f         iofault.File
 	baseLSN   LSN    // LSN of the first record in the file (post-compaction)
 	stableEnd LSN    // everything below this LSN is on disk
 	tail      []byte // encoded records not yet flushed
 	tailRecs  []tailRec
 	pageSize  int
+
+	// poisoned, once set, permanently fails every Append/Flush (fail-stop
+	// after a stable-log write/fsync failure). Guarded by the log latch.
+	poisoned error
 
 	noters []DirtyNoter
 
@@ -98,6 +114,7 @@ type SystemLog struct {
 	mAppendBytes *obs.Counter
 	mFlushes     *obs.Counter
 	mFlushErrors *obs.Counter
+	mPoisoned    *obs.Counter
 	mCompactions *obs.Counter
 	hFsyncNS     *obs.Histogram
 	hFlushBytes  *obs.Histogram
@@ -122,6 +139,7 @@ func (l *SystemLog) initMetrics() {
 	l.mAppendBytes = reg.Counter(obs.NameWALAppendBytes)
 	l.mFlushes = reg.Counter(obs.NameWALFlushes)
 	l.mFlushErrors = reg.Counter(obs.NameWALFlushErrors)
+	l.mPoisoned = reg.Counter(obs.NameWALPoisoned)
 	l.mCompactions = reg.Counter(obs.NameWALCompactions)
 	l.hFsyncNS = reg.Histogram(obs.NameWALFsyncNS)
 	l.hFlushBytes = reg.Histogram(obs.NameWALFlushBytes)
@@ -141,17 +159,24 @@ type tailRec struct {
 	n    int // data length for phys-redo
 }
 
-// OpenSystemLog opens (creating if necessary) the stable log in dir. An
-// existing log is scanned to find its valid end; a torn final record is
-// truncated away. pageSize is used to translate physical record addresses
-// into dirty page notifications.
+// OpenSystemLog opens (creating if necessary) the stable log in dir on
+// the real filesystem. An existing log is scanned to find its valid end;
+// a torn final record is truncated away. pageSize is used to translate
+// physical record addresses into dirty page notifications.
 func OpenSystemLog(dir string, pageSize int) (*SystemLog, error) {
+	return OpenSystemLogFS(iofault.OS, dir, pageSize)
+}
+
+// OpenSystemLogFS is OpenSystemLog with the log's durability I/O routed
+// through an iofault.FS, so storage-fault campaigns can inject fsync
+// failures, short writes and crash points into the stable log.
+func OpenSystemLogFS(fsys iofault.FS, dir string, pageSize int) (*SystemLog, error) {
 	path := filepath.Join(dir, LogFileName)
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	f, err := fsys.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("wal: open system log: %w", err)
 	}
-	data, err := os.ReadFile(path)
+	data, err := fsys.ReadFile(path)
 	if err != nil {
 		f.Close()
 		return nil, fmt.Errorf("wal: read system log: %w", err)
@@ -191,7 +216,7 @@ func OpenSystemLog(dir string, pageSize int) (*SystemLog, error) {
 		return nil, err
 	}
 	l := &SystemLog{
-		dir: dir, f: f, baseLSN: base,
+		fs: fsys, dir: dir, f: f, baseLSN: base,
 		stableEnd: base + LSN(valid-logHeaderSize),
 		pageSize:  pageSize,
 	}
@@ -219,6 +244,9 @@ func (l *SystemLog) Compact(keepFrom LSN) error {
 	for l.flushing {
 		l.flushDone.Wait()
 	}
+	if l.poisoned != nil {
+		return l.poisoned
+	}
 	if keepFrom < l.baseLSN {
 		return fmt.Errorf("wal: compact to %d below base %d", keepFrom, l.baseLSN)
 	}
@@ -229,7 +257,7 @@ func (l *SystemLog) Compact(keepFrom LSN) error {
 		return nil
 	}
 	path := filepath.Join(l.dir, LogFileName)
-	data, err := os.ReadFile(path)
+	data, err := l.fs.ReadFile(path)
 	if err != nil {
 		return fmt.Errorf("wal: compact read: %w", err)
 	}
@@ -244,7 +272,7 @@ func (l *SystemLog) Compact(keepFrom LSN) error {
 		}
 	}
 	tmp := path + ".compact"
-	out, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	out, err := l.fs.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
 		return err
 	}
@@ -263,11 +291,11 @@ func (l *SystemLog) Compact(keepFrom LSN) error {
 	if err := out.Close(); err != nil {
 		return err
 	}
-	if err := os.Rename(tmp, path); err != nil {
+	if err := l.fs.Rename(tmp, path); err != nil {
 		return err
 	}
 	// Reopen the handle positioned at the new end.
-	nf, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	nf, err := l.fs.OpenFile(path, os.O_RDWR, 0o644)
 	if err != nil {
 		return err
 	}
@@ -292,11 +320,16 @@ func (l *SystemLog) RegisterDirtyNoter(n DirtyNoter) {
 // records become durable only at the next Flush. Append is used by
 // operation commit, which moves a transaction's pending local redo
 // records into the tail as a unit before the operation's locks are
-// released.
-func (l *SystemLog) Append(recs ...*Record) {
+// released. Once the log is poisoned by a write/fsync failure, Append
+// fails with a wrapped ErrLogPoisoned and appends nothing.
+func (l *SystemLog) Append(recs ...*Record) error {
 	l.latch.Lock()
 	defer l.latch.Unlock()
+	if l.poisoned != nil {
+		return l.poisoned
+	}
 	l.appendLocked(recs)
+	return nil
 }
 
 func (l *SystemLog) appendLocked(recs []*Record) {
@@ -312,6 +345,33 @@ func (l *SystemLog) appendLocked(recs []*Record) {
 			l.reg.Emit(obs.LogAppendEvent{Bytes: len(l.tail) - before})
 		}
 	}
+}
+
+// poisonLocked fail-stops the log: the tail is discarded (it can never
+// become durable), every future Append/Flush returns the poison error,
+// and every goroutine sleeping on flushDone is woken so none blocks
+// forever waiting for a flush that will never complete. Caller holds the
+// log latch.
+func (l *SystemLog) poisonLocked(cause error) {
+	if l.poisoned != nil {
+		return
+	}
+	l.poisoned = fmt.Errorf("%w: %w", ErrLogPoisoned, cause)
+	l.tail = nil
+	l.tailRecs = nil
+	l.mPoisoned.Inc()
+	if l.reg.HasSinks() {
+		l.reg.Emit(obs.LogPoisonedEvent{Cause: cause})
+	}
+	l.flushDone.Broadcast()
+}
+
+// Poisoned reports the poison error if the log has fail-stopped, nil
+// otherwise.
+func (l *SystemLog) Poisoned() error {
+	l.latch.Lock()
+	defer l.latch.Unlock()
+	return l.poisoned
 }
 
 // End reports the LSN one past the last appended record (stable or not).
@@ -337,6 +397,9 @@ func (l *SystemLog) StableEnd() LSN {
 func (l *SystemLog) Flush() error {
 	l.latch.Lock()
 	defer l.latch.Unlock()
+	if l.poisoned != nil {
+		return l.poisoned
+	}
 	return l.flushToLocked(l.endLocked())
 }
 
@@ -345,6 +408,11 @@ func (l *SystemLog) Flush() error {
 // dropped across the disk write and reacquired.
 func (l *SystemLog) flushToLocked(target LSN) error {
 	for l.stableEnd < target {
+		if l.poisoned != nil {
+			// A previous flush failed: the records below target can never
+			// become durable. Fail-stop instead of blocking forever.
+			return l.poisoned
+		}
 		if l.flushing {
 			// Another goroutine is forcing; its completion may cover us.
 			l.flushDone.Wait()
@@ -394,15 +462,25 @@ func (l *SystemLog) flushToLocked(target LSN) error {
 		l.flushing = false
 		l.flushLen = 0
 		if werr != nil || serr != nil {
-			// Put the unflushed records back at the front so a retry (or
-			// a crash) sees a consistent tail.
-			l.tail = append(buf, l.tail...)
-			l.tailRecs = append(recs, l.tailRecs...)
-			l.flushDone.Broadcast()
-			if werr != nil {
-				return fmt.Errorf("wal: flush: %w", werr)
+			// Fail-stop (the fsyncgate fix): after a failed write or fsync
+			// the on-disk state of these bytes is unknown, and the kernel
+			// may already have dropped the dirty pages — re-queuing the
+			// tail and retrying would let a later fsync "succeed" without
+			// the lost bytes ever reaching disk, silently breaking the WAL
+			// contract. Poison the log instead: every waiter wakes with
+			// ErrLogPoisoned, every future Append/Flush fails, and the only
+			// way forward is crash + restart recovery from the stable
+			// prefix.
+			stage := "flush"
+			if werr == nil {
+				stage = "sync"
 			}
-			return fmt.Errorf("wal: sync: %w", serr)
+			cause := werr
+			if cause == nil {
+				cause = serr
+			}
+			l.poisonLocked(fmt.Errorf("wal: %s: %w", stage, cause))
+			return l.poisoned
 		}
 		l.stableEnd += LSN(len(buf))
 		l.flushes++
@@ -429,6 +507,9 @@ func (l *SystemLog) flushToLocked(target LSN) error {
 func (l *SystemLog) AppendAndFlush(recs ...*Record) error {
 	l.latch.Lock()
 	defer l.latch.Unlock()
+	if l.poisoned != nil {
+		return l.poisoned
+	}
 	l.appendLocked(recs)
 	return l.flushToLocked(l.endLocked())
 }
@@ -457,6 +538,9 @@ func (l *SystemLog) Reset() error {
 	for l.flushing {
 		l.flushDone.Wait()
 	}
+	if l.poisoned != nil {
+		return l.poisoned
+	}
 	if err := l.f.Truncate(0); err != nil {
 		return fmt.Errorf("wal: reset: %w", err)
 	}
@@ -476,10 +560,15 @@ func (l *SystemLog) Reset() error {
 	return nil
 }
 
-// Close flushes and closes the stable log.
+// Close flushes and closes the stable log. A poisoned log is closed
+// without flushing (the tail was already discarded at poison time).
 func (l *SystemLog) Close() error {
 	l.latch.Lock()
 	defer l.latch.Unlock()
+	if l.poisoned != nil {
+		l.f.Close()
+		return l.poisoned
+	}
 	if err := l.flushToLocked(l.endLocked()); err != nil {
 		l.f.Close()
 		return err

@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race cover bench bench-smoke torture torture-smoke table1 table2 faultstudy faultstudy-disk examples clean
+.PHONY: all build vet test race cover bench bench-smoke bench-shard server-smoke torture torture-smoke table1 table2 faultstudy faultstudy-disk examples clean
 
 all: build vet test
 
@@ -15,10 +15,17 @@ build:
 # kernel benchmarks. dbvet is the repo's own pass suite (latch order,
 # guarded writes, codeword pairing, metric names); see DESIGN.md
 # "Machine-checked invariants".
-vet: bench-smoke torture-smoke
+vet: bench-smoke torture-smoke server-smoke
 	$(GO) vet ./...
 	$(GO) run ./cmd/dbvet ./...
 	$(GO) test -race ./internal/core ./internal/wal ./internal/obs ./internal/tpcb
+
+# End-to-end smoke of the TCP front end: a K=4 sharded server takes a
+# concurrent mixed load over the wire protocol, drains gracefully, and
+# every shard must pass a full audit — plus the codec fuzz corpus and
+# the client/server suite, all under the race detector.
+server-smoke:
+	$(GO) test -race -short ./internal/wire ./internal/shard
 
 # Bounded crash-point recovery torture: the smoke workload is crashed at
 # every I/O point, recovery is verified from each frozen durable state,
@@ -65,6 +72,11 @@ faultstudy:
 
 faultstudy-disk:
 	$(GO) run ./cmd/faultstudy -disk
+
+# Multi-shard scaling sweep (K=1/2/4/8, partitioned TPC-B-style load);
+# regenerates BENCH_pr6.json.
+bench-shard:
+	$(GO) run ./cmd/shardbench -txns 16000 -shards 1,2,4,8 -cross 0,0.15 -o BENCH_pr6.json
 
 examples:
 	$(GO) run ./examples/quickstart

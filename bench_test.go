@@ -412,7 +412,7 @@ func BenchmarkLogAppendFlush(b *testing.B) {
 		b.Fatal(err)
 	}
 	defer db.Close()
-	log := db.Log()
+	log := db.Internals().Log
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		log.Append(benchPhysRecord(i))

@@ -101,7 +101,7 @@ func runTearCkptPage(seed int64, dir string) error {
 		return err
 	}
 	fmt.Println("   ran 400 operations across two checkpoints (both ping-pong images populated)")
-	pageSize := db.Arena().PageSize()
+	pageSize := db.Internals().Arena.PageSize()
 	if err := db.Crash(); err != nil {
 		return err
 	}
@@ -215,7 +215,7 @@ func run(schemeName string, faults, carriers int, seed int64, dir string) error 
 	fmt.Printf("   loaded %d accounts, ran 1000 clean operations, audited clean\n", scale.Accounts)
 
 	account, _, _, _ := w.Tables()
-	inj := fault.New(db.Arena(), db.Scheme().Protector(), seed)
+	inj := fault.New(db.Internals().Arena, db.Scheme().Protector(), seed)
 	inj.SetRegistry(db.Observability())
 	victims := make([]heap.RID, 0, faults)
 	for i := 0; i < faults; i++ {

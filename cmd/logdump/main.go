@@ -95,6 +95,10 @@ func format(r *wal.Record) string {
 		if r.Compensation {
 			b.WriteString(" COMPENSATION")
 		}
+	case wal.KindTxnPrepare:
+		fmt.Fprintf(&b, " gid=%#x", r.GID)
+	case wal.KindTxnDecision:
+		fmt.Fprintf(&b, " gid=%#x commit=%v", r.GID, r.Decision)
 	case wal.KindAuditBegin:
 		fmt.Fprintf(&b, " sn=%d", r.AuditSN)
 	case wal.KindAuditEnd:

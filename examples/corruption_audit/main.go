@@ -65,7 +65,7 @@ func demo(pc protect.Config) error {
 	}
 
 	// The wild write, subject to the scheme's page protector.
-	inj := fault.New(db.Arena(), db.Scheme().Protector(), 1)
+	inj := fault.New(db.Internals().Arena, db.Scheme().Protector(), 1)
 	trapped, err := inj.WildWrite(tb.RecordAddr(rid.Slot)+4, []byte{0x00, 0x00})
 	if err != nil {
 		return err

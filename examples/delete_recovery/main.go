@@ -76,7 +76,7 @@ func main() {
 
 	// Wild write: account B's balance becomes garbage without any log
 	// record or codeword maintenance.
-	inj := fault.New(db.Arena(), db.Scheme().Protector(), 7)
+	inj := fault.New(db.Internals().Arena, db.Scheme().Protector(), 7)
 	if _, err := inj.WildWrite(accounts.RecordAddr(rids[1].Slot), []byte{0xFF, 0xFF, 0xFF}); err != nil {
 		log.Fatal(err)
 	}

@@ -86,9 +86,9 @@ func main() {
 
 	// A wild write flips the RID stored in an index entry — classic
 	// dangling-pointer corruption inside an access method.
-	inj := fault.New(db.Arena(), db.Scheme().Protector(), 3)
+	inj := fault.New(db.Internals().Arena, db.Scheme().Protector(), 3)
 	entryAddr := indexEntryAddr(byID, db, 105)
-	faultAt := db.Log().End()
+	faultAt := db.Internals().Log.End()
 	if _, err := inj.WildWrite(entryAddr+16, []byte{0x02}); err != nil {
 		log.Fatal(err)
 	}
@@ -108,7 +108,7 @@ func main() {
 		victim.ID(), wrongRID)
 
 	// Offline, the DBA can trace the damage from the log alone.
-	db.Log().Flush()
+	db.Internals().Log.Flush()
 	res, err := trace.Run(dir, trace.Options{
 		SeedRanges: []recovery.Range{{Start: entryAddr, Len: 24}},
 		SeedAt:     faultAt,

@@ -78,7 +78,7 @@ func main() {
 
 	// Now a wild write — an application scribbling on the mapped database
 	// without using the prescribed interface.
-	inj := fault.New(db.Arena(), db.Scheme().Protector(), 42)
+	inj := fault.New(db.Internals().Arena, db.Scheme().Protector(), 42)
 	if _, err := inj.WildWrite(users.RecordAddr(rid.Slot)+30, []byte{0xEE}); err != nil {
 		log.Fatal(err)
 	}

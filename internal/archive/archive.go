@@ -55,14 +55,14 @@ func Write(db *core.DB, path string) (Info, error) {
 		ckEnd wal.LSN
 	)
 	err := db.ExclusiveBarrier(func() error {
-		if err := db.Log().Flush(); err != nil {
+		if err := db.Internals().Log.Flush(); err != nil {
 			return err
 		}
-		ckEnd = db.Log().StableEnd()
-		if n := db.ATT().Len(); n != 0 {
+		ckEnd = db.Internals().Log.StableEnd()
+		if n := db.Internals().ATT.Len(); n != 0 {
 			return fmt.Errorf("archive: %d transactions active; archives require quiescence", n)
 		}
-		image = append([]byte(nil), db.Arena().Bytes()...)
+		image = append([]byte(nil), db.Internals().Arena.Bytes()...)
 		meta = db.EncodeMetaForCheckpoint()
 		return nil
 	})

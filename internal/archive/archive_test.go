@@ -63,7 +63,7 @@ func TestArchiveWriteReadRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if info.ImageSize != db.Arena().Size() {
+	if info.ImageSize != db.Internals().Arena.Size() {
 		t.Fatalf("image size = %d", info.ImageSize)
 	}
 	got, image, meta, err := Read(path)
@@ -73,7 +73,7 @@ func TestArchiveWriteReadRoundTrip(t *testing.T) {
 	if got != info {
 		t.Fatalf("info roundtrip: %+v != %+v", got, info)
 	}
-	if !bytes.Equal(image, db.Arena().Bytes()) {
+	if !bytes.Equal(image, db.Internals().Arena.Bytes()) {
 		t.Fatal("image mismatch")
 	}
 	if len(meta) == 0 {

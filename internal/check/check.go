@@ -80,7 +80,7 @@ func Run(db *core.DB) ([]Problem, error) {
 	}
 
 	// Quiescence.
-	if n := db.ATT().Len(); n != 0 {
+	if n := db.Internals().ATT.Len(); n != 0 {
 		add(CodeActiveTxns, SevWarning, "att", "%d transactions active; results may be unreliable", n)
 	}
 
@@ -111,7 +111,7 @@ func Run(db *core.DB) ([]Problem, error) {
 			rid := heap.RID{Table: tb.ID, Slot: slot}
 			allocated[rid.Key()] = true
 			addr := tb.RecordAddr(slot)
-			if err := db.Arena().CheckRange(addr, tb.RecSize); err != nil {
+			if err := db.Internals().Arena.CheckRange(addr, tb.RecSize); err != nil {
 				add(CodeHeapRecordRange, SevError, "heap", "table %q slot %d: record out of arena: %v", name, slot, err)
 			}
 		}
@@ -149,7 +149,7 @@ func Run(db *core.DB) ([]Problem, error) {
 	}
 
 	// Checkpoint anchor vs retained log.
-	if anchor, ok := db.Checkpoints().Anchor(); ok {
+	if anchor, ok := db.Internals().Checkpoints.Anchor(); ok {
 		base, err := wal.LogBase(db.Config().Dir)
 		if err != nil {
 			return nil, err
@@ -157,8 +157,8 @@ func Run(db *core.DB) ([]Problem, error) {
 		if anchor.CKEnd < base {
 			add(CodeCkptAnchorBase, SevError, "checkpoint", "anchor CK_end %d precedes the retained log base %d", anchor.CKEnd, base)
 		}
-		if anchor.CKEnd > db.Log().End() {
-			add(CodeCkptAnchorEnd, SevError, "checkpoint", "anchor CK_end %d beyond log end %d", anchor.CKEnd, db.Log().End())
+		if anchor.CKEnd > db.Internals().Log.End() {
+			add(CodeCkptAnchorEnd, SevError, "checkpoint", "anchor CK_end %d beyond log end %d", anchor.CKEnd, db.Internals().Log.End())
 		}
 		if _, err := ckpt.Load(db.Config().Dir); err != nil {
 			add(CodeCkptImage, SevError, "checkpoint", "current image unloadable: %v", err)

@@ -85,7 +85,7 @@ func TestCleanDatabasePasses(t *testing.T) {
 
 func TestDetectsCodewordMismatch(t *testing.T) {
 	db, tb, _ := setup(t)
-	inj := fault.New(db.Arena(), db.Scheme().Protector(), 1)
+	inj := fault.New(db.Internals().Arena, db.Scheme().Protector(), 1)
 	if _, err := inj.WildWrite(tb.RecordAddr(3)+5, []byte{0xEF}); err != nil {
 		t.Fatal(err)
 	}
@@ -116,7 +116,7 @@ func TestDetectsDanglingIndexEntry(t *testing.T) {
 		t.Fatal(err)
 	}
 	txn.Commit()
-	inj := fault.New(db.Arena(), db.Scheme().Protector(), 2)
+	inj := fault.New(db.Internals().Arena, db.Scheme().Protector(), 2)
 	if _, err := inj.WildWrite(addr+16, []byte{60}); err != nil { // slot 60: unallocated
 		t.Fatal(err)
 	}
@@ -162,7 +162,7 @@ func TestDetectsCorruptIndexState(t *testing.T) {
 		t.Fatal(err)
 	}
 	txn.Commit()
-	inj := fault.New(db.Arena(), db.Scheme().Protector(), 3)
+	inj := fault.New(db.Internals().Arena, db.Scheme().Protector(), 3)
 	// Smash the state word to a nonsense value.
 	if _, err := inj.WildWrite(addr, []byte{0x77}); err != nil {
 		t.Fatal(err)

@@ -41,7 +41,7 @@ func TestAuditorDetectsCorruption(t *testing.T) {
 	a.Start()
 	defer a.Stop()
 
-	db.Arena().Bytes()[300] ^= 0x10 // wild write
+	db.Internals().Arena.Bytes()[300] ^= 0x10 // wild write
 
 	select {
 	case ce := <-detected:
@@ -163,8 +163,8 @@ func TestAuditPassIncremental(t *testing.T) {
 			break
 		}
 	}
-	if steps != db.Arena().Size()/4096 {
-		t.Fatalf("steps = %d, want %d", steps, db.Arena().Size()/4096)
+	if steps != db.Internals().Arena.Size()/4096 {
+		t.Fatalf("steps = %d, want %d", steps, db.Internals().Arena.Size()/4096)
 	}
 	if err := pass.Finish(); err != nil {
 		t.Fatal(err)
@@ -210,7 +210,7 @@ func TestAuditPassDetectsMidPassCorruption(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Corrupt a region the pass has NOT yet reached.
-	db.Arena().Bytes()[8192+17] ^= 0x20
+	db.Internals().Arena.Bytes()[8192+17] ^= 0x20
 	for {
 		done, err := pass.Step(4096)
 		if err != nil {
@@ -233,7 +233,7 @@ func TestAuditPassDetectsMidPassCorruption(t *testing.T) {
 func TestAuditorIncrementalSlices(t *testing.T) {
 	db := testDB(t, protect.Config{Kind: protect.KindDataCW, RegionSize: 64})
 	a := NewAuditor(db, time.Millisecond)
-	a.SliceBytes = db.Arena().Size() / 4 // four ticks per pass
+	a.SliceBytes = db.Internals().Arena.Size() / 4 // four ticks per pass
 	a.Start()
 	deadline := time.Now().Add(10 * time.Second)
 	for a.Sweeps() < 2 {
@@ -250,11 +250,11 @@ func TestAuditorIncrementalSlices(t *testing.T) {
 	db2 := testDB(t, protect.Config{Kind: protect.KindDataCW, RegionSize: 64})
 	detected := make(chan *CorruptionError, 1)
 	a2 := NewAuditor(db2, time.Millisecond)
-	a2.SliceBytes = db2.Arena().Size() / 8
+	a2.SliceBytes = db2.Internals().Arena.Size() / 8
 	a2.OnCorruption = func(ce *CorruptionError) { detected <- ce }
 	a2.Start()
 	defer a2.Stop()
-	db2.Arena().Bytes()[1234] ^= 0x01
+	db2.Internals().Arena.Bytes()[1234] ^= 0x01
 	select {
 	case <-detected:
 	case <-time.After(10 * time.Second):

@@ -46,12 +46,12 @@ func TestCheckpointCompactsLog(t *testing.T) {
 	if size2.Size() > size1.Size()*2 {
 		t.Fatalf("log grew across checkpoints: %d -> %d", size1.Size(), size2.Size())
 	}
-	if db.Log().BaseLSN() == 0 {
+	if db.Internals().Log.BaseLSN() == 0 {
 		t.Fatal("log never compacted")
 	}
-	a, ok := db.Checkpoints().Anchor()
-	if !ok || db.Log().BaseLSN() != a.CKEnd {
-		t.Fatalf("base %d != CK_end %d", db.Log().BaseLSN(), a.CKEnd)
+	a, ok := db.Internals().Checkpoints.Anchor()
+	if !ok || db.Internals().Log.BaseLSN() != a.CKEnd {
+		t.Fatalf("base %d != CK_end %d", db.Internals().Log.BaseLSN(), a.CKEnd)
 	}
 }
 
@@ -72,7 +72,7 @@ func TestDisableLogCompaction(t *testing.T) {
 	if err := db.Checkpoint(); err != nil {
 		t.Fatal(err)
 	}
-	if db.Log().BaseLSN() != 0 {
+	if db.Internals().Log.BaseLSN() != 0 {
 		t.Fatal("log compacted despite DisableLogCompaction")
 	}
 }

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/lockmgr"
 	"repro/internal/mem"
+	"repro/internal/obs"
 	"repro/internal/protect"
 	"repro/internal/wal"
 )
@@ -271,11 +272,11 @@ func TestLocksReleasedOnCompletion(t *testing.T) {
 	if err := txn.Lock(42, lockmgr.Exclusive); err != nil {
 		t.Fatal(err)
 	}
-	if db.Locks().HeldCount(txn.ID()) != 1 {
+	if db.Internals().Locks.HeldCount(txn.ID()) != 1 {
 		t.Fatal("lock not recorded")
 	}
 	txn.Commit()
-	if db.Locks().HeldCount(txn.ID()) != 0 {
+	if db.Internals().Locks.HeldCount(txn.ID()) != 0 {
 		t.Fatal("locks survive commit")
 	}
 }
@@ -288,7 +289,7 @@ func TestAuditDetectsWildWriteAndLogsIt(t *testing.T) {
 	if db.LastCleanAuditLSN() == 0 && db.AuditSerial() != 1 {
 		t.Fatal("audit bookkeeping wrong")
 	}
-	db.Arena().Bytes()[500] ^= 0xFF // wild write
+	db.Internals().Arena.Bytes()[500] ^= 0xFF // wild write
 	err := db.Audit()
 	var ce *CorruptionError
 	if !errors.As(err, &ce) {
@@ -322,17 +323,17 @@ func TestCheckpointRefusedWhenCorrupt(t *testing.T) {
 	if err := db.Checkpoint(); err != nil {
 		t.Fatal(err)
 	}
-	a1, ok := db.Checkpoints().Anchor()
+	a1, ok := db.Internals().Checkpoints.Anchor()
 	if !ok {
 		t.Fatal("no anchor after checkpoint")
 	}
-	db.Arena().Bytes()[100] ^= 0x01
+	db.Internals().Arena.Bytes()[100] ^= 0x01
 	err := db.Checkpoint()
 	var ce *CorruptionError
 	if !errors.As(err, &ce) {
 		t.Fatalf("checkpoint of corrupt database: %v", err)
 	}
-	a2, _ := db.Checkpoints().Anchor()
+	a2, _ := db.Internals().Checkpoints.Anchor()
 	if a2 != a1 {
 		t.Fatal("corrupt checkpoint was certified")
 	}
@@ -361,7 +362,7 @@ func TestMetaRoundTrip(t *testing.T) {
 
 func TestAllocPagesExhaustion(t *testing.T) {
 	db := testDB(t, protect.Config{})
-	n := db.Arena().NumPages()
+	n := db.Internals().Arena.NumPages()
 	first, err := db.AllocPages(n)
 	if err != nil || first != 0 {
 		t.Fatalf("alloc all: %v", err)
@@ -398,7 +399,7 @@ func TestAttachments(t *testing.T) {
 	}
 }
 
-func TestStatsCounters(t *testing.T) {
+func TestMetricsCounters(t *testing.T) {
 	db := testDB(t, protect.Config{Kind: protect.KindReadLog, RegionSize: 64})
 	txn, _ := db.Begin()
 	opUpdate(t, txn, 1, 0, []byte("abcd"))
@@ -406,15 +407,15 @@ func TestStatsCounters(t *testing.T) {
 	txn.Commit()
 	db.Audit()
 	db.Checkpoint()
-	st := db.Stats()
-	if st.Txns != 1 || st.Ops != 1 || st.Updates != 1 {
-		t.Fatalf("stats: %+v", st)
+	s := db.Metrics()
+	if s.Counter(obs.NameTxnsBegun) != 1 || s.Counter(obs.NameOps) != 1 || s.Counter(obs.NameUpdates) != 1 {
+		t.Fatalf("txn/op/update counters: %+v", s.Counters)
 	}
-	if st.Reads != 1 || st.ReadRecords != 1 {
-		t.Fatalf("read stats: %+v", st)
+	if s.Counter(obs.NameReads) != 1 || s.Counter(obs.NameReadRecords) != 1 {
+		t.Fatalf("read counters: %+v", s.Counters)
 	}
-	if st.Audits < 2 || st.Checkpoints != 1 {
-		t.Fatalf("audit/ckpt stats: %+v", st)
+	if s.Counter(obs.NameAuditPasses) < 2 || s.Counter(obs.NameCheckpoints) != 1 {
+		t.Fatalf("audit/ckpt counters: %+v", s.Counters)
 	}
 }
 
@@ -499,7 +500,7 @@ func TestHWSchemeThroughCore(t *testing.T) {
 	txn, _ := db.Begin()
 	opUpdate(t, txn, 1, 4096, []byte("guard"))
 	txn.Commit()
-	if db.Stats().ProtectCalls == 0 {
+	if db.Metrics().Counter(obs.NameProtectCalls) == 0 {
 		t.Fatal("no protect calls recorded")
 	}
 	// All pages protected again outside update brackets.

@@ -162,25 +162,6 @@ var ErrClosed = errors.New("core: database is closed")
 // errors.Is(err, core.ErrLockTimeout) without importing lockmgr.
 var ErrLockTimeout = lockmgr.ErrTimeout
 
-// Stats aggregates instrumentation counters for the benchmark harness.
-//
-// Deprecated: Stats is a thin view over the obs metrics registry, kept
-// for existing harness code. New code should use DB.Metrics, which
-// returns the full, internally consistent obs.Snapshot (histograms
-// included).
-type Stats struct {
-	Txns        uint64
-	Ops         uint64
-	Updates     uint64
-	Reads       uint64
-	ReadRecords uint64
-	Audits      uint64
-	Checkpoints uint64
-	// ProtectCalls is the number of page protect/unprotect calls made by
-	// the hardware scheme (the paper's §5.3 page-touch observation).
-	ProtectCalls uint64
-}
-
 // DB is a database instance.
 type DB struct {
 	cfg    Config
@@ -383,32 +364,41 @@ func NewRecovered(cfg Config, st *RecoveredState) (*DB, error) {
 // Config returns the database's configuration.
 func (db *DB) Config() Config { return db.cfg }
 
-// Arena exposes the database image. Writing through it outside the
-// prescribed interface is direct physical corruption (used deliberately
-// by the fault injector).
-func (db *DB) Arena() *mem.Arena { return db.arena }
-
 // Scheme exposes the active protection scheme.
 func (db *DB) Scheme() protect.Scheme { return db.scheme }
-
-// Log exposes the system log.
-func (db *DB) Log() *wal.SystemLog { return db.log }
-
-// ATT exposes the active transaction table.
-func (db *DB) ATT() *wal.ATT { return db.att }
-
-// Locks exposes the lock manager.
-func (db *DB) Locks() *lockmgr.Manager { return db.locks }
-
-// Checkpoints exposes the checkpoint set.
-func (db *DB) Checkpoints() *ckpt.Set { return db.ckpts }
 
 // FS exposes the filesystem the durability paths write through (the real
 // filesystem unless a fault-injecting one was configured).
 func (db *DB) FS() iofault.FS { return db.cfg.FS }
 
-// ScanPool exposes the shared scan worker pool (sized by Config.Workers).
-func (db *DB) ScanPool() *region.Pool { return db.pool }
+// Internals bundles the engine's internal subsystems. It is the single
+// sanctioned escape hatch below the transactional API, used by the
+// storage layers (heap, hashidx), recovery, the shard router, and the
+// inspection tools. Writing to the arena outside the prescribed update
+// interface is direct physical corruption (the fault injector does so
+// deliberately); everything else here is read-mostly plumbing.
+type Internals struct {
+	Arena       *mem.Arena
+	Log         *wal.SystemLog
+	ATT         *wal.ATT
+	Locks       *lockmgr.Manager
+	Checkpoints *ckpt.Set
+	ScanPool    *region.Pool
+}
+
+// Internals returns the internal-subsystem bundle. Prefer the
+// transactional API; this exists for layers that genuinely need to see
+// inside the engine (storage structures, recovery, tools).
+func (db *DB) Internals() Internals {
+	return Internals{
+		Arena:       db.arena,
+		Log:         db.log,
+		ATT:         db.att,
+		Locks:       db.locks,
+		Checkpoints: db.ckpts,
+		ScanPool:    db.pool,
+	}
+}
 
 // PageSize reports the page size.
 func (db *DB) PageSize() int { return db.cfg.PageSize }
@@ -434,25 +424,6 @@ func (db *DB) Metrics() obs.Snapshot {
 // registering event sinks (obs.Sink) and for tests. Metric values should
 // be read through Metrics.
 func (db *DB) Observability() *obs.Registry { return db.reg }
-
-// Stats returns a snapshot of the legacy instrumentation counters.
-//
-// Deprecated: use Metrics. Stats is derived from the same registry
-// snapshot (so it is no longer racy), but carries only the historical
-// counter subset.
-func (db *DB) Stats() Stats {
-	s := db.Metrics()
-	return Stats{
-		Txns:         s.Counter(obs.NameTxnsBegun),
-		Ops:          s.Counter(obs.NameOps),
-		Updates:      s.Counter(obs.NameUpdates),
-		Reads:        s.Counter(obs.NameReads),
-		ReadRecords:  s.Counter(obs.NameReadRecords),
-		Audits:       s.Counter(obs.NameAuditPasses),
-		Checkpoints:  s.Counter(obs.NameCheckpoints),
-		ProtectCalls: s.Counter(obs.NameProtectCalls),
-	}
-}
 
 // --- metadata and page allocation -----------------------------------------
 

@@ -81,7 +81,7 @@ func TestConfigWorkers(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer db.Close()
-	if got := db.ScanPool().Workers(); got != 3 {
+	if got := db.Internals().ScanPool.Workers(); got != 3 {
 		t.Fatalf("database scan pool has %d workers, want 3", got)
 	}
 	if err := db.Audit(); err != nil {
@@ -100,7 +100,7 @@ func TestErrorsIsCorruption(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Stray store outside the prescribed interface: the codeword is stale.
-	db.Arena().Bytes()[130] ^= 0xFF
+	db.Internals().Arena.Bytes()[130] ^= 0xFF
 
 	txn2, err := db.Begin()
 	if err != nil {
@@ -268,11 +268,6 @@ func TestMetricsConcurrent(t *testing.T) {
 	}
 	if gc := s.Histogram(obs.NameWALGroupCommit); gc.Count == 0 || gc.Mean() < 1 {
 		t.Fatalf("group-commit histogram: %+v", gc)
-	}
-	// The deprecated view must agree with the snapshot it derives from.
-	st := db.Stats()
-	if st.Txns != workers*txns || st.Checkpoints != 5 {
-		t.Fatalf("Stats view diverged: %+v", st)
 	}
 }
 

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/lockmgr"
 	"repro/internal/mem"
+	"repro/internal/obs"
 	"repro/internal/protect"
 	"repro/internal/wal"
 )
@@ -134,11 +135,11 @@ func TestConcurrentTxnsCheckpointerAuditor(t *testing.T) {
 			if err := db.Audit(); err != nil {
 				t.Fatalf("final audit: %v", err)
 			}
-			st := db.Stats()
-			if st.Txns != workers*txnsPerWorker {
-				t.Fatalf("txns = %d", st.Txns)
+			s := db.Metrics()
+			if got := s.Counter(obs.NameTxnsBegun); got != workers*txnsPerWorker {
+				t.Fatalf("txns = %d", got)
 			}
-			if st.Checkpoints == 0 {
+			if s.Counter(obs.NameCheckpoints) == 0 {
 				t.Fatal("no checkpoints completed")
 			}
 		})

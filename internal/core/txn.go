@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -19,10 +20,18 @@ type Txn struct {
 	db    *DB
 	entry *wal.TxnEntry
 	done  bool
+	// ctx is the transaction's context (BeginCtx): it bounds lock waits
+	// and the commit-time group-commit wait. Begin installs
+	// context.Background(), so the zero-cost path never checks a channel.
+	ctx context.Context
 	// recoveryMode marks transactions adopted by restart recovery: lock
 	// acquisition is skipped (recovery runs single-threaded, and the
 	// original locks died with the crash).
 	recoveryMode bool
+	// prepared marks a transaction that has entered the prepared state of
+	// two-phase commit: no further work is accepted, only
+	// CommitPrepared/AbortPrepared.
+	prepared bool
 	// pendingUpdate guards against overlapping update brackets.
 	pendingUpdate bool
 	// opRedoMarks records len(entry.Redo) at each BeginOp so AbortOp can
@@ -34,8 +43,34 @@ type Txn struct {
 // transaction.
 var ErrTxnDone = errors.New("core: transaction already completed")
 
+// ErrTxnPrepared is returned when work is attempted on a transaction in
+// the prepared state: between Prepare and CommitPrepared/AbortPrepared a
+// participant may not read, update, or unilaterally commit.
+var ErrTxnPrepared = errors.New("core: transaction is prepared (awaiting 2PC decision)")
+
+// ErrCommitUnresolved reports that the transaction's context ended while
+// its commit record was waiting in the group-commit queue. The record is
+// in the log tail and may still become durable through a later force, so
+// the outcome is unknown to this caller: the transaction is neither
+// reusable nor abortable, and only the log (via restart recovery, or a
+// later observer) resolves whether it committed.
+var ErrCommitUnresolved = errors.New("core: commit outcome unresolved (context ended during group-commit wait)")
+
 // Begin starts a transaction.
 func (db *DB) Begin() (*Txn, error) {
+	return db.BeginCtx(context.Background())
+}
+
+// BeginCtx starts a transaction bound to ctx: lock waits (Txn.Lock) and
+// the commit-time group-commit wait honor its cancellation and deadline.
+// The context does not auto-abort the transaction — a caller whose
+// context ends mid-transaction should call Abort (after a failed Lock or
+// Read) and must treat ErrCommitUnresolved from Commit as an unknown
+// outcome.
+func (db *DB) BeginCtx(ctx context.Context) (*Txn, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("core: begin txn: %w", err)
+	}
 	if db.closed.Load() {
 		return nil, ErrClosed
 	}
@@ -53,12 +88,23 @@ func (db *DB) Begin() (*Txn, error) {
 	}
 	db.barrier.RUnlock()
 	db.mTxnsBegun.Inc()
-	return &Txn{db: db, entry: entry}, nil
+	return &Txn{db: db, entry: entry, ctx: ctx}, nil
 }
 
 // AdoptTxn wraps an ATT entry in a Txn for recovery-driven rollback.
 func (db *DB) AdoptTxn(entry *wal.TxnEntry) *Txn {
-	return &Txn{db: db, entry: entry, recoveryMode: true}
+	return &Txn{db: db, entry: entry, ctx: context.Background(), recoveryMode: true}
+}
+
+// AdoptPrepared wraps an in-doubt ATT entry (state TxnPrepared, left
+// attached by recovery) in a Txn ready for CommitPrepared/AbortPrepared.
+// Like all recovery adoption it skips lock acquisition — recovery is
+// single-threaded per shard and the pre-crash locks died with the crash.
+func (db *DB) AdoptPrepared(entry *wal.TxnEntry) (*Txn, error) {
+	if entry.State != wal.TxnPrepared {
+		return nil, fmt.Errorf("core: txn %d is %s, not prepared", entry.ID, entry.State)
+	}
+	return &Txn{db: db, entry: entry, ctx: context.Background(), recoveryMode: true, prepared: true}, nil
 }
 
 // ID reports the transaction ID.
@@ -72,17 +118,30 @@ func (t *Txn) Entry() *wal.TxnEntry { return t.entry }
 
 // Lock acquires a transaction-duration lock on an object key; locks are
 // released at commit or abort (strict two-phase locking at transaction
-// level). During recovery locks are skipped.
+// level). During recovery locks are skipped. The wait is bounded by the
+// transaction's context (BeginCtx) as well as the lock-wait timeout.
 func (t *Txn) Lock(key wal.ObjectKey, mode lockmgr.Mode) error {
+	return t.LockCtx(t.ctx, key, mode)
+}
+
+// LockCtx is Lock with an explicit context overriding the transaction's
+// own for this one wait: cancellation or deadline expiry while queued
+// behind a conflicting holder fails the acquisition (the lock is not
+// taken, the transaction remains usable and should normally be aborted).
+func (t *Txn) LockCtx(ctx context.Context, key wal.ObjectKey, mode lockmgr.Mode) error {
 	if t.done {
 		return ErrTxnDone
+	}
+	if t.prepared {
+		return ErrTxnPrepared
 	}
 	if t.recoveryMode {
 		return nil
 	}
-	if err := t.db.locks.Lock(t.entry.ID, key, mode); err != nil {
+	if err := t.db.locks.LockCtx(ctx, t.entry.ID, key, mode); err != nil {
 		// The lockmgr sentinel stays reachable: errors.Is(err,
-		// core.ErrLockTimeout) holds for a timed-out wait.
+		// core.ErrLockTimeout) holds for a timed-out wait, and the
+		// context's own error for a canceled one.
 		return fmt.Errorf("core: txn %d: lock key %d (%s): %w", t.entry.ID, key, mode, err)
 	}
 	return nil
@@ -94,6 +153,9 @@ func (t *Txn) Lock(key wal.ObjectKey, mode lockmgr.Mode) error {
 func (t *Txn) BeginOp(level uint8, key wal.ObjectKey) error {
 	if t.done {
 		return ErrTxnDone
+	}
+	if t.prepared {
+		return ErrTxnPrepared
 	}
 	t.db.barrier.RLock()
 	defer t.db.barrier.RUnlock()
@@ -222,6 +284,9 @@ func (t *Txn) Read(addr mem.Addr, n int) ([]byte, error) {
 	if t.done {
 		return nil, ErrTxnDone
 	}
+	if t.prepared {
+		return nil, ErrTxnPrepared
+	}
 	if t.pendingUpdate {
 		// Reading through the scheme while an update bracket is open
 		// would re-acquire protection latches the bracket already holds
@@ -251,6 +316,9 @@ func (t *Txn) ReadInto(addr mem.Addr, dst []byte) (int, error) {
 	if t.done {
 		return 0, ErrTxnDone
 	}
+	if t.prepared {
+		return 0, ErrTxnPrepared
+	}
 	if t.pendingUpdate {
 		return 0, fmt.Errorf("core: txn %d: read inside an open update bracket", t.entry.ID)
 	}
@@ -272,10 +340,18 @@ func (t *Txn) ReadInto(addr mem.Addr, dst []byte) (int, error) {
 
 // Commit durably commits the transaction: any remaining local records are
 // moved to the system log, a commit record is appended, and the log is
-// forced. Locks are then released and the ATT entry removed.
+// forced. Locks are then released and the ATT entry removed. The
+// group-commit wait honors the transaction's context (BeginCtx): if it
+// ends while the commit record is queued behind another force, Commit
+// returns ErrCommitUnresolved — the record is in the tail and may still
+// become durable, so the transaction is finished locally as committed
+// but the caller must treat the durable outcome as unknown.
 func (t *Txn) Commit() error {
 	if t.done {
 		return ErrTxnDone
+	}
+	if t.prepared {
+		return ErrTxnPrepared
 	}
 	if t.entry.InOperation() {
 		return fmt.Errorf("core: txn %d: commit with open operation", t.entry.ID)
@@ -283,15 +359,138 @@ func (t *Txn) Commit() error {
 	if t.pendingUpdate {
 		return fmt.Errorf("core: txn %d: commit with open update", t.entry.ID)
 	}
+	if err := t.ctx.Err(); err != nil {
+		// The context already ended: fail before the commit record is
+		// appended, leaving the transaction intact so the caller can
+		// still Abort cleanly.
+		return fmt.Errorf("core: txn %d: commit: %w", t.entry.ID, err)
+	}
 	t.db.barrier.RLock()
 	recs := append(t.entry.Redo, &wal.Record{Kind: wal.KindTxnCommit, Txn: t.entry.ID})
-	err := t.db.log.AppendAndFlush(recs...)
+	err := t.db.log.AppendAndFlushCtx(t.ctx, recs...)
 	t.entry.Redo = nil
 	t.db.barrier.RUnlock()
 	if err != nil {
+		if errors.Is(err, wal.ErrFlushWaitCanceled) {
+			// The commit record was appended but the context ended during
+			// the group-commit wait. It may still be carried durable by a
+			// later force, so the transaction must not be aborted: finish
+			// it locally and surface the unresolved outcome.
+			t.finish(wal.TxnCommitted)
+			return fmt.Errorf("core: txn %d: %w: %w", t.entry.ID, ErrCommitUnresolved, err)
+		}
 		return fmt.Errorf("core: txn %d: commit flush: %w", t.entry.ID, err)
 	}
 	t.finish(wal.TxnCommitted)
+	return nil
+}
+
+// Prepare enters the transaction into the prepared state of two-phase
+// commit on behalf of global transaction gid: remaining local records
+// plus a prepare record are moved to the system log and the log is
+// forced. From then on the transaction accepts only CommitPrepared or
+// AbortPrepared — it holds its locks and its undo log until the
+// coordinator's decision arrives, surviving a crash in between (recovery
+// re-attaches prepared transactions as in-doubt). On error the
+// transaction is NOT prepared and remains abortable: even if the prepare
+// record later proves durable, a follow-up abort record — or, after a
+// crash, presumed abort — supersedes it.
+func (t *Txn) Prepare(gid uint64) error {
+	if t.done {
+		return ErrTxnDone
+	}
+	if t.prepared {
+		return ErrTxnPrepared
+	}
+	if t.entry.InOperation() {
+		return fmt.Errorf("core: txn %d: prepare with open operation", t.entry.ID)
+	}
+	if t.pendingUpdate {
+		return fmt.Errorf("core: txn %d: prepare with open update", t.entry.ID)
+	}
+	if gid == 0 {
+		return fmt.Errorf("core: txn %d: prepare requires a nonzero global transaction ID", t.entry.ID)
+	}
+	t.db.barrier.RLock()
+	recs := append(t.entry.Redo, &wal.Record{Kind: wal.KindTxnPrepare, Txn: t.entry.ID, GID: gid})
+	err := t.db.log.AppendAndFlushCtx(t.ctx, recs...)
+	t.entry.Redo = nil
+	t.db.barrier.RUnlock()
+	if err != nil {
+		return fmt.Errorf("core: txn %d: prepare: %w", t.entry.ID, err)
+	}
+	t.prepared = true
+	t.entry.State = wal.TxnPrepared
+	t.entry.GID = gid
+	return nil
+}
+
+// CommitPrepared applies a coordinator commit decision to a prepared
+// transaction: the commit record is appended and the log forced, then
+// locks are released and the ATT entry removed. The decision is already
+// durable at the coordinator, so this deliberately ignores the
+// transaction's context — a decided transaction must complete.
+func (t *Txn) CommitPrepared() error {
+	if t.done {
+		return ErrTxnDone
+	}
+	if !t.prepared {
+		return fmt.Errorf("core: txn %d: CommitPrepared on unprepared transaction", t.entry.ID)
+	}
+	t.db.barrier.RLock()
+	err := t.db.log.AppendAndFlush(&wal.Record{Kind: wal.KindTxnCommit, Txn: t.entry.ID})
+	t.db.barrier.RUnlock()
+	if err != nil {
+		// Poisoned log: the commit record may not be durable, but the
+		// prepare record is, and the coordinator's decision survives — the
+		// next recovery resolves the transaction as committed. Do not
+		// release anything here; fail-stop is in progress.
+		return fmt.Errorf("core: txn %d: commit prepared: %w", t.entry.ID, err)
+	}
+	t.prepared = false
+	t.finish(wal.TxnCommitted)
+	return nil
+}
+
+// AbortPrepared applies a coordinator abort decision (or presumed abort)
+// to a prepared transaction: its committed operations are compensated
+// newest-first from the undo log exactly as in Abort.
+func (t *Txn) AbortPrepared() error {
+	if t.done {
+		return ErrTxnDone
+	}
+	if !t.prepared {
+		return fmt.Errorf("core: txn %d: AbortPrepared on unprepared transaction", t.entry.ID)
+	}
+	t.prepared = false
+	t.entry.State = wal.TxnActive
+	if err := t.Rollback(); err != nil {
+		return err
+	}
+	t.db.barrier.RLock()
+	appendErr := t.db.log.Append(&wal.Record{Kind: wal.KindTxnAbort, Txn: t.entry.ID})
+	t.db.barrier.RUnlock()
+	t.finish(wal.TxnAborted)
+	return appendErr
+}
+
+// Prepared reports whether the transaction is in the 2PC prepared state.
+func (t *Txn) Prepared() bool { return t.prepared }
+
+// AppendDecision durably records the coordinator's commit/abort decision
+// for global transaction gid in this database's log. Writing it is the
+// commit point of a cross-shard transaction: once durable, every prepared
+// participant must eventually apply it; if a crash intervenes before it
+// is written, presumed abort rolls every participant back.
+func (db *DB) AppendDecision(gid uint64, commit bool) error {
+	if db.closed.Load() {
+		return ErrClosed
+	}
+	db.barrier.RLock()
+	defer db.barrier.RUnlock()
+	if err := db.log.AppendAndFlush(&wal.Record{Kind: wal.KindTxnDecision, GID: gid, Decision: commit}); err != nil {
+		return fmt.Errorf("core: decision for gid %d: %w", gid, err)
+	}
 	return nil
 }
 
@@ -313,6 +512,11 @@ func (t *Txn) wrapReadErr(addr mem.Addr, n int, err error) error {
 func (t *Txn) Abort() error {
 	if t.done {
 		return ErrTxnDone
+	}
+	if t.prepared {
+		// A prepared transaction's fate belongs to its coordinator; use
+		// AbortPrepared to apply an abort decision explicitly.
+		return ErrTxnPrepared
 	}
 	if t.pendingUpdate {
 		return fmt.Errorf("core: txn %d: abort with open update bracket", t.entry.ID)

@@ -166,7 +166,7 @@ func campaign(cfg Config, pc protect.Config, seed int64) (res campaignResult, er
 
 	// The fault.
 	victim := uint32(rng.Intn(slots))
-	inj := fault.New(db.Arena(), db.Scheme().Protector(), seed)
+	inj := fault.New(db.Internals().Arena, db.Scheme().Protector(), seed)
 	inj.SetRegistry(db.Observability())
 	trapped, err := inj.WildWrite(tb.RecordAddr(victim)+20, []byte{0xF0 ^ byte(victim+1), 0x0D})
 	if err != nil {

@@ -252,7 +252,7 @@ func (ix *Index) hash(key uint64) int {
 // entryAt decodes the slot directly from the image (internal bookkeeping
 // read, like heap allocation bitmaps).
 func (ix *Index) entryAt(slot int) (state uint64, key uint64, rid heap.RID) {
-	raw := ix.cat.db.Arena().Slice(ix.slotAddr(slot), entrySize)
+	raw := ix.cat.db.Internals().Arena.Slice(ix.slotAddr(slot), entrySize)
 	state = binary.LittleEndian.Uint64(raw)
 	key = binary.LittleEndian.Uint64(raw[8:])
 	ridKey := binary.LittleEndian.Uint64(raw[16:])

@@ -274,7 +274,7 @@ func TestCorruptIndexEntryTracedByRecovery(t *testing.T) {
 
 	// Corrupt the index entry's RID field so the lookup returns a wrong
 	// record identity.
-	inj := fault.New(db.Arena(), db.Scheme().Protector(), 9)
+	inj := fault.New(db.Internals().Arena, db.Scheme().Protector(), 9)
 	slot, found, err := ix.probeLocked(7)
 	if err != nil || !found {
 		t.Fatalf("probe: %v %v", found, err)

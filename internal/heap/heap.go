@@ -397,7 +397,7 @@ func (t *Table) bitAddr(slot uint32) (mem.Addr, uint) {
 // integrity is covered by audits like any other protected data).
 func (t *Table) Allocated(slot uint32) bool {
 	addr, bit := t.bitAddr(slot)
-	return t.cat.db.Arena().Bytes()[addr]&(1<<bit) != 0
+	return t.cat.db.Internals().Arena.Bytes()[addr]&(1<<bit) != 0
 }
 
 // Count reports the number of allocated records (a full bitmap scan).

@@ -7,6 +7,7 @@ import (
 	"testing/quick"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/protect"
 	"repro/internal/recovery"
 )
@@ -212,14 +213,14 @@ func TestPageLocalReducesPagesTouched(t *testing.T) {
 			t.Fatal(err)
 		}
 		txn, _ := db.Begin()
-		before := db.Stats().ProtectCalls
+		before := db.Metrics().Counter(obs.NameProtectCalls)
 		for i := 0; i < 100; i++ {
 			if _, err := tb.Insert(txn, make([]byte, 100)); err != nil {
 				t.Fatal(err)
 			}
 		}
 		txn.Commit()
-		return db.Stats().ProtectCalls - before
+		return db.Metrics().Counter(obs.NameProtectCalls) - before
 	}
 	sep := mkDB(LayoutSeparate)
 	local := mkDB(LayoutPageLocal)

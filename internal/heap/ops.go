@@ -129,7 +129,7 @@ func (t *Table) Delete(txn *core.Txn, rid RID) error {
 		return fmt.Errorf("%w: %v", ErrSlotFree, rid)
 	}
 	old := make([]byte, t.RecSize)
-	copy(old, t.cat.db.Arena().Slice(t.RecordAddr(rid.Slot), t.RecSize))
+	copy(old, t.cat.db.Internals().Arena.Slice(t.RecordAddr(rid.Slot), t.RecSize))
 	if err := txn.BeginOp(OpLevel, rid.Key()); err != nil {
 		return err
 	}
@@ -175,7 +175,7 @@ func (t *Table) ReadAt(txn *core.Txn, rid RID, off, n int) ([]byte, error) {
 // consistent scan under locking is the caller's business). It stops early
 // if fn returns false.
 func (t *Table) Scan(fn func(rid RID, rec []byte) bool) {
-	arena := t.cat.db.Arena()
+	arena := t.cat.db.Internals().Arena
 	for s := uint32(0); s < uint32(t.Cap); s++ {
 		if !t.Allocated(s) {
 			continue

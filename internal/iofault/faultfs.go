@@ -104,18 +104,18 @@ func NewFaultFS(root string) *FaultFS {
 		crashAt: -1,
 		durable: make(map[string]dstate),
 	}
-	// Pre-existing files are durable: snapshot them now.
-	entries, err := os.ReadDir(fs.root)
-	if err == nil {
-		for _, e := range entries {
-			if e.IsDir() {
-				continue
-			}
-			if b, err := os.ReadFile(filepath.Join(fs.root, e.Name())); err == nil {
-				fs.durable[e.Name()] = dstate{exists: true, data: b}
-			}
+	// Pre-existing files are durable: snapshot them now. The walk descends
+	// into subdirectories so a sharded root (shard-000/log, ...) is
+	// captured whole; keys are root-relative paths.
+	_ = filepath.WalkDir(fs.root, func(path string, e os.DirEntry, err error) error {
+		if err != nil || e.IsDir() {
+			return nil
 		}
-	}
+		if b, err := os.ReadFile(path); err == nil {
+			fs.durable[rel(fs.root, path)] = dstate{exists: true, data: b}
+		}
+		return nil
+	})
 	return fs
 }
 
@@ -345,7 +345,11 @@ func (fs *FaultFS) MaterializeDurable(dst string) error {
 		if !d.exists {
 			continue
 		}
-		if err := os.WriteFile(filepath.Join(dst, name), d.data, 0o644); err != nil {
+		target := filepath.Join(dst, name)
+		if err := os.MkdirAll(filepath.Dir(target), 0o755); err != nil {
+			return err
+		}
+		if err := os.WriteFile(target, d.data, 0o644); err != nil {
 			return err
 		}
 	}

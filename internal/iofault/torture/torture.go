@@ -224,7 +224,7 @@ func Verify(fsys *iofault.FaultFS, recoverDir string, c Config, res *RunResult) 
 		// audit are the whole contract.
 		return rep, nil
 	}
-	arena := db.Arena()
+	arena := db.Internals().Arena
 	for s, want := range res.Expected {
 		got := arena.Slice(res.Addrs[s], len(want))
 		if !bytes.Equal(got, want) {

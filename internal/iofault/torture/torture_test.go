@@ -190,7 +190,7 @@ func TestENOSPCDuringCheckpoint(t *testing.T) {
 	if err := db.Checkpoint(); err != nil {
 		t.Fatalf("first checkpoint: %v", err)
 	}
-	anchorBefore, ok := db.Checkpoints().Anchor()
+	anchorBefore, ok := db.Internals().Checkpoints.Anchor()
 	if !ok {
 		t.Fatal("no anchor after first checkpoint")
 	}
@@ -205,7 +205,7 @@ func TestENOSPCDuringCheckpoint(t *testing.T) {
 	if !errors.Is(err, iofault.ErrNoSpace) {
 		t.Fatalf("checkpoint error = %v, want ErrNoSpace in chain", err)
 	}
-	anchorAfter, ok := db.Checkpoints().Anchor()
+	anchorAfter, ok := db.Internals().Checkpoints.Anchor()
 	if !ok || anchorAfter != anchorBefore {
 		t.Fatalf("failed checkpoint moved the anchor: %+v -> %+v", anchorBefore, anchorAfter)
 	}
@@ -213,7 +213,7 @@ func TestENOSPCDuringCheckpoint(t *testing.T) {
 	if err := db.Checkpoint(); err != nil {
 		t.Fatalf("retry checkpoint: %v", err)
 	}
-	if a, _ := db.Checkpoints().Anchor(); a.SeqNo != anchorBefore.SeqNo+1 {
+	if a, _ := db.Internals().Checkpoints.Anchor(); a.SeqNo != anchorBefore.SeqNo+1 {
 		t.Fatalf("retry checkpoint seq %d, want %d", a.SeqNo, anchorBefore.SeqNo+1)
 	}
 }
@@ -251,7 +251,7 @@ func TestTornCheckpointPageFallsBack(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	a, _ := db.Checkpoints().Anchor()
+	a, _ := db.Internals().Checkpoints.Anchor()
 	if err := db.Close(); err != nil {
 		t.Fatal(err)
 	}
@@ -273,7 +273,7 @@ func TestTornCheckpointPageFallsBack(t *testing.T) {
 		t.Fatalf("post-fallback audit: %v", err)
 	}
 	// The committed history is intact.
-	arena := db2.Arena()
+	arena := db2.Internals().Arena
 	for s, want := range res.Expected {
 		got := arena.Slice(res.Addrs[s], len(want))
 		if string(got) != string(want) {

@@ -14,6 +14,7 @@
 package lockmgr
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -64,6 +65,7 @@ type Manager struct {
 	mAcquires *obs.Counter
 	mWaits    *obs.Counter
 	mTimeouts *obs.Counter
+	mCancels  *obs.Counter
 	hWaitNS   *obs.Histogram
 }
 
@@ -75,6 +77,7 @@ func (m *Manager) SetRegistry(reg *obs.Registry) {
 	m.mAcquires = reg.Counter(obs.NameLockAcquires)
 	m.mWaits = reg.Counter(obs.NameLockWaits)
 	m.mTimeouts = reg.Counter(obs.NameLockTimeouts)
+	m.mCancels = reg.Counter(obs.NameLockCancels)
 	m.hWaitNS = reg.Histogram(obs.NameLockWaitNS)
 }
 
@@ -114,6 +117,15 @@ func (s *lockState) compatible(txn wal.TxnID, mode Mode) bool {
 // no-op (a shared re-acquire never downgrades an exclusive hold); holding
 // shared and requesting exclusive performs an upgrade.
 func (m *Manager) Lock(txn wal.TxnID, key wal.ObjectKey, mode Mode) error {
+	return m.LockCtx(context.Background(), txn, key, mode)
+}
+
+// LockCtx is Lock with a context bounding the wait: cancellation or a
+// deadline expiring while the call is queued behind a conflicting holder
+// fails the acquisition with the context's error (the lock is not taken).
+// A context that ends before any wait was necessary does not prevent an
+// immediately compatible grant.
+func (m *Manager) LockCtx(ctx context.Context, txn wal.TxnID, key wal.ObjectKey, mode Mode) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 
@@ -134,6 +146,13 @@ func (m *Manager) Lock(txn wal.TxnID, key wal.ObjectKey, mode Mode) error {
 	var deadline, waitStart time.Time
 	waited := false
 	for !s.compatible(txn, mode) {
+		if err := ctx.Err(); err != nil {
+			m.mCancels.Inc()
+			if waited {
+				m.noteWait(key, time.Since(waitStart), false)
+			}
+			return fmt.Errorf("lockmgr: txn %d, key %d (%s): %w", txn, key, mode, err)
+		}
 		if m.timeout == 0 {
 			m.timeouts++
 			m.mTimeouts.Inc()
@@ -146,14 +165,12 @@ func (m *Manager) Lock(txn wal.TxnID, key wal.ObjectKey, mode Mode) error {
 			m.mWaits.Inc()
 			waitStart = time.Now()
 			deadline = waitStart.Add(m.timeout)
-			// A single watchdog per wait broadcasts on timeout so the
-			// condition loop can observe the deadline.
-			go func(s *lockState, d time.Time) {
-				time.Sleep(time.Until(d) + time.Millisecond)
-				m.mu.Lock()
-				s.cond.Broadcast()
-				m.mu.Unlock()
-			}(s, deadline)
+			// A single watchdog per wait broadcasts when the deadline
+			// passes or the context ends, so the condition loop can
+			// observe either without polling.
+			stop := make(chan struct{})
+			defer close(stop)
+			go m.watchWait(ctx, s, deadline, stop)
 		}
 		if time.Now().After(deadline) {
 			m.timeouts++
@@ -176,6 +193,22 @@ func (m *Manager) Lock(txn wal.TxnID, key wal.ObjectKey, mode Mode) error {
 	m.held[txn][key] = mode
 	m.mAcquires.Inc()
 	return nil
+}
+
+// watchWait wakes the waiters on s when deadline passes or ctx ends;
+// stop (closed when the waiting call returns) bounds its lifetime.
+func (m *Manager) watchWait(ctx context.Context, s *lockState, deadline time.Time, stop <-chan struct{}) {
+	t := time.NewTimer(time.Until(deadline) + time.Millisecond)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+	case <-t.C:
+	case <-stop:
+		return
+	}
+	m.mu.Lock()
+	s.cond.Broadcast()
+	m.mu.Unlock()
 }
 
 // noteWait records a completed lock wait in the wait histogram and, when

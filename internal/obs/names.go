@@ -78,6 +78,7 @@ const (
 	NameLockAcquires = "lockmgr.acquires"
 	NameLockWaits    = "lockmgr.waits"
 	NameLockTimeouts = "lockmgr.timeouts"
+	NameLockCancels  = "lockmgr.cancels" // waits abandoned by context cancellation/deadline
 	NameLockWaitNS   = "lockmgr.wait_ns" // histogram: time spent waiting (incl. timeouts)
 
 	// internal/ckpt — checkpoint image writer.
@@ -86,6 +87,26 @@ const (
 	NameCkptDirtyClean   = "ckpt.dirty_skipped"   // pages skipped as clean by the dirty-page map
 	NameCkptDirSyncs     = "ckpt.dir_syncs"       // directory fsyncs after anchor installs
 	NameCkptFallbacks    = "ckpt.fallback_loads"  // recoveries that fell back to the other ping-pong image
+
+	// internal/shard — router-level transaction routing and 2PC. These
+	// live in the router's own registry; per-shard engine metrics stay in
+	// each shard's core.DB registry.
+	NameShardTxns            = "shard.txns"              // router transactions begun
+	NameShardFastpathCommits = "shard.fastpath_commits"  // single-shard commits (no 2PC)
+	NameShardCrossCommits    = "shard.cross_commits"     // cross-shard 2PC commits
+	NameShardCrossAborts     = "shard.cross_aborts"      // cross-shard transactions aborted (incl. failed prepares)
+	NameShardInDoubtCommits  = "shard.indoubt_commits"   // in-doubt txns resolved commit at open
+	NameShardInDoubtAborts   = "shard.indoubt_aborts"    // in-doubt txns resolved abort at open (presumed abort)
+	NameShard2PCCommitNS     = "shard.twopc_commit_ns"   // histogram: prepare→decision→commit latency
+	NameShardCrossTouched    = "shard.cross_shards"      // histogram: participants per cross-shard commit
+
+	// internal/wire — the TCP front end.
+	NameServerConns         = "server.conns"          // gauge: connections currently admitted
+	NameServerConnsTotal    = "server.conns_total"    // connections accepted over the server's life
+	NameServerConnsRejected = "server.conns_rejected" // connections refused by admission control
+	NameServerRequests      = "server.requests"       // frames served
+	NameServerErrors        = "server.errors"         // requests answered with an error frame
+	NameServerRequestNS     = "server.request_ns"     // histogram: per-request service time
 
 	// internal/iofault — injectable storage-fault layer.
 	NameIOFaultOps      = "iofault.ops"      // I/O points consumed (mutating FS operations)

@@ -25,7 +25,7 @@ func CacheRecover(db *core.DB, ranges []Range) error {
 	if len(ranges) == 0 {
 		return nil
 	}
-	if n := db.ATT().Len(); n != 0 {
+	if n := db.Internals().ATT.Len(); n != 0 {
 		return fmt.Errorf("recovery: cache recovery requires quiescence; %d transactions active", n)
 	}
 	loaded, err := ckpt.Load(db.Config().Dir)
@@ -37,10 +37,10 @@ func CacheRecover(db *core.DB, ranges []Range) error {
 		set.Add(r)
 	}
 	return db.ExclusiveBarrier(func() error {
-		if err := db.Log().Flush(); err != nil {
+		if err := db.Internals().Log.Flush(); err != nil {
 			return err
 		}
-		arena := db.Arena()
+		arena := db.Internals().Arena
 		// Restore the ranges from the checkpoint image.
 		for _, r := range set.Ranges() {
 			if int(r.Start)+r.Len > len(loaded.Image) {

@@ -164,7 +164,7 @@ func runCorruptionCampaign(t *testing.T, seed int64) {
 			if err := db.Audit(); err != nil {
 				t.Fatalf("pre-fault audit: %v", err)
 			}
-			inj := fault.New(db.Arena(), db.Scheme().Protector(), seed)
+			inj := fault.New(db.Internals().Arena, db.Scheme().Protector(), seed)
 			if _, err := inj.WildWrite(tb.RecordAddr(victim)+17, []byte{0xEB, 0xEC}); err != nil {
 				t.Fatal(err)
 			}
@@ -324,7 +324,7 @@ func runCWCampaign(t *testing.T, seed int64) {
 
 	for i := 0; i < numTxn; i++ {
 		if i == faultAt {
-			inj := fault.New(db.Arena(), db.Scheme().Protector(), seed)
+			inj := fault.New(db.Internals().Arena, db.Scheme().Protector(), seed)
 			if _, err := inj.WildWrite(tb.RecordAddr(victim)+17, []byte{0xEB}); err != nil {
 				t.Fatal(err)
 			}

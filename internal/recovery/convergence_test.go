@@ -57,7 +57,7 @@ func TestRecoveryConvergesAfterCrashBeforeCompletionCheckpoint(t *testing.T) {
 	if !reflect.DeepEqual(repA.Deleted, repB2.Deleted) {
 		t.Fatalf("rerun deletions differ: %v vs %v", repA.Deleted, repB2.Deleted)
 	}
-	if !bytes.Equal(dbA.Arena().Bytes(), dbB2.Arena().Bytes()) {
+	if !bytes.Equal(dbA.Internals().Arena.Bytes(), dbB2.Internals().Arena.Bytes()) {
 		t.Fatal("interrupted-then-rerun recovery produced a different image")
 	}
 	if err := dbB2.Audit(); err != nil {

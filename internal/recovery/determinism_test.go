@@ -50,7 +50,7 @@ func TestDeleteRecoveryIsDeterministic(t *testing.T) {
 	if repA.RecordsScanned != repB.RecordsScanned || repA.RedoApplied != repB.RedoApplied {
 		t.Fatalf("scan metrics differ: %+v vs %+v", repA, repB)
 	}
-	if !bytes.Equal(dbA.Arena().Bytes(), dbB.Arena().Bytes()) {
+	if !bytes.Equal(dbA.Internals().Arena.Bytes(), dbB.Internals().Arena.Bytes()) {
 		t.Fatal("recovered images differ byte-for-byte")
 	}
 }

@@ -46,7 +46,7 @@ func Example() {
 	}
 
 	// Wild write corrupts record a; a transaction reads it and writes b.
-	inj := fault.New(db.Arena(), db.Scheme().Protector(), 1)
+	inj := fault.New(db.Internals().Arena, db.Scheme().Protector(), 1)
 	inj.WildWrite(tbl.RecordAddr(a.Slot), []byte{0xBD})
 	carrier, _ := db.Begin()
 	v, _ := tbl.Read(carrier, a)

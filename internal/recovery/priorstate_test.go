@@ -15,7 +15,7 @@ func TestPriorStateDiscardsSuffix(t *testing.T) {
 	db, tb := setupTable(t, cfg, 4)
 
 	updateRec(t, db, tb, 0, []byte("before-mark"))
-	mark := db.Log().End()
+	mark := db.Internals().Log.End()
 	updateRec(t, db, tb, 0, []byte("after-mark!"))
 	updateRec(t, db, tb, 1, []byte("also-after"))
 	db.Crash()
@@ -54,10 +54,10 @@ func TestPriorStateCutsMidTransaction(t *testing.T) {
 		t.Fatal(err)
 	}
 	// The op-commit record is in the log tail; flush so it is stable.
-	if err := db.Log().Flush(); err != nil {
+	if err := db.Internals().Log.Flush(); err != nil {
 		t.Fatal(err)
 	}
-	mark := db.Log().End() // cut point: after op 1, before commit
+	mark := db.Internals().Log.End() // cut point: after op 1, before commit
 	if err := tb.Update(txn, heap.RID{Table: tb.ID, Slot: 1}, 0, []byte("op-two")); err != nil {
 		t.Fatal(err)
 	}
@@ -84,7 +84,7 @@ func TestPriorStateCutsMidTransaction(t *testing.T) {
 func TestPriorStateRejectsTargetBeforeCheckpoint(t *testing.T) {
 	cfg := testConfig(t, protect.Config{})
 	db, tb := setupTable(t, cfg, 2)
-	mark := db.Log().End()
+	mark := db.Internals().Log.End()
 	updateRec(t, db, tb, 0, []byte("xx"))
 	if err := db.Checkpoint(); err != nil { // CK_end now past mark
 		t.Fatal(err)
@@ -101,10 +101,10 @@ func TestBoundaryAtOrBefore(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	db.Log().Append(&wal.Record{Kind: wal.KindTxnBegin, Txn: 1})
+	db.Internals().Log.Append(&wal.Record{Kind: wal.KindTxnBegin, Txn: 1})
 	r2 := &wal.Record{Kind: wal.KindTxnCommit, Txn: 1}
-	db.Log().Append(r2)
-	db.Log().Flush()
+	db.Internals().Log.Append(r2)
+	db.Internals().Log.Flush()
 	db.Close()
 
 	// A target inside the second record cuts before it.

@@ -48,6 +48,16 @@ type DeletedTxn struct {
 	Committed bool
 }
 
+// InDoubtTxn identifies a transaction left prepared by a crash: its
+// prepare record is durable but no commit/abort resolved it locally. It
+// remains attached in the ATT, holding its undo log, until the shard
+// router (or any 2PC coordinator logic) applies the decision through
+// core.Txn.CommitPrepared / AbortPrepared on the adopted handle.
+type InDoubtTxn struct {
+	ID  wal.TxnID
+	GID uint64
+}
+
 // Report summarizes a recovery run.
 type Report struct {
 	// FreshDatabase is true when no checkpoint or log existed.
@@ -81,6 +91,14 @@ type Report struct {
 	// other ping-pong image instead, replaying the log from its older
 	// CK_end.
 	UsedFallbackImage bool
+	// InDoubt lists 2PC-prepared transactions recovery left attached
+	// (neither undone nor released), sorted by ID. The opener must resolve
+	// each against its coordinator's decision.
+	InDoubt []InDoubtTxn
+	// Decisions maps global transaction IDs to the coordinator verdicts
+	// (true = commit) found in this database's log — populated only on a
+	// shard that acted as coordinator.
+	Decisions map[uint64]bool
 }
 
 // Open opens the database in cfg.Dir, running restart recovery if it has
@@ -286,12 +304,13 @@ func openFrom(cfg core.Config, image, meta []byte, entries map[wal.TxnID]*wal.Tx
 		return nil, nil, err
 	}
 	report.FinalCorrupt = scanState.cdt.Ranges()
+	report.Decisions = scanState.decisions
 
 	// Completion checkpoint (§4.3): without it a future recovery would
 	// rediscover the same corruption and delete transactions that started
 	// after this recovery.
 	if opts.SkipCompletionCheckpoint {
-		if err := db.Log().Flush(); err != nil {
+		if err := db.Internals().Log.Flush(); err != nil {
 			db.Close()
 			return nil, nil, err
 		}
@@ -381,6 +400,7 @@ type redoScan struct {
 	maxTxn     wal.TxnID
 	scanned    int
 	applied    int
+	decisions  map[uint64]bool // coordinator verdicts seen in this log
 	err        error
 }
 
@@ -552,6 +572,23 @@ func (s *redoScan) step(r *wal.Record) bool {
 		}
 		delete(s.entries, r.Txn)
 
+	case wal.KindTxnPrepare:
+		if s.inCTT(r.Txn) {
+			// Delete-transaction semantics trump 2PC: a prepared
+			// transaction that read corrupt data is deleted from history
+			// like any other, and presumed abort covers the global side.
+			break
+		}
+		e := s.entry(r.Txn)
+		e.State = wal.TxnPrepared
+		e.GID = r.GID
+
+	case wal.KindTxnDecision:
+		if s.decisions == nil {
+			s.decisions = make(map[uint64]bool)
+		}
+		s.decisions[r.GID] = r.Decision
+
 	case wal.KindAuditBegin, wal.KindAuditEnd:
 		// Handled by the pre-scan.
 	}
@@ -561,18 +598,34 @@ func (s *redoScan) step(r *wal.Record) bool {
 // undoPhase rolls back every remaining transaction: physical undo of
 // operations that never committed first (level 0), then logical undo of
 // committed operations across transactions in descending commit-LSN
-// order (level by level, newest first).
+// order (level by level, newest first). 2PC-prepared transactions are the
+// exception: they are attached to the ATT but neither undone nor
+// finalized — their fate belongs to their coordinator, and the caller
+// resolves them through the report's InDoubt list.
 func undoPhase(db *core.DB, entries map[wal.TxnID]*wal.TxnEntry, ctt map[wal.TxnID]*DeletedTxn, report *Report) error {
 	ids := make([]wal.TxnID, 0, len(entries))
 	for id := range entries {
+		e := entries[id]
+		if e.State == wal.TxnPrepared {
+			// In corruption mode a prepared transaction can still be in the
+			// CTT (it read corrupt data); deletion trumps the prepared
+			// state, so only clean prepared transactions stay in doubt.
+			if _, deleted := ctt[id]; !deleted {
+				db.Internals().ATT.Attach(e)
+				report.InDoubt = append(report.InDoubt, InDoubtTxn{ID: e.ID, GID: e.GID})
+				continue
+			}
+			e.State = wal.TxnActive
+		}
 		ids = append(ids, id)
 	}
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	sort.Slice(report.InDoubt, func(i, j int) bool { return report.InDoubt[i].ID < report.InDoubt[j].ID })
 
 	txns := make(map[wal.TxnID]*core.Txn, len(ids))
 	for _, id := range ids {
 		e := entries[id]
-		db.ATT().Attach(e)
+		db.Internals().ATT.Attach(e)
 		txns[id] = db.AdoptTxn(e)
 	}
 

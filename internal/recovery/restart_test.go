@@ -297,7 +297,7 @@ func corruptionScenario(t *testing.T, pc protect.Config, runAudit bool) (core.Co
 	ids[0] = updateRec(t, db, tb, 0, []byte("clean-one"))
 
 	// Direct physical corruption of record 1 via a wild write.
-	inj := fault.New(db.Arena(), db.Scheme().Protector(), 1)
+	inj := fault.New(db.Internals().Arena, db.Scheme().Protector(), 1)
 	recAddr := tb.RecordAddr(1)
 	if trapped, err := inj.WildWrite(recAddr+3, []byte{0xBA, 0xD1}); err != nil || trapped {
 		t.Fatalf("wild write: trapped=%v err=%v", trapped, err)
@@ -469,7 +469,7 @@ func TestDeleteTxnConflictRule(t *testing.T) {
 		t.Fatal(err)
 	}
 	// ... then corruption appears and T-corrupt reads it.
-	inj := fault.New(db.Arena(), db.Scheme().Protector(), 2)
+	inj := fault.New(db.Internals().Arena, db.Scheme().Protector(), 2)
 	if _, err := inj.WildWrite(tb.RecordAddr(1)+5, []byte{0xEE}); err != nil {
 		t.Fatal(err)
 	}
@@ -524,7 +524,7 @@ func TestCWModeViewConsistencyKeepsIdenticalWriter(t *testing.T) {
 	cfg := testConfig(t, pc)
 	db, tb := setupTable(t, cfg, 5)
 
-	inj := fault.New(db.Arena(), db.Scheme().Protector(), 3)
+	inj := fault.New(db.Internals().Arena, db.Scheme().Protector(), 3)
 	if _, err := inj.WildWrite(tb.RecordAddr(1), []byte{0x99}); err != nil {
 		t.Fatal(err)
 	}
@@ -580,7 +580,7 @@ func TestExtraCorruptRangesForceRecovery(t *testing.T) {
 	cfg := testConfig(t, pc)
 	db, tb := setupTable(t, cfg, 4)
 
-	inj := fault.New(db.Arena(), db.Scheme().Protector(), 4)
+	inj := fault.New(db.Internals().Arena, db.Scheme().Protector(), 4)
 	if _, err := inj.WildWrite(tb.RecordAddr(1), []byte{0xEE}); err != nil {
 		t.Fatal(err)
 	}
@@ -621,8 +621,6 @@ func TestRecoveryAfterDeleteRecoveryIsClean(t *testing.T) {
 	}
 	// New post-recovery work, then crash again.
 	updateRec(t, db, tb, 0, []byte("after-recovery"))
-	newTxnStart := db.Stats().Txns
-	_ = newTxnStart
 	db.Crash()
 
 	db2, tb2, rep2 := reopen(t, cfg, Options{})
@@ -648,7 +646,7 @@ func TestCacheRecoveryRepairsInPlace(t *testing.T) {
 	updateRec(t, db, tb, 1, []byte("post-ckpt"))
 
 	// Wild write inside record 1's region.
-	inj := fault.New(db.Arena(), db.Scheme().Protector(), 5)
+	inj := fault.New(db.Internals().Arena, db.Scheme().Protector(), 5)
 	if _, err := inj.WildWrite(tb.RecordAddr(1)+20, []byte{0xAA, 0xBB}); err != nil {
 		t.Fatal(err)
 	}

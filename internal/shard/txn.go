@@ -1,0 +1,245 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/hashidx"
+)
+
+// ErrNotFound re-exports the index sentinel: errors.Is(err, ErrNotFound)
+// holds for a Get/Delete of a key that is not stored.
+var ErrNotFound = hashidx.ErrNotFound
+
+// ErrTxnDone mirrors core.ErrTxnDone at router level.
+var ErrTxnDone = errors.New("shard: transaction already completed")
+
+// Txn is a router-level transaction. It lazily opens one core.Txn per
+// shard it touches; commit takes the fast path (a plain engine commit,
+// zero 2PC overhead) when only one shard participated, and two-phase
+// commit otherwise. Not safe for concurrent use by multiple goroutines.
+type Txn struct {
+	r     *Router
+	ctx   context.Context
+	parts map[int]*core.Txn
+	// order records shards in first-touch order; order[0] coordinates a
+	// cross-shard commit.
+	order []int
+	done  bool
+}
+
+// Begin starts a router transaction.
+func (r *Router) Begin() *Txn { return r.BeginCtx(context.Background()) }
+
+// BeginCtx starts a router transaction bound to ctx: every per-shard
+// engine transaction it opens inherits the context for lock waits and
+// group-commit waits.
+func (r *Router) BeginCtx(ctx context.Context) *Txn {
+	r.mTxns.Inc()
+	return &Txn{r: r, ctx: ctx, parts: make(map[int]*core.Txn)}
+}
+
+// part returns the engine transaction for shard s, opening it on first
+// touch.
+func (t *Txn) part(s int) (*core.Txn, error) {
+	if p, ok := t.parts[s]; ok {
+		return p, nil
+	}
+	p, err := t.r.units[s].db.BeginCtx(t.ctx)
+	if err != nil {
+		return nil, fmt.Errorf("shard %d: %w", s, err)
+	}
+	t.parts[s] = p
+	t.order = append(t.order, s)
+	return p, nil
+}
+
+// Shards reports how many shards the transaction has touched so far.
+func (t *Txn) Shards() int { return len(t.parts) }
+
+// Get returns the value stored under key, or ErrNotFound.
+func (t *Txn) Get(key uint64) ([]byte, error) {
+	if t.done {
+		return nil, ErrTxnDone
+	}
+	s := t.r.ShardFor(key)
+	u := t.r.units[s]
+	p, err := t.part(s)
+	if err != nil {
+		return nil, err
+	}
+	rid, err := u.idx.Lookup(p, key)
+	if err != nil {
+		return nil, err
+	}
+	rec, err := u.tab.Read(p, rid)
+	if err != nil {
+		return nil, err
+	}
+	return decodeKV(rec), nil
+}
+
+// Put stores val under key (insert or overwrite).
+func (t *Txn) Put(key uint64, val []byte) error {
+	if t.done {
+		return ErrTxnDone
+	}
+	if len(val) > t.r.cfg.ValueSize {
+		return fmt.Errorf("shard: value is %d bytes, max %d", len(val), t.r.cfg.ValueSize)
+	}
+	s := t.r.ShardFor(key)
+	u := t.r.units[s]
+	p, err := t.part(s)
+	if err != nil {
+		return err
+	}
+	rec := encodeKV(8+2+t.r.cfg.ValueSize, key, val)
+	rid, err := u.idx.Lookup(p, key)
+	switch {
+	case err == nil:
+		return u.tab.Update(p, rid, 0, rec)
+	case errors.Is(err, ErrNotFound):
+		rid, err = u.tab.Insert(p, rec)
+		if err != nil {
+			return err
+		}
+		return u.idx.Insert(p, key, rid)
+	default:
+		return err
+	}
+}
+
+// Delete removes key, or returns ErrNotFound.
+func (t *Txn) Delete(key uint64) error {
+	if t.done {
+		return ErrTxnDone
+	}
+	s := t.r.ShardFor(key)
+	u := t.r.units[s]
+	p, err := t.part(s)
+	if err != nil {
+		return err
+	}
+	rid, err := u.idx.Lookup(p, key)
+	if err != nil {
+		return err
+	}
+	if err := u.idx.Delete(p, key); err != nil {
+		return err
+	}
+	return u.tab.Delete(p, rid)
+}
+
+// Commit commits the transaction. With zero or one participating shard
+// this is exactly an engine commit — no prepare, no decision, no extra
+// log records. With several, the first-touched shard coordinates a
+// two-phase commit; on any prepare failure the transaction aborts
+// everywhere and the error is returned.
+func (t *Txn) Commit() error {
+	if t.done {
+		return ErrTxnDone
+	}
+	t.done = true
+	switch len(t.order) {
+	case 0:
+		return nil
+	case 1:
+		p := t.parts[t.order[0]]
+		if err := p.Commit(); err != nil {
+			return fmt.Errorf("shard %d: %w", t.order[0], err)
+		}
+		t.r.mFastpath.Inc()
+		return nil
+	}
+	return t.commit2PC()
+}
+
+// commit2PC runs presumed-abort two-phase commit across the participants.
+func (t *Txn) commit2PC() error {
+	start := time.Now()
+	coord := t.order[0]
+	gid := makeGID(coord, uint64(t.parts[coord].ID()))
+
+	// Phase 1: prepare every participant (coordinator included), in
+	// parallel — each prepare forces its own shard's log through the
+	// prepare record, and the flushes overlap across shards.
+	if err := t.eachPart(func(s int) error { return t.parts[s].Prepare(gid) }); err != nil {
+		t.abortParts()
+		t.r.mCrossAb.Inc()
+		return fmt.Errorf("shard: 2pc prepare: %w", err)
+	}
+
+	// Decision: durable in the coordinator shard's log and mirrored into
+	// its checkpointed metadata until every participant acknowledges.
+	// This is the commit point.
+	if err := t.r.recordDecision(coord, gid, true); err != nil {
+		// The decision may or may not be durable. Do NOT roll anything
+		// back: if the record made it to disk, an abort here would break
+		// atomicity. Leave every participant prepared; restart recovery
+		// resolves them (commit if the decision survived, presumed abort
+		// if not — either way, all participants agree).
+		t.r.mCrossAb.Inc()
+		return fmt.Errorf("shard: 2pc decision for gid %#x: %w", gid, err)
+	}
+
+	// Phase 2: apply the decision on every participant in parallel. A
+	// participant failure here (poisoned log) leaves the decision in the
+	// coordinator's table; that shard's next recovery finishes the commit.
+	err := t.eachPart(func(s int) error { return t.parts[s].CommitPrepared() })
+	if err == nil {
+		t.r.forgetDecision(coord, gid)
+	}
+	t.r.mCross.Inc()
+	t.r.h2PCNS.ObserveDuration(time.Since(start))
+	t.r.hCrossFan.Observe(uint64(len(t.order)))
+	return err
+}
+
+// eachPart runs fn for every participating shard concurrently and joins
+// the errors (labeled with their shard).
+func (t *Txn) eachPart(fn func(s int) error) error {
+	var wg sync.WaitGroup
+	errs := make([]error, len(t.order))
+	for i, s := range t.order {
+		wg.Add(1)
+		go func(i, s int) {
+			defer wg.Done()
+			if err := fn(s); err != nil {
+				errs[i] = fmt.Errorf("shard %d: %w", s, err)
+			}
+		}(i, s)
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
+// abortParts rolls back every participant, prepared or not.
+func (t *Txn) abortParts() {
+	for _, s := range t.order {
+		p := t.parts[s]
+		if p.Prepared() {
+			_ = p.AbortPrepared()
+		} else {
+			_ = p.Abort()
+		}
+	}
+}
+
+// Abort rolls the transaction back on every shard it touched.
+func (t *Txn) Abort() error {
+	if t.done {
+		return ErrTxnDone
+	}
+	t.done = true
+	var errs []error
+	for _, s := range t.order {
+		if err := t.parts[s].Abort(); err != nil {
+			errs = append(errs, fmt.Errorf("shard %d: %w", s, err))
+		}
+	}
+	return errors.Join(errs...)
+}

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/protect"
 )
 
@@ -30,11 +31,11 @@ func TestPagesTouchedPerOperation(t *testing.T) {
 		t.Fatal(err)
 	}
 	const ops = 1000
-	before := db.Stats().ProtectCalls
+	before := db.Metrics().Counter(obs.NameProtectCalls)
 	if err := w.Run(ops); err != nil {
 		t.Fatal(err)
 	}
-	calls := db.Stats().ProtectCalls - before
+	calls := db.Metrics().Counter(obs.NameProtectCalls) - before
 	pagesPerOp := float64(calls) / 2 / float64(ops)
 	// 4 record updates + history insert's record + bitmap page: expect
 	// roughly 5-8 exposures per op (boundary-spanning records add a few).
@@ -60,11 +61,11 @@ func TestReadRecordsPerOperation(t *testing.T) {
 		t.Fatal(err)
 	}
 	const ops = 500
-	before := db.Stats().ReadRecords
+	before := db.Metrics().Counter(obs.NameReadRecords)
 	if err := w.Run(ops); err != nil {
 		t.Fatal(err)
 	}
-	got := db.Stats().ReadRecords - before
+	got := db.Metrics().Counter(obs.NameReadRecords) - before
 	if got != 3*ops {
 		t.Fatalf("read records = %d, want %d (3 per op)", got, 3*ops)
 	}

@@ -60,8 +60,8 @@ func buildScenario(t *testing.T) (dir string, ids map[string]wal.TxnID, corrupt 
 	}
 
 	update("A", 0, 0)
-	seedAt = db.Log().End() // the corruption happens after this point
-	inj := fault.New(db.Arena(), db.Scheme().Protector(), 1)
+	seedAt = db.Internals().Log.End() // the corruption happens after this point
+	inj := fault.New(db.Internals().Arena, db.Scheme().Protector(), 1)
 	addr := tb.RecordAddr(1) + 16
 	if _, err := inj.WildWrite(addr, []byte{0xBB}); err != nil {
 		t.Fatal(err)
@@ -70,7 +70,7 @@ func buildScenario(t *testing.T) (dir string, ids map[string]wal.TxnID, corrupt 
 	update("B", 1, 2)
 	update("C", 2, 3)
 	update("D", 4, 4)
-	db.Log().Flush()
+	db.Internals().Log.Flush()
 	return cfg.Dir, ids, corrupt, seedAt
 }
 

@@ -58,6 +58,12 @@ const (
 	TxnActive TxnState = iota + 1
 	TxnCommitted
 	TxnAborted
+	// TxnPrepared is the 2PC in-doubt state: every operation is committed
+	// at its level and a prepare record is durable, but the transaction's
+	// fate belongs to its coordinator. A prepared transaction holds its
+	// locks and undo log until the decision arrives (possibly across a
+	// crash).
+	TxnPrepared
 )
 
 func (s TxnState) String() string {
@@ -68,6 +74,8 @@ func (s TxnState) String() string {
 		return "committed"
 	case TxnAborted:
 		return "aborted"
+	case TxnPrepared:
+		return "prepared"
 	default:
 		return fmt.Sprintf("state(%d)", uint8(s))
 	}
@@ -79,6 +87,11 @@ func (s TxnState) String() string {
 type TxnEntry struct {
 	ID    TxnID
 	State TxnState
+	// GID is the global transaction ID when this transaction participates
+	// in a cross-shard two-phase commit (zero otherwise). Set when the
+	// transaction prepares; recovery uses it to match in-doubt
+	// participants to coordinator decisions.
+	GID uint64
 
 	// Undo is the local undo log, a stack.
 	Undo []UndoRec
@@ -252,7 +265,7 @@ func (t *ATT) Snapshot() []*TxnEntry {
 	defer t.mu.Unlock()
 	out := make([]*TxnEntry, 0, len(t.m))
 	for _, e := range t.m {
-		c := &TxnEntry{ID: e.ID, State: e.State, Undo: make([]UndoRec, len(e.Undo))}
+		c := &TxnEntry{ID: e.ID, State: e.State, GID: e.GID, Undo: make([]UndoRec, len(e.Undo))}
 		for i := range e.Undo {
 			u := e.Undo[i]
 			u.Before = append([]byte(nil), u.Before...)
@@ -272,6 +285,7 @@ func EncodeEntries(entries []*TxnEntry) []byte {
 	for _, e := range entries {
 		b = appendUvarint(b, uint64(e.ID))
 		b = append(b, byte(e.State))
+		b = appendUvarint(b, e.GID)
 		b = appendUvarint(b, uint64(len(e.Undo)))
 		for i := range e.Undo {
 			u := &e.Undo[i]
@@ -313,7 +327,7 @@ func DecodeEntries(b []byte) ([]*TxnEntry, error) {
 	n := int(d.uvarint())
 	entries := make([]*TxnEntry, 0, n)
 	for i := 0; i < n && d.err == nil; i++ {
-		e := &TxnEntry{ID: TxnID(d.uvarint()), State: TxnState(d.byte())}
+		e := &TxnEntry{ID: TxnID(d.uvarint()), State: TxnState(d.byte()), GID: d.uvarint()}
 		nu := int(d.uvarint())
 		for j := 0; j < nu && d.err == nil; j++ {
 			u := UndoRec{Kind: UndoKind(d.byte())}

@@ -68,18 +68,33 @@ const (
 	KindAuditBegin
 	// KindAuditEnd records the audit outcome (clean or the corrupt ranges).
 	KindAuditEnd
+	// KindTxnPrepare records that a transaction participating in a
+	// cross-shard two-phase commit has entered the prepared state: all its
+	// operations are committed at their level, its redo is in the system
+	// log up to and including this record, and its fate now rests with the
+	// coordinator's decision record (identified by the global transaction
+	// ID carried in GID). Recovery keeps prepared transactions attached —
+	// neither undone nor released — until the decision is known.
+	KindTxnPrepare
+	// KindTxnDecision is the coordinator's commit/abort decision for a
+	// cross-shard transaction, written to the coordinator shard's log. GID
+	// identifies the global transaction; Decision is true for commit.
+	// Under presumed abort, a missing decision record means abort.
+	KindTxnDecision
 )
 
 var kindNames = map[Kind]string{
-	KindPhysRedo:   "phys-redo",
-	KindOpBegin:    "op-begin",
-	KindOpCommit:   "op-commit",
-	KindTxnBegin:   "txn-begin",
-	KindTxnCommit:  "txn-commit",
-	KindTxnAbort:   "txn-abort",
-	KindRead:       "read",
-	KindAuditBegin: "audit-begin",
-	KindAuditEnd:   "audit-end",
+	KindPhysRedo:    "phys-redo",
+	KindOpBegin:     "op-begin",
+	KindOpCommit:    "op-commit",
+	KindTxnBegin:    "txn-begin",
+	KindTxnCommit:   "txn-commit",
+	KindTxnAbort:    "txn-abort",
+	KindRead:        "read",
+	KindAuditBegin:  "audit-begin",
+	KindAuditEnd:    "audit-end",
+	KindTxnPrepare:  "txn-prepare",
+	KindTxnDecision: "txn-decision",
 }
 
 func (k Kind) String() string {
@@ -132,6 +147,10 @@ type Record struct {
 	AuditClean   bool
 	CorruptAddrs []mem.Addr // start of each corrupt region (KindAuditEnd)
 	CorruptLens  []uint32   // length of each corrupt region
+
+	// Two-phase-commit fields (KindTxnPrepare, KindTxnDecision).
+	GID      uint64 // global transaction ID (coordinator shard | coordinator txn)
+	Decision bool   // coordinator verdict: true = commit (KindTxnDecision)
 }
 
 // Encoding layout: every record is framed as
@@ -198,6 +217,15 @@ func (r *Record) encodePayload(b []byte) []byte {
 		b = append(b, r.Undo.Args...)
 	case KindTxnBegin, KindTxnCommit, KindTxnAbort:
 		// Kind and Txn suffice.
+	case KindTxnPrepare:
+		b = appendUvarint(b, r.GID)
+	case KindTxnDecision:
+		b = appendUvarint(b, r.GID)
+		if r.Decision {
+			b = append(b, 1)
+		} else {
+			b = append(b, 0)
+		}
 	case KindAuditBegin:
 		b = appendUvarint(b, r.AuditSN)
 	case KindAuditEnd:
@@ -329,6 +357,11 @@ func decodePayload(payload []byte) (*Record, error) {
 		n := int(d.uvarint())
 		r.Undo.Args = append([]byte(nil), d.bytes(n)...)
 	case KindTxnBegin, KindTxnCommit, KindTxnAbort:
+	case KindTxnPrepare:
+		r.GID = d.uvarint()
+	case KindTxnDecision:
+		r.GID = d.uvarint()
+		r.Decision = d.byte() == 1
 	case KindAuditBegin:
 		r.AuditSN = d.uvarint()
 	case KindAuditEnd:

@@ -26,6 +26,9 @@ func sampleRecords() []*Record {
 		{Kind: KindTxnBegin, Txn: 11},
 		{Kind: KindTxnCommit, Txn: 11},
 		{Kind: KindTxnAbort, Txn: 12},
+		{Kind: KindTxnPrepare, Txn: 13, GID: 0x0001_0000_0000_000d},
+		{Kind: KindTxnDecision, Txn: 13, GID: 0x0001_0000_0000_000d, Decision: true},
+		{Kind: KindTxnDecision, Txn: 14, GID: 0x7fff_ffff_ffff_ffff, Decision: false},
 		{Kind: KindAuditBegin, Txn: 0, AuditSN: 17},
 		{Kind: KindAuditEnd, Txn: 0, AuditSN: 17, AuditClean: true},
 		{Kind: KindAuditEnd, Txn: 0, AuditSN: 18, AuditClean: false,
@@ -164,6 +167,9 @@ func TestEncodeEntriesRoundTrip(t *testing.T) {
 				Logical: LogicalUndo{Op: 3, Key: 88, Args: []byte{9, 9}}},
 		}},
 		{ID: 3, State: TxnActive},
+		{ID: 4, State: TxnPrepared, GID: 0x0002_0000_0000_0004, Undo: []UndoRec{
+			{Kind: UndoPhys, Addr: 256, Before: []byte{7, 7}},
+		}},
 	}
 	got, err := DecodeEntries(EncodeEntries(entries))
 	if err != nil {
@@ -173,7 +179,7 @@ func TestEncodeEntriesRoundTrip(t *testing.T) {
 		t.Fatalf("got %d entries, want %d", len(got), len(entries))
 	}
 	for i := range entries {
-		if got[i].ID != entries[i].ID || got[i].State != entries[i].State {
+		if got[i].ID != entries[i].ID || got[i].State != entries[i].State || got[i].GID != entries[i].GID {
 			t.Fatalf("entry %d header mismatch", i)
 		}
 		if len(got[i].Undo) != len(entries[i].Undo) {

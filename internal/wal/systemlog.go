@@ -1,6 +1,7 @@
 package wal
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"os"
@@ -22,6 +23,13 @@ import (
 // the only safe continuation is to crash and run restart recovery, which
 // trusts only what the stable log actually contains.
 var ErrLogPoisoned = errors.New("wal: log poisoned by write/fsync failure (fail-stop)")
+
+// ErrFlushWaitCanceled reports that a FlushCtx/AppendAndFlushCtx caller's
+// context ended while it was queued behind another goroutine's force. The
+// caller's records (if any) remain in the tail and may still become
+// durable through a later force — the outcome is unresolved, not rolled
+// back. The wrapped chain also matches the context's own error.
+var ErrFlushWaitCanceled = errors.New("wal: group-commit wait abandoned by context")
 
 // LogFileName is the name of the stable system log within a database
 // directory.
@@ -395,26 +403,51 @@ func (l *SystemLog) StableEnd() LSN {
 // appends and other commits proceed meanwhile (group commit); Flush
 // returns once every record appended before the call is durable.
 func (l *SystemLog) Flush() error {
+	return l.FlushCtx(context.Background())
+}
+
+// FlushCtx is Flush with a context bounding the group-commit wait: if the
+// context ends while the call is queued behind another goroutine's force,
+// FlushCtx gives up and returns the context's error. A force this
+// goroutine itself started is always carried to completion — cancellation
+// never abandons a write in flight, it only stops waiting for one.
+func (l *SystemLog) FlushCtx(ctx context.Context) error {
 	l.latch.Lock()
 	defer l.latch.Unlock()
 	if l.poisoned != nil {
 		return l.poisoned
 	}
-	return l.flushToLocked(l.endLocked())
+	return l.flushToLocked(ctx, l.endLocked())
 }
 
 // flushToLocked blocks until stableEnd >= target, becoming the flusher
 // when no other goroutine is forcing. Callers hold the latch; it is
-// dropped across the disk write and reacquired.
-func (l *SystemLog) flushToLocked(target LSN) error {
+// dropped across the disk write and reacquired. The context bounds only
+// the time spent waiting on another goroutine's force.
+func (l *SystemLog) flushToLocked(ctx context.Context, target LSN) error {
+	var stopWatch chan struct{}
 	for l.stableEnd < target {
 		if l.poisoned != nil {
 			// A previous flush failed: the records below target can never
 			// become durable. Fail-stop instead of blocking forever.
 			return l.poisoned
 		}
+		if err := ctx.Err(); err != nil {
+			// Still short of target and the caller's deadline has passed.
+			// Appended records stay in the tail; a later force will carry
+			// them, so the caller's outcome is unresolved, not aborted.
+			return fmt.Errorf("%w: %w", ErrFlushWaitCanceled, err)
+		}
 		if l.flushing {
 			// Another goroutine is forcing; its completion may cover us.
+			// Before sleeping, arm a watcher (once) that wakes the
+			// group-commit sleepers when the context ends, so a canceled
+			// waiter observes it promptly.
+			if ctx.Done() != nil && stopWatch == nil {
+				stopWatch = make(chan struct{})
+				defer close(stopWatch)
+				go l.watchFlushWait(ctx, stopWatch)
+			}
 			l.flushDone.Wait()
 			continue
 		}
@@ -505,13 +538,40 @@ func (l *SystemLog) flushToLocked(target LSN) error {
 // returning (transaction commit). Concurrent committers share forces:
 // whichever becomes the flusher covers everyone appended before it.
 func (l *SystemLog) AppendAndFlush(recs ...*Record) error {
+	return l.AppendAndFlushCtx(context.Background(), recs...)
+}
+
+// AppendAndFlushCtx is AppendAndFlush with a context bounding the
+// group-commit wait. A context that has already ended fails the call
+// before anything is appended (the caller can still abort cleanly). If
+// the context ends while waiting on another goroutine's force, the
+// records remain in the tail — they may still become durable through a
+// later force — and the context's error is returned; the caller must
+// treat the outcome as unresolved, not aborted.
+func (l *SystemLog) AppendAndFlushCtx(ctx context.Context, recs ...*Record) error {
 	l.latch.Lock()
 	defer l.latch.Unlock()
 	if l.poisoned != nil {
 		return l.poisoned
 	}
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("wal: append: %w", err)
+	}
 	l.appendLocked(recs)
-	return l.flushToLocked(l.endLocked())
+	return l.flushToLocked(ctx, l.endLocked())
+}
+
+// watchFlushWait wakes every group-commit sleeper when ctx ends; stop
+// (closed when the waiting call returns) bounds its lifetime.
+func (l *SystemLog) watchFlushWait(ctx context.Context, stop <-chan struct{}) {
+	select {
+	case <-ctx.Done():
+	case <-stop:
+		return
+	}
+	l.latch.Lock()
+	l.flushDone.Broadcast()
+	l.latch.Unlock()
 }
 
 // Flushes reports the number of flush operations performed.
@@ -569,7 +629,7 @@ func (l *SystemLog) Close() error {
 		l.f.Close()
 		return l.poisoned
 	}
-	if err := l.flushToLocked(l.endLocked()); err != nil {
+	if err := l.flushToLocked(context.Background(), l.endLocked()); err != nil {
 		l.f.Close()
 		return err
 	}

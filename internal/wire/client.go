@@ -1,0 +1,163 @@
+package wire
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/shard"
+)
+
+// ErrNotFound aliases the shard sentinel so callers on either side of
+// the wire test the same way: errors.Is(err, ErrNotFound).
+var ErrNotFound = shard.ErrNotFound
+
+// ErrServerBusy reports an admission-control rejection.
+var ErrServerBusy = errors.New("wire: server busy")
+
+// ErrServerDraining reports a request refused because the server is
+// shutting down.
+var ErrServerDraining = errors.New("wire: server draining")
+
+// RemoteError is any other error the server answered with.
+type RemoteError struct {
+	Code byte
+	Msg  string
+}
+
+func (e *RemoteError) Error() string {
+	return fmt.Sprintf("wire: server error (code %#02x): %s", e.Code, e.Msg)
+}
+
+// Client is one protocol connection. It carries at most one transaction
+// at a time and is not safe for concurrent use; open one Client per
+// worker goroutine.
+type Client struct {
+	conn net.Conn
+	br   *bufio.Reader
+	bw   *bufio.Writer
+}
+
+// Dial connects to a wire server.
+func Dial(addr string) (*Client, error) {
+	return DialTimeout(addr, 10*time.Second)
+}
+
+// DialTimeout connects with a connect timeout.
+func DialTimeout(addr string, d time.Duration) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, d)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{
+		conn: conn,
+		br:   bufio.NewReader(conn),
+		bw:   bufio.NewWriter(conn),
+	}, nil
+}
+
+// Close severs the connection. A transaction left open is aborted by the
+// server when it notices the close.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// roundTrip sends one request frame and reads one response frame.
+func (c *Client) roundTrip(typ byte, payload []byte) (byte, []byte, error) {
+	if err := WriteFrame(c.bw, typ, payload); err != nil {
+		return 0, nil, err
+	}
+	if err := c.bw.Flush(); err != nil {
+		return 0, nil, err
+	}
+	return ReadFrame(c.br)
+}
+
+// expectOK runs a request whose success response is a bare OK.
+func (c *Client) expectOK(typ byte, payload []byte) error {
+	rt, rp, err := c.roundTrip(typ, payload)
+	if err != nil {
+		return err
+	}
+	return decodeStatus(rt, rp)
+}
+
+func decodeStatus(typ byte, payload []byte) error {
+	switch typ {
+	case MsgOK:
+		return nil
+	case MsgErr:
+		code, msg := DecodeErr(payload)
+		switch code {
+		case ErrCodeNotFound:
+			// The server's message already spells out the sentinel text;
+			// avoid "key not found: key not found: N" after re-wrapping.
+			return fmt.Errorf("%w: %s", ErrNotFound,
+				strings.TrimPrefix(msg, ErrNotFound.Error()+": "))
+		case ErrCodeBusy:
+			return fmt.Errorf("%w: %s", ErrServerBusy, msg)
+		case ErrCodeShutdown:
+			return fmt.Errorf("%w: %s", ErrServerDraining, msg)
+		default:
+			return &RemoteError{Code: code, Msg: msg}
+		}
+	default:
+		return fmt.Errorf("%w: unexpected response type %#02x", ErrMalformed, typ)
+	}
+}
+
+// Ping round-trips an empty request.
+func (c *Client) Ping() error { return c.expectOK(MsgPing, nil) }
+
+// Begin opens the connection's transaction.
+func (c *Client) Begin() error { return c.expectOK(MsgBegin, nil) }
+
+// Commit commits the connection's transaction.
+func (c *Client) Commit() error { return c.expectOK(MsgCommit, nil) }
+
+// Abort rolls back the connection's transaction.
+func (c *Client) Abort() error { return c.expectOK(MsgAbort, nil) }
+
+// Get reads key within the open transaction.
+func (c *Client) Get(key uint64) ([]byte, error) {
+	rt, rp, err := c.roundTrip(MsgGet, AppendKey(nil, key))
+	if err != nil {
+		return nil, err
+	}
+	if rt == MsgVal {
+		return rp, nil
+	}
+	return nil, decodeStatus(rt, rp)
+}
+
+// Put writes key within the open transaction.
+func (c *Client) Put(key uint64, val []byte) error {
+	payload := AppendKey(make([]byte, 0, 8+len(val)), key)
+	payload = append(payload, val...)
+	return c.expectOK(MsgPut, payload)
+}
+
+// Delete removes key within the open transaction.
+func (c *Client) Delete(key uint64) error {
+	return c.expectOK(MsgDelete, AppendKey(nil, key))
+}
+
+// Metrics fetches the server's full metrics snapshot, keyed "router" and
+// "shard-<i>" exactly as shard.Router.Metrics returns it.
+func (c *Client) Metrics() (map[string]obs.Snapshot, error) {
+	rt, rp, err := c.roundTrip(MsgMetrics, nil)
+	if err != nil {
+		return nil, err
+	}
+	if rt != MsgVal {
+		return nil, decodeStatus(rt, rp)
+	}
+	var out map[string]obs.Snapshot
+	if err := json.Unmarshal(rp, &out); err != nil {
+		return nil, fmt.Errorf("wire: metrics payload: %w", err)
+	}
+	return out, nil
+}

@@ -1,0 +1,144 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"testing"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	cases := []struct {
+		typ     byte
+		payload []byte
+	}{
+		{MsgPing, nil},
+		{MsgBegin, []byte{}},
+		{MsgGet, AppendKey(nil, 0xdeadbeef)},
+		{MsgPut, append(AppendKey(nil, 7), []byte("value")...)},
+		{MsgVal, bytes.Repeat([]byte("x"), 4096)},
+		{MsgErr, EncodeErr(ErrCodeNotFound, "nope")},
+	}
+	for _, c := range cases {
+		var buf bytes.Buffer
+		if err := WriteFrame(&buf, c.typ, c.payload); err != nil {
+			t.Fatalf("WriteFrame(%#02x): %v", c.typ, err)
+		}
+		typ, payload, err := ReadFrame(&buf)
+		if err != nil {
+			t.Fatalf("ReadFrame(%#02x): %v", c.typ, err)
+		}
+		if typ != c.typ || !bytes.Equal(payload, c.payload) {
+			t.Fatalf("round trip %#02x: got type %#02x payload %q", c.typ, typ, payload)
+		}
+	}
+}
+
+func TestReadFrameRejectsOversized(t *testing.T) {
+	var hdr [5]byte
+	binary.LittleEndian.PutUint32(hdr[:4], MaxFrameSize+1)
+	_, _, err := ReadFrame(bytes.NewReader(hdr[:]))
+	if !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("oversized frame: got %v, want ErrFrameTooLarge", err)
+	}
+}
+
+func TestReadFrameRejectsZeroLength(t *testing.T) {
+	var hdr [4]byte
+	_, _, err := ReadFrame(bytes.NewReader(hdr[:]))
+	if !errors.Is(err, ErrMalformed) {
+		t.Fatalf("zero-length frame: got %v, want ErrMalformed", err)
+	}
+}
+
+func TestReadFrameTruncated(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, MsgPut, []byte("12345678payload")); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	for cut := 1; cut < len(b); cut++ {
+		_, _, err := ReadFrame(bytes.NewReader(b[:cut]))
+		if err == nil {
+			t.Fatalf("truncated frame at %d bytes decoded successfully", cut)
+		}
+	}
+}
+
+func TestParseRequestShapes(t *testing.T) {
+	if _, err := ParseRequest(MsgBegin, []byte{1}); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("BEGIN with payload: %v", err)
+	}
+	if _, err := ParseRequest(MsgGet, []byte{1, 2, 3}); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("short GET: %v", err)
+	}
+	if _, err := ParseRequest(MsgPut, []byte{1, 2, 3}); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("short PUT: %v", err)
+	}
+	if _, err := ParseRequest(0xee, nil); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("unknown type: %v", err)
+	}
+	req, err := ParseRequest(MsgPut, append(AppendKey(nil, 42), "abc"...))
+	if err != nil || req.Key != 42 || string(req.Val) != "abc" {
+		t.Fatalf("PUT parse = %+v, %v", req, err)
+	}
+	req, err = ParseRequest(MsgDelete, AppendKey(nil, 9))
+	if err != nil || req.Key != 9 {
+		t.Fatalf("DELETE parse = %+v, %v", req, err)
+	}
+}
+
+// FuzzReadFrame feeds arbitrary bytes to the frame decoder: it must
+// return an error or a frame, never panic, and never allocate beyond
+// MaxFrameSize.
+func FuzzReadFrame(f *testing.F) {
+	var seed bytes.Buffer
+	WriteFrame(&seed, MsgPut, append(AppendKey(nil, 1), "hello"...))
+	f.Add(seed.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0x01})
+	f.Add([]byte{0x01, 0x00, 0x00, 0x00, MsgPing})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := bytes.NewReader(data)
+		for {
+			typ, payload, err := ReadFrame(r)
+			if err != nil {
+				return
+			}
+			// Whatever decoded must re-encode.
+			var buf bytes.Buffer
+			if err := WriteFrame(&buf, typ, payload); err != nil {
+				t.Fatalf("re-encode of decoded frame failed: %v", err)
+			}
+		}
+	})
+}
+
+// FuzzParseRequest feeds arbitrary type/payload pairs through request
+// validation: errors are fine, panics are not.
+func FuzzParseRequest(f *testing.F) {
+	f.Add(byte(MsgGet), AppendKey(nil, 1))
+	f.Add(byte(MsgPut), []byte("short"))
+	f.Add(byte(0xee), []byte{})
+	f.Fuzz(func(t *testing.T, typ byte, payload []byte) {
+		req, err := ParseRequest(typ, payload)
+		if err == nil && typ != req.Type {
+			t.Fatalf("parsed request type %#02x from input type %#02x", req.Type, typ)
+		}
+	})
+}
+
+// FuzzErrPayload round-trips error payloads.
+func FuzzErrPayload(f *testing.F) {
+	f.Add([]byte{ErrCodeNotFound, 'n', 'o'})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		code, msg := DecodeErr(payload)
+		if len(payload) > 0 {
+			re := EncodeErr(code, msg)
+			if !bytes.Equal(re, payload) {
+				t.Fatalf("EncodeErr(DecodeErr(%q)) = %q", payload, re)
+			}
+		}
+	})
+}

@@ -12,9 +12,11 @@ build:
 # Static checks plus a race-detector pass over the subsystems with the
 # most cross-goroutine state (metrics registry, WAL group commit, the
 # concurrent TPC-B driver), and a one-iteration smoke of the codeword
-# kernel benchmarks. dbvet is the repo's own pass suite (latch order,
-# guarded writes, codeword pairing, metric names); see DESIGN.md
-# "Machine-checked invariants".
+# kernel benchmarks. dbvet is the repo's own eight-pass suite (latch
+# order, guarded writes, codeword pairing, metric names, I/O path,
+# error flow, 2PC protocol, context propagation); the passes share one
+# load and run in parallel, so the eight-pass suite costs the same wall
+# time as the original four. See DESIGN.md "Machine-checked invariants".
 vet: bench-smoke torture-smoke server-smoke
 	$(GO) vet ./...
 	$(GO) run ./cmd/dbvet ./...

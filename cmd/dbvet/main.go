@@ -1,30 +1,45 @@
 // Command dbvet is the repository's domain-specific static checker: a
-// multichecker that runs the four analysis passes enforcing the paper's
-// concurrency and codeword-maintenance disciplines over the tree.
+// multichecker that runs the eight analysis passes enforcing the paper's
+// concurrency, codeword-maintenance, durability, and protocol
+// disciplines over the tree.
 //
 //	latchorder    latch acquisition respects protection → codeword → syslog
 //	guardedwrite  arena stores only via the prescribed update interface
 //	cwpair        undo capture paired with a codeword fold on success paths
 //	obsnames      metric names drawn from the closed obs namespace
+//	iopath        durable-path file I/O flows through iofault.FS, not os
+//	errflow       no discarded durable errors; errors.Is for sentinels;
+//	              failed log syncs reach the poison transition
+//	twophase      prepared transactions resolved exactly once, after a
+//	              durable decision
+//	ctxflow       *Ctx APIs thread their context into every blocking wait
 //
-// Usage: dbvet [packages]   (defaults to ./...)
+// Usage: dbvet [-json] [packages]   (defaults to ./...)
 //
-// Exits 1 when any diagnostic is reported, 2 on load failure. Suppress
-// an intentional violation with //dbvet:allow <pass> <reason> on or
-// above the offending line; see DESIGN.md "Machine-checked invariants".
+// With -json the diagnostics are emitted as a JSON array of
+// {file,line,col,pass,message} objects on stdout (an empty array when
+// clean), for CI and editor integration. Exits 1 when any diagnostic is
+// reported, 2 on load failure. Suppress an intentional violation with
+// //dbvet:allow <pass> <reason> on or above the offending line; see
+// DESIGN.md "Machine-checked invariants".
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 
 	"repro/internal/analysis/anz"
+	"repro/internal/analysis/ctxflow"
 	"repro/internal/analysis/cwpair"
+	"repro/internal/analysis/errflow"
 	"repro/internal/analysis/guardedwrite"
+	"repro/internal/analysis/iopath"
 	"repro/internal/analysis/latchorder"
 	"repro/internal/analysis/load"
 	"repro/internal/analysis/obsnames"
+	"repro/internal/analysis/twophase"
 )
 
 var analyzers = []*anz.Analyzer{
@@ -32,11 +47,25 @@ var analyzers = []*anz.Analyzer{
 	guardedwrite.Analyzer,
 	cwpair.Analyzer,
 	obsnames.Analyzer,
+	iopath.Analyzer,
+	errflow.Analyzer,
+	twophase.Analyzer,
+	ctxflow.Analyzer,
+}
+
+// jsonDiag is the -json wire shape of one diagnostic.
+type jsonDiag struct {
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Col     int    `json:"col"`
+	Pass    string `json:"pass"`
+	Message string `json:"message"`
 }
 
 func main() {
+	jsonOut := flag.Bool("json", false, "emit diagnostics as JSON on stdout")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: dbvet [packages]\n\npasses:\n")
+		fmt.Fprintf(os.Stderr, "usage: dbvet [-json] [packages]\n\npasses:\n")
 		for _, a := range analyzers {
 			fmt.Fprintf(os.Stderr, "  %-12s %s\n", a.Name, a.Doc)
 		}
@@ -62,8 +91,27 @@ func main() {
 		fmt.Fprintln(os.Stderr, "dbvet:", err)
 		os.Exit(2)
 	}
-	for _, d := range diags {
-		fmt.Println(d)
+	if *jsonOut {
+		out := make([]jsonDiag, 0, len(diags))
+		for _, d := range diags {
+			out = append(out, jsonDiag{
+				File:    d.Pos.Filename,
+				Line:    d.Pos.Line,
+				Col:     d.Pos.Column,
+				Pass:    d.Pass,
+				Message: d.Message,
+			})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintln(os.Stderr, "dbvet:", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
 	}
 	if len(diags) > 0 {
 		os.Exit(1)

@@ -14,13 +14,17 @@ import (
 func TestBuggySchemeDifferential(t *testing.T) {
 	diags := anztest.Diagnostics(t, ".", "../../internal/analysis/testdata/buggyscheme", analyzers...)
 
-	// Expected line per pass in testdata/buggyscheme/buggy.go; update
-	// alongside the fixture.
+	// Expected line per pass — generation 1 in buggy.go, generation 2 in
+	// buggy2.go; update alongside the fixtures.
 	wantLine := map[string]int{
-		"latchorder":   30, // s.prot.Lock() under the syslog latch
-		"guardedwrite": 37, // direct store through arena.Slice
-		"cwpair":       44, // return nil without a fold
-		"obsnames":     50, // undeclared metric name
+		"latchorder":   30, // buggy.go: s.prot.Lock() under the syslog latch
+		"guardedwrite": 37, // buggy.go: direct store through arena.Slice
+		"cwpair":       44, // buggy.go: return nil without a fold
+		"obsnames":     50, // buggy.go: undeclared metric name
+		"iopath":       15, // buggy2.go: raw os.ReadFile on the durable path
+		"errflow":      24, // buggy2.go: discarded SystemLog.Append error
+		"twophase":     37, // buggy2.go: CommitPrepared before the decision
+		"ctxflow":      42, // buggy2.go: context.Background() inside RunCtx
 	}
 	got := make(map[string][]int)
 	for _, d := range diags {

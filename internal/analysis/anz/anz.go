@@ -29,6 +29,7 @@ import (
 	"go/token"
 	"go/types"
 	"sort"
+	"sync"
 
 	"repro/internal/analysis/load"
 )
@@ -106,6 +107,14 @@ func (p *Pass) Shared() map[string]any { return p.shared }
 // by position. Diagnostics on lines covered by a matching
 // //dbvet:allow directive are suppressed; malformed directives are
 // themselves reported under the pass name "dbvet".
+//
+// Analyzers run concurrently, one goroutine each: facts and shared state
+// are per-analyzer, the loaded program is read-only, and each goroutine
+// appends to its own diagnostic slice — package dependency order is
+// preserved within every analyzer. The parallelism is what keeps the
+// `make vet` wall time flat as the pass count grows (the dominant cost,
+// loading and type-checking the tree, is paid once up front by the
+// caller).
 func Run(prog *load.Program, analyzers []*Analyzer) ([]Diagnostic, error) {
 	targets := make(map[*load.Package]bool, len(prog.Targets))
 	for _, pkg := range prog.Targets {
@@ -114,37 +123,54 @@ func Run(prog *load.Program, analyzers []*Analyzer) ([]Diagnostic, error) {
 
 	allows, diags := collectDirectives(prog)
 
-	for _, a := range analyzers {
-		facts := make(map[types.Object]any)
-		shared := make(map[string]any)
-		for _, pkg := range prog.Packages {
-			if pkg.Standard || pkg.Types == nil {
-				continue
+	perAnalyzer := make([][]Diagnostic, len(analyzers))
+	errs := make([]error, len(analyzers))
+	var wg sync.WaitGroup
+	for i, a := range analyzers {
+		wg.Add(1)
+		go func(i int, a *Analyzer) {
+			defer wg.Done()
+			facts := make(map[types.Object]any)
+			shared := make(map[string]any)
+			for _, pkg := range prog.Packages {
+				if pkg.Standard || pkg.Types == nil {
+					continue
+				}
+				isTarget := targets[pkg]
+				pass := &Pass{
+					Analyzer:  a,
+					Prog:      prog,
+					Pkg:       pkg,
+					Fset:      prog.Fset,
+					Files:     pkg.Syntax,
+					TypesInfo: pkg.TypesInfo,
+					facts:     facts,
+					shared:    shared,
+					report: func(d Diagnostic) {
+						if !isTarget {
+							return
+						}
+						if allows.allowed(a.Name, d.Pos) {
+							return
+						}
+						perAnalyzer[i] = append(perAnalyzer[i], d)
+					},
+				}
+				if err := a.Run(pass); err != nil {
+					errs[i] = fmt.Errorf("%s: %s: %w", a.Name, pkg.ImportPath, err)
+					return
+				}
 			}
-			isTarget := targets[pkg]
-			pass := &Pass{
-				Analyzer:  a,
-				Prog:      prog,
-				Pkg:       pkg,
-				Fset:      prog.Fset,
-				Files:     pkg.Syntax,
-				TypesInfo: pkg.TypesInfo,
-				facts:     facts,
-				shared:    shared,
-				report: func(d Diagnostic) {
-					if !isTarget {
-						return
-					}
-					if allows.allowed(a.Name, d.Pos) {
-						return
-					}
-					diags = append(diags, d)
-				},
-			}
-			if err := a.Run(pass); err != nil {
-				return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.ImportPath, err)
-			}
+		}(i, a)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
 		}
+	}
+	for _, ds := range perAnalyzer {
+		diags = append(diags, ds...)
 	}
 
 	sort.Slice(diags, func(i, j int) bool {

@@ -17,6 +17,10 @@ var knownPasses = map[string]bool{
 	"guardedwrite": true,
 	"cwpair":       true,
 	"obsnames":     true,
+	"iopath":       true,
+	"errflow":      true,
+	"twophase":     true,
+	"ctxflow":      true,
 }
 
 // Latch classes of the documented partial order, in acquisition order:

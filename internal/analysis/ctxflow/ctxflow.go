@@ -1,0 +1,155 @@
+// Package ctxflow enforces context propagation through the engine's
+// cancellation surface. The sharded engine grew a context-aware client
+// API (BeginCtx, FlushCtx, LockCtx, ...) precisely so a server can bound
+// lock waits and group-commit waits per request; every break in the
+// chain silently reverts a path to uncancellable blocking. Three rules:
+//
+//  C1. An exported *Ctx function must thread its context: passing
+//      context.Background()/TODO() onward from inside one discards the
+//      caller's deadline while the signature still promises to honor it.
+//  C2. A raw blocking wait inside an exported *Ctx function — a bare
+//      channel receive, a select with neither default nor ctx.Done case,
+//      a sync.Cond/WaitGroup wait — must sit in a scope that consults
+//      ctx.Done()/ctx.Err() (the cancellable wait-loop idiom lockmgr and
+//      the wal group commit use). Likewise calling a helper that a
+//      facts.BlocksOn summary marks as uncancellable, without passing the
+//      context along.
+//  C3. Packages wire and shard handle requests: context.Background() /
+//      context.TODO() there manufactures a root context mid-request.
+//      The sanctioned roots (the server's base context, the non-Ctx
+//      convenience wrappers) carry //dbvet:allow ctxflow annotations.
+package ctxflow
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis/anz"
+	"repro/internal/analysis/facts"
+)
+
+// Analyzer is the ctxflow pass.
+var Analyzer = &anz.Analyzer{
+	Name: "ctxflow",
+	Doc:  "context-aware APIs must thread ctx into every blocking wait they dominate",
+	Run:  run,
+}
+
+func run(pass *anz.Pass) error {
+	facts.SummarizeBlocking(pass)
+	if pass.Pkg.Types == nil {
+		return nil
+	}
+	// C3: request-handling packages, matched by package name so fixtures
+	// can declare their own `package wire`.
+	if name := pass.Pkg.Types.Name(); name == "wire" || name == "shard" {
+		for _, file := range pass.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				if call, ok := n.(*ast.CallExpr); ok && isFreshContext(pass, call) {
+					pass.Reportf(call.Pos(), "%s in request-handling package %s: derive the context from the request instead of a fresh root", calleeQualified(call), name)
+				}
+				return true
+			})
+		}
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if !isCtxAPI(pass, fd) {
+				continue
+			}
+			checkCtxAPI(pass, fd)
+		}
+	}
+	return nil
+}
+
+// isCtxAPI reports whether fd is an exported function or method whose
+// name ends in Ctx and which takes a context parameter — the engine's
+// naming contract for cancellation-aware entry points.
+func isCtxAPI(pass *anz.Pass, fd *ast.FuncDecl) bool {
+	name := fd.Name.Name
+	if !fd.Name.IsExported() || len(name) <= 3 || name[len(name)-3:] != "Ctx" {
+		return false
+	}
+	for _, field := range fd.Type.Params.List {
+		if tv, ok := pass.TypesInfo.Types[field.Type]; ok && isContextType(tv.Type) {
+			return true
+		}
+	}
+	return false
+}
+
+func checkCtxAPI(pass *anz.Pass, fd *ast.FuncDecl) {
+	// C2: raw waits outside any ctx-consulting scope.
+	facts.WalkWaits(pass.TypesInfo, fd.Body, func(pos token.Pos, op string) {
+		pass.Reportf(pos, "%s blocks on %s without observing its context", fd.Name.Name, op)
+	})
+	// C1 + C2': call-shape checks, skipping function literals (a spawned
+	// goroutine's waits do not block this API's caller).
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if _, isLit := n.(*ast.FuncLit); isLit {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		for _, arg := range call.Args {
+			if ac, ok := ast.Unparen(arg).(*ast.CallExpr); ok && isFreshContext(pass, ac) {
+				pass.Reportf(ac.Pos(), "%s passes %s to %s instead of threading its ctx", fd.Name.Name, calleeQualified(ac), calleeShort(call))
+			}
+		}
+		if callee := facts.Callee(pass.TypesInfo, call); callee != nil {
+			if f, ok := pass.Fact(callee); ok {
+				if b, ok := f.(facts.BlocksOn); ok && !facts.PassesContext(pass.TypesInfo, call) {
+					pass.Reportf(call.Pos(), "%s calls %s, which blocks on %s, without passing its ctx", fd.Name.Name, callee.Name(), b.Op)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// isFreshContext recognizes context.Background() and context.TODO().
+func isFreshContext(pass *anz.Pass, call *ast.CallExpr) bool {
+	fn := facts.CalleeFunc(pass.TypesInfo, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "context" {
+		return false
+	}
+	return fn.Name() == "Background" || fn.Name() == "TODO"
+}
+
+// calleeQualified renders "context.Background()" for diagnostics.
+func calleeQualified(call *ast.CallExpr) string {
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if x, ok := ast.Unparen(sel.X).(*ast.Ident); ok {
+			return x.Name + "." + sel.Sel.Name + "()"
+		}
+	}
+	return calleeShort(call) + "()"
+}
+
+// calleeShort is the bare called name.
+func calleeShort(call *ast.CallExpr) string {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		return fun.Sel.Name
+	}
+	return "the callee"
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	return named.Obj().Pkg().Path() == "context" && named.Obj().Name() == "Context"
+}

@@ -1,0 +1,16 @@
+package ctxflow_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/anztest"
+	"repro/internal/analysis/ctxflow"
+)
+
+func TestFixture(t *testing.T) {
+	anztest.Run(t, ".", "../testdata/ctxflow", ctxflow.Analyzer)
+}
+
+func TestWireFixture(t *testing.T) {
+	anztest.Run(t, ".", "../testdata/ctxflowwire", ctxflow.Analyzer)
+}

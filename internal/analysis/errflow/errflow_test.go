@@ -1,0 +1,12 @@
+package errflow_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/anztest"
+	"repro/internal/analysis/errflow"
+)
+
+func TestFixture(t *testing.T) {
+	anztest.Run(t, ".", "../testdata/errflow", errflow.Analyzer)
+}

@@ -1,0 +1,408 @@
+// Package facts holds the cross-package function summaries shared by
+// dbvet's interprocedural passes, plus the call-resolution helpers the
+// passes use to compute them. A summary ("this function performs raw os
+// file I/O", "this function may block uncancellably") is exported as an
+// anz object fact while the defining package is analyzed and consumed
+// when its importers are — the anz runner's dependency-order guarantee is
+// what makes one bottom-up sweep sufficient.
+//
+// The summaries are deliberately syntactic over-approximations computed
+// to a per-package fixpoint: a function carries PerformsIO if any
+// statically resolvable call in it reaches an os sink, and BlocksOn if it
+// contains a wait no caller-supplied context can cancel. Precision comes
+// from the consuming passes' scoping (iopath only reports on durable
+// packages; ctxflow only inside context-aware APIs), not from the
+// summaries themselves.
+package facts
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis/anz"
+)
+
+// PerformsIO marks a function that — directly or through calls — performs
+// raw package-os file I/O instead of going through iofault.FS. Call is
+// the underlying sink, e.g. "os.ReadFile", for diagnostics.
+type PerformsIO struct{ Call string }
+
+// BlocksOn marks a function that may block the calling goroutine on a
+// wait that no caller-supplied context can cancel (a bare channel
+// receive, a select with neither default nor ctx.Done case, a
+// sync.Cond/sync.WaitGroup wait). Op names the wait for diagnostics.
+type BlocksOn struct{ Op string }
+
+// Callee resolves the statically known object a call invokes, or nil.
+func Callee(info *types.Info, call *ast.CallExpr) types.Object {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return info.Uses[fun]
+	case *ast.SelectorExpr:
+		return info.Uses[fun.Sel]
+	}
+	return nil
+}
+
+// CalleeFunc resolves the called function or method, or nil.
+func CalleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	fn, _ := Callee(info, call).(*types.Func)
+	return fn
+}
+
+// RecvNamed returns the named type of fn's receiver (through one pointer
+// indirection), or nil for plain functions.
+func RecvNamed(fn *types.Func) *types.Named {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, _ := t.(*types.Named)
+	return named
+}
+
+// IsNamed reports whether named is the type pkgSuffix.typeName, matching
+// the package by import-path suffix (so "internal/iofault".File matches
+// regardless of module prefix).
+func IsNamed(named *types.Named, pkgSuffix, typeName string) bool {
+	if named == nil || named.Obj().Pkg() == nil {
+		return false
+	}
+	return named.Obj().Name() == typeName &&
+		strings.HasSuffix(named.Obj().Pkg().Path(), pkgSuffix)
+}
+
+// osFuncSinks are the package-level os functions that touch the
+// filesystem's files and entries. os.Stat and os.MkdirAll are absent on
+// purpose: existence probes and directory creation are not data-path I/O
+// the fault layer needs to interpose on.
+var osFuncSinks = map[string]bool{
+	"Open":      true,
+	"Create":    true,
+	"OpenFile":  true,
+	"ReadFile":  true,
+	"WriteFile": true,
+	"Rename":    true,
+	"Remove":    true,
+	"Truncate":  true,
+}
+
+// osFileSinks are the *os.File methods that move bytes or durability.
+var osFileSinks = map[string]bool{
+	"Write":       true,
+	"WriteAt":     true,
+	"WriteString": true,
+	"Read":        true,
+	"ReadAt":      true,
+	"Sync":        true,
+	"Truncate":    true,
+	"Seek":        true,
+	"Close":       true,
+}
+
+// OSSink classifies call as raw os file I/O: a sink function of package
+// os, or a sink method on *os.File. It returns a printable name for the
+// sink ("os.ReadFile", "(*os.File).Sync") and whether it matched.
+func OSSink(info *types.Info, call *ast.CallExpr) (string, bool) {
+	fn := CalleeFunc(info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return "", false
+	}
+	if recv := RecvNamed(fn); recv != nil {
+		if recv.Obj().Pkg() != nil && recv.Obj().Pkg().Path() == "os" &&
+			recv.Obj().Name() == "File" && osFileSinks[fn.Name()] {
+			return "(*os.File)." + fn.Name(), true
+		}
+		return "", false
+	}
+	if fn.Pkg().Path() == "os" && osFuncSinks[fn.Name()] {
+		return "os." + fn.Name(), true
+	}
+	return "", false
+}
+
+// SummarizeIO exports a PerformsIO fact for every function of the pass's
+// package that performs raw os file I/O directly or calls (statically) a
+// function already carrying the fact, iterated to a fixpoint so the order
+// of declarations within the package does not matter. Package iofault is
+// the sanctioned raw-I/O boundary and is skipped wholesale: calls INTO it
+// never propagate the fact.
+func SummarizeIO(pass *anz.Pass) {
+	if strings.HasSuffix(pass.Pkg.ImportPath, "internal/iofault") {
+		return
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, file := range pass.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				obj := pass.TypesInfo.Defs[fd.Name]
+				if obj == nil {
+					continue
+				}
+				if _, done := pass.Fact(obj); done {
+					continue
+				}
+				via := ""
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok || via != "" {
+						return via == ""
+					}
+					if sink, ok := OSSink(pass.TypesInfo, call); ok {
+						via = sink
+					} else if callee := Callee(pass.TypesInfo, call); callee != nil {
+						if f, ok := pass.Fact(callee); ok {
+							if io, ok := f.(PerformsIO); ok {
+								via = io.Call
+							}
+						}
+					}
+					return via == ""
+				})
+				if via != "" {
+					pass.ExportFact(obj, PerformsIO{Call: via})
+					changed = true
+				}
+			}
+		}
+	}
+}
+
+// SummarizeBlocking exports a BlocksOn fact for every function of the
+// pass's package that may block its caller uncancellably: it contains a
+// raw wait outside any scope that consults a context (see RawWait), or it
+// calls a fact-carrying function without passing a context along.
+// Function literals are skipped — a wait inside a spawned goroutine does
+// not block the function's own caller.
+func SummarizeBlocking(pass *anz.Pass) {
+	for changed := true; changed; {
+		changed = false
+		for _, file := range pass.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				obj := pass.TypesInfo.Defs[fd.Name]
+				if obj == nil {
+					continue
+				}
+				if _, done := pass.Fact(obj); done {
+					continue
+				}
+				op := ""
+				WalkWaits(pass.TypesInfo, fd.Body, func(pos token.Pos, w string) {
+					if op == "" {
+						op = w
+					}
+				})
+				if op == "" {
+					ast.Inspect(fd.Body, func(n ast.Node) bool {
+						if _, isLit := n.(*ast.FuncLit); isLit {
+							return false
+						}
+						call, ok := n.(*ast.CallExpr)
+						if !ok || op != "" {
+							return op == ""
+						}
+						callee := Callee(pass.TypesInfo, call)
+						if callee == nil {
+							return true
+						}
+						if f, ok := pass.Fact(callee); ok {
+							if b, ok := f.(BlocksOn); ok && !PassesContext(pass.TypesInfo, call) {
+								op = b.Op
+							}
+						}
+						return op == ""
+					})
+				}
+				if op != "" {
+					pass.ExportFact(obj, BlocksOn{Op: op})
+					changed = true
+				}
+			}
+		}
+	}
+}
+
+// WalkWaits invokes report for every raw, uncancellable wait in body:
+// a channel receive that is not ctx.Done(), a select statement with
+// neither a default clause nor a ctx.Done() case, and Cond.Wait /
+// WaitGroup.Wait calls — except where the nearest enclosing for loop (or
+// the whole body, for straight-line waits) consults ctx.Done or ctx.Err,
+// the cancellable-wait-loop idiom (check the context, then sleep, woken
+// by a broadcast). Function literals are not descended into.
+func WalkWaits(info *types.Info, body *ast.BlockStmt, report func(pos token.Pos, op string)) {
+	var walk func(n ast.Node, exempt bool)
+	walk = func(n ast.Node, exempt bool) {
+		ast.Inspect(n, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncLit:
+				return false
+			case *ast.ForStmt:
+				walk(n.Body, exempt || ConsultsContext(info, n))
+				if n.Init != nil {
+					walk(n.Init, exempt)
+				}
+				if n.Cond != nil {
+					walk(n.Cond, exempt)
+				}
+				return false
+			case *ast.UnaryExpr:
+				if n.Op == token.ARROW && !exempt && !isDoneChan(info, n.X) {
+					report(n.Pos(), "channel receive")
+				}
+			case *ast.SelectStmt:
+				if !exempt && !selectCancellable(info, n) {
+					report(n.Pos(), "select without default or ctx.Done case")
+				}
+				// The clause bodies run after the wait resolves; keep
+				// scanning them, but the comm waits themselves are covered
+				// by the select verdict.
+				for _, cl := range n.Body.List {
+					if cc, ok := cl.(*ast.CommClause); ok {
+						for _, s := range cc.Body {
+							walk(s, exempt)
+						}
+					}
+				}
+				return false
+			case *ast.CallExpr:
+				if op, ok := syncWait(info, n); ok && !exempt {
+					report(n.Pos(), op)
+				}
+			}
+			return true
+		})
+	}
+	walk(body, ConsultsContext(info, body) && isStraightLine(body))
+}
+
+// isStraightLine reports whether body contains no for loop — in which
+// case a single ctx check anywhere covers its waits (they run at most
+// once after the check).
+func isStraightLine(body *ast.BlockStmt) bool {
+	straight := true
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ForStmt, *ast.RangeStmt:
+			straight = false
+		}
+		return straight
+	})
+	return straight
+}
+
+// ConsultsContext reports whether n contains a ctx.Done() or ctx.Err()
+// call on a context.Context value (function literals excluded).
+func ConsultsContext(info *types.Info, n ast.Node) bool {
+	found := false
+	ast.Inspect(n, func(n ast.Node) bool {
+		if _, isLit := n.(*ast.FuncLit); isLit {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok &&
+				(sel.Sel.Name == "Done" || sel.Sel.Name == "Err") &&
+				isContextValue(info, sel.X) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// PassesContext reports whether any argument of call has type
+// context.Context — the callee's wait is then cancellable by the caller.
+func PassesContext(info *types.Info, call *ast.CallExpr) bool {
+	for _, arg := range call.Args {
+		if tv, ok := info.Types[arg]; ok && isContextType(tv.Type) {
+			return true
+		}
+	}
+	return false
+}
+
+// isDoneChan recognizes x as a ctx.Done() call: receiving from it IS the
+// cancellation, not an uncancellable wait.
+func isDoneChan(info *types.Info, x ast.Expr) bool {
+	call, ok := ast.Unparen(x).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	return ok && sel.Sel.Name == "Done" && isContextValue(info, sel.X)
+}
+
+// selectCancellable reports whether sel has a default clause or a case
+// receiving from a ctx.Done() channel.
+func selectCancellable(info *types.Info, sel *ast.SelectStmt) bool {
+	for _, cl := range sel.Body.List {
+		cc, ok := cl.(*ast.CommClause)
+		if !ok {
+			continue
+		}
+		if cc.Comm == nil {
+			return true // default
+		}
+		recv := cc.Comm
+		if a, ok := recv.(*ast.AssignStmt); ok && len(a.Rhs) == 1 {
+			recv = &ast.ExprStmt{X: a.Rhs[0]}
+		}
+		if es, ok := recv.(*ast.ExprStmt); ok {
+			if u, ok := ast.Unparen(es.X).(*ast.UnaryExpr); ok &&
+				u.Op == token.ARROW && isDoneChan(info, u.X) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// syncWait recognizes sync.Cond.Wait and sync.WaitGroup.Wait calls.
+func syncWait(info *types.Info, call *ast.CallExpr) (string, bool) {
+	fn := CalleeFunc(info, call)
+	if fn == nil || fn.Name() != "Wait" {
+		return "", false
+	}
+	recv := RecvNamed(fn)
+	if recv == nil || recv.Obj().Pkg() == nil || recv.Obj().Pkg().Path() != "sync" {
+		return "", false
+	}
+	switch recv.Obj().Name() {
+	case "Cond":
+		return "sync.Cond.Wait", true
+	case "WaitGroup":
+		return "sync.WaitGroup.Wait", true
+	}
+	return "", false
+}
+
+// isContextValue reports whether expression x has type context.Context.
+func isContextValue(info *types.Info, x ast.Expr) bool {
+	tv, ok := info.Types[ast.Unparen(x)]
+	return ok && isContextType(tv.Type)
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	return named.Obj().Pkg().Path() == "context" && named.Obj().Name() == "Context"
+}

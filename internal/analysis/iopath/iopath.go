@@ -1,0 +1,101 @@
+// Package iopath enforces the repo's injectable-storage discipline: on
+// the durable paths — the packages that write or read the stable state
+// the paper's recovery guarantees depend on — every byte of file I/O must
+// flow through iofault.FS / iofault.File, never through package os
+// directly. The point is not style: the crash-point torture suite and the
+// read-fault recovery tests interpose on iofault, so a raw os call is a
+// write the tortures cannot cut short and a read the fault tests cannot
+// corrupt — exactly the blind spot that let pre-fix recovery read its
+// checkpoint anchor behind the fault layer's back.
+//
+// Two call shapes are diagnosed inside durable packages: a direct call to
+// an os file function or *os.File method (os.Stat and os.MkdirAll are
+// exempt — probes and directory creation are not data-path I/O), and a
+// call to any function that transitively performs such I/O (a
+// facts.PerformsIO summary computed bottom-up over the whole program, so
+// a helper package cannot launder an os.WriteFile onto the durable path).
+// Package iofault itself is the sanctioned boundary: calls into it carry
+// no taint, and its own raw os calls are its reason to exist.
+package iopath
+
+import (
+	"go/ast"
+	"strings"
+
+	"repro/internal/analysis/anz"
+	"repro/internal/analysis/facts"
+)
+
+// Analyzer is the iopath pass.
+var Analyzer = &anz.Analyzer{
+	Name: "iopath",
+	Doc:  "durable-path packages must do file I/O through iofault.FS, not package os",
+	Run:  run,
+}
+
+// durablePkgs are the packages held to the discipline: everything that
+// reads or writes checkpoint images, the system log, archive copies, or
+// orchestrates them.
+var durablePkgs = []string{
+	"internal/wal",
+	"internal/ckpt",
+	"internal/archive",
+	"internal/recovery",
+	"internal/shard",
+	"internal/core",
+}
+
+// inScope reports whether a package is held to the durable-path
+// discipline. Test fixtures under testdata are in scope so the golden
+// tests can pin diagnostics.
+func inScope(importPath string) bool {
+	for _, p := range durablePkgs {
+		if strings.HasSuffix(importPath, p) {
+			return true
+		}
+	}
+	return strings.Contains(importPath, "/testdata/")
+}
+
+func run(pass *anz.Pass) error {
+	// Summaries are computed for every package (the runner visits
+	// dependencies first), reports only inside the durable scope.
+	facts.SummarizeIO(pass)
+	if !inScope(pass.Pkg.ImportPath) {
+		return nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if sink, ok := facts.OSSink(pass.TypesInfo, call); ok {
+				pass.Reportf(call.Pos(), "raw %s on the durable path; route file I/O through iofault.FS", sink)
+				return true
+			}
+			callee := facts.Callee(pass.TypesInfo, call)
+			if callee == nil || callee.Pkg() == nil {
+				return true
+			}
+			// A callee that is itself held to the discipline is reported
+			// where its own sink is; re-reporting every call up the chain
+			// would bury the root cause.
+			if callee.Pkg().Path() == pass.Pkg.ImportPath {
+				return true
+			}
+			for _, p := range durablePkgs {
+				if strings.HasSuffix(callee.Pkg().Path(), p) {
+					return true
+				}
+			}
+			if f, ok := pass.Fact(callee); ok {
+				if io, ok := f.(facts.PerformsIO); ok {
+					pass.Reportf(call.Pos(), "%s performs raw file I/O (%s) on the durable path; route it through iofault.FS", callee.Name(), io.Call)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

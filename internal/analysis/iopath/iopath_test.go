@@ -1,0 +1,12 @@
+package iopath_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/anztest"
+	"repro/internal/analysis/iopath"
+)
+
+func TestFixture(t *testing.T) {
+	anztest.Run(t, ".", "../testdata/iopath", iopath.Analyzer)
+}

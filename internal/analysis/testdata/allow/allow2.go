@@ -1,0 +1,41 @@
+// allow2.go extends the escape-hatch fixture to the second-generation
+// passes: one suppressed violation each for iopath, errflow, twophase
+// and ctxflow. SystemLog and Txn are testdata stand-ins recognized by
+// name.
+package allowfix
+
+import (
+	"context"
+	"os"
+)
+
+// iopath suppressed on the raw read.
+func rawRead(path string) ([]byte, error) {
+	return os.ReadFile(path) //dbvet:allow iopath fixture exercises the escape hatch
+}
+
+type SystemLog struct{}
+
+func (l *SystemLog) Append(recs ...int) error { return nil }
+
+// errflow suppressed on the discarded append.
+func dropped(l *SystemLog) {
+	l.Append(1) //dbvet:allow errflow fixture exercises the escape hatch
+}
+
+type Txn struct{}
+
+func (t *Txn) Prepare(gid uint64) error { return nil }
+
+// twophase suppressed on the leaking success return.
+func leak(t *Txn, gid uint64) error {
+	if err := t.Prepare(gid); err != nil {
+		return err
+	}
+	return nil //dbvet:allow twophase fixture exercises the escape hatch
+}
+
+// ctxflow suppressed on the severed context.
+func RunCtx(ctx context.Context, next func(context.Context) error) error {
+	return next(context.Background()) //dbvet:allow ctxflow fixture exercises the escape hatch
+}

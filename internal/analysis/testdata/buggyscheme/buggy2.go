@@ -1,0 +1,43 @@
+// buggy2.go carries the second generation of differential violations —
+// one per durability/protocol pass, each firing exactly once. Kept in a
+// separate file so the first generation's pinned line numbers in
+// buggy.go never shift. SystemLog and Txn are testdata stand-ins the
+// errflow and twophase passes recognize by name.
+package buggyscheme
+
+import (
+	"context"
+	"os"
+)
+
+// Violation 5 (iopath): a raw os read on the durable path.
+func readRaw(dir string) ([]byte, error) {
+	return os.ReadFile(dir + "/anchor")
+}
+
+type SystemLog struct{}
+
+func (l *SystemLog) Append(recs ...int) error { return nil }
+
+// Violation 6 (errflow): the append error is discarded.
+func drop(l *SystemLog) {
+	l.Append(1)
+}
+
+type Txn struct{}
+
+func (t *Txn) Prepare(gid uint64) error { return nil }
+func (t *Txn) CommitPrepared() error    { return nil }
+
+// Violation 7 (twophase): phase 2 with no durable decision record.
+func commit(t *Txn, gid uint64) error {
+	if err := t.Prepare(gid); err != nil {
+		return err
+	}
+	return t.CommitPrepared()
+}
+
+// Violation 8 (ctxflow): a context-aware API severs its own context.
+func RunCtx(ctx context.Context, next func(context.Context) error) error {
+	return next(context.Background())
+}

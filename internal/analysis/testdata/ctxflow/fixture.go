@@ -1,0 +1,94 @@
+// Package ctxflowfix is the golden fixture for the ctxflow pass: an
+// exported *Ctx function promises cancellation, so every blocking wait
+// it dominates must observe its context.
+package ctxflowfix
+
+import (
+	"context"
+	"sync"
+)
+
+// Shape 1 (C1): the context parameter is dropped on the floor.
+func RelayCtx(ctx context.Context, next func(context.Context) error) error {
+	return next(context.Background()) // want "passes context.Background() to next instead of threading its ctx"
+}
+
+// Shape 2 (C2): a bare channel receive cannot be canceled.
+func TakeCtx(ctx context.Context, ch chan int) int {
+	return <-ch // want "TakeCtx blocks on channel receive without observing its context"
+}
+
+// Shape 3 (C2): a select with neither default nor ctx.Done case.
+func RaceCtx(ctx context.Context, a, b chan int) int {
+	select { // want "RaceCtx blocks on select without default or ctx.Done case"
+	case v := <-a:
+		return v
+	case v := <-b:
+		return v
+	}
+}
+
+// Shape 4 (C2): an uncancellable wait loop — no ctx consultation in the
+// enclosing loop.
+func DrainCtx(ctx context.Context, c *sync.Cond, empty func() bool) {
+	for !empty() {
+		c.Wait() // want "DrainCtx blocks on sync.Cond.Wait without observing its context"
+	}
+}
+
+// join blocks on the group and exports a BlocksOn summary …
+func join(wg *sync.WaitGroup) { wg.Wait() }
+
+// Shape 5 (C2'): … so calling it without passing the context is flagged.
+func FlushCtx(ctx context.Context, wg *sync.WaitGroup) {
+	join(wg) // want "FlushCtx calls join, which blocks on sync.WaitGroup.Wait, without passing its ctx"
+}
+
+// ---- clean code ----
+
+// The cancellable wait-loop idiom: consult the context each turn before
+// sleeping (the waker broadcasts on cancellation).
+func PollCtx(ctx context.Context, c *sync.Cond, ready func() bool) error {
+	for !ready() {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		c.Wait()
+	}
+	return nil
+}
+
+// A select with a ctx.Done case is the cancellation.
+func RecvCtx(ctx context.Context, ch chan int) (int, error) {
+	select {
+	case v := <-ch:
+		return v, nil
+	case <-ctx.Done():
+		return 0, ctx.Err()
+	}
+}
+
+// Threading the context through a context-accepting helper is clean even
+// though the helper blocks.
+func waitOn(ctx context.Context, ch chan int) (int, error) {
+	select {
+	case v := <-ch:
+		return v, nil
+	case <-ctx.Done():
+		return 0, ctx.Err()
+	}
+}
+
+func ForwardCtx(ctx context.Context, ch chan int) (int, error) {
+	return waitOn(ctx, ch)
+}
+
+// A wait inside a spawned goroutine does not block this API's caller.
+func SpawnCtx(ctx context.Context, wg *sync.WaitGroup) {
+	go func() {
+		wg.Wait()
+	}()
+}
+
+// Unexported and non-Ctx functions are outside the naming contract.
+func take(ch chan int) int { return <-ch }

@@ -1,0 +1,23 @@
+// Package wire (a testdata stand-in matched by package name) pins the
+// ctxflow request-path rule: manufacturing a root context inside a
+// request-handling package severs the request's deadline.
+package wire
+
+import "context"
+
+type request struct{ ctx context.Context }
+
+// Shape 1: a fresh root mid-request.
+func handle(r *request) context.Context {
+	return context.Background() // want "context.Background() in request-handling package wire"
+}
+
+// Shape 2: TODO is the same severance.
+func todo(r *request) context.Context {
+	return context.TODO() // want "context.TODO() in request-handling package wire"
+}
+
+// Deriving from the request context is the sanctioned shape.
+func deadline(r *request) (context.Context, context.CancelFunc) {
+	return context.WithCancel(r.ctx)
+}

@@ -1,0 +1,57 @@
+// Package iopathfix is the golden fixture for the iopath pass: on the
+// durable paths every byte of file I/O must flow through iofault.FS —
+// raw package-os calls are invisible to the crash tortures and the
+// read-fault tests. (Fixture packages under testdata are treated as
+// durable-path scope so these diagnostics can be pinned.)
+package iopathfix
+
+import (
+	"os"
+
+	"repro/internal/analysis/testdata/iopath/helper"
+	"repro/internal/iofault"
+)
+
+// Shape 1: a direct os read on the durable path.
+func loadAnchor(dir string) ([]byte, error) {
+	return os.ReadFile(dir + "/anchor") // want "raw os.ReadFile on the durable path"
+}
+
+// Shape 2: opening and forcing a file behind the fault layer's back —
+// both the open and every *os.File method are sinks.
+func writeImage(path string, data []byte) error {
+	f, err := os.Create(path) // want "raw os.Create on the durable path"
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil { // want "raw (*os.File).Write on the durable path"
+		return err
+	}
+	return f.Sync() // want "raw (*os.File).Sync on the durable path"
+}
+
+// Shape 3: laundering the I/O through a helper package does not help —
+// the PerformsIO summary carries the taint to the call site.
+func loadViaHelper(dir string) ([]byte, error) {
+	return helper.Slurp(dir + "/anchor") // want "Slurp performs raw file I/O (os.ReadFile)"
+}
+
+// ---- clean code ----
+
+// Routing through iofault.FS is the sanctioned path.
+func loadRouted(fsys iofault.FS, dir string) ([]byte, error) {
+	return fsys.ReadFile(dir + "/anchor")
+}
+
+// Probes and directory creation are not data-path I/O.
+func ensureDir(dir string) error {
+	if _, err := os.Stat(dir); err == nil {
+		return nil
+	}
+	return os.MkdirAll(dir, 0o755)
+}
+
+// A helper that only touches iofault carries no taint.
+func syncRouted(fsys iofault.FS, path string, data []byte) error {
+	return iofault.WriteFileSync(fsys, path, data)
+}

@@ -1,0 +1,16 @@
+// Package helper is a dependency of the iopath fixture: a non-durable
+// helper package whose raw file I/O must taint its durable-path callers
+// through the PerformsIO summary.
+package helper
+
+import "os"
+
+// Slurp reads a file with package os directly.
+func Slurp(path string) ([]byte, error) {
+	return os.ReadFile(path)
+}
+
+// SlurpTwice propagates the taint one more hop inside the package.
+func SlurpTwice(path string) ([]byte, error) {
+	return Slurp(path)
+}

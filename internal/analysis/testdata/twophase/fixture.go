@@ -1,0 +1,147 @@
+// Package twophasefix is the golden fixture for the twophase pass. Txn
+// and DB are testdata stand-ins for core.Txn and core.DB; the pass
+// recognizes the 2PC primitives on them by name inside testdata.
+package twophasefix
+
+type Txn struct{}
+
+func (t *Txn) Prepare(gid uint64) error { return nil }
+func (t *Txn) CommitPrepared() error    { return nil }
+func (t *Txn) AbortPrepared() error     { return nil }
+func (t *Txn) Commit() error            { return nil }
+func (t *Txn) Abort() error             { return nil }
+
+type DB struct{}
+
+func (db *DB) AdoptPrepared() (*Txn, error)                 { return &Txn{}, nil }
+func (db *DB) AppendDecision(gid uint64, commit bool) error { return nil }
+
+// Shape 1: a prepared transaction leaks past a success return.
+func leak(t *Txn, gid uint64) error {
+	if err := t.Prepare(gid); err != nil {
+		return err
+	}
+	return nil // want "returns success with a prepared transaction unresolved"
+}
+
+// Shape 2: phase 2 before the decision record is durable.
+func eager(db *DB, t *Txn, gid uint64) error {
+	if err := t.Prepare(gid); err != nil {
+		return err
+	}
+	if err := t.CommitPrepared(); err != nil { // want "before the decision is durable"
+		return err
+	}
+	return db.AppendDecision(gid, true)
+}
+
+// Shape 3: a plain abort on a transaction known prepared on this path.
+func sloppy(t *Txn, gid uint64) error {
+	if err := t.Prepare(gid); err != nil {
+		return err
+	}
+	return t.Abort() // want "plain Commit/Abort on a transaction prepared"
+}
+
+// Shape 4: resolving twice double-finishes the transaction.
+func double(db *DB) error {
+	t, err := db.AdoptPrepared()
+	if err != nil {
+		return err
+	}
+	if err := t.AbortPrepared(); err != nil {
+		return err
+	}
+	return t.AbortPrepared() // want "resolved a second time"
+}
+
+// Shape 5: the prepare hides in a function-literal argument (the
+// router's eachPart shape) and still leaks.
+func leakViaClosure(each func(func() error) error, t *Txn, gid uint64) error {
+	if err := each(func() error { return t.Prepare(gid) }); err != nil {
+		return err
+	}
+	return nil // want "returns success with a prepared transaction unresolved"
+}
+
+// Shape 6: one branch of the merge resolves, the other does not — the
+// unresolved path survives the join.
+func halfResolved(t *Txn, gid uint64, commit bool) error {
+	if err := t.Prepare(gid); err != nil {
+		return err
+	}
+	if commit {
+		if err := t.CommitPrepared(); err != nil { // want "before the decision is durable"
+			return err
+		}
+	}
+	return nil // want "returns success with a prepared transaction unresolved"
+}
+
+// ---- clean code ----
+
+// The full protocol: prepare, durable decision, phase 2.
+func protocol(db *DB, t *Txn, gid uint64) error {
+	if err := t.Prepare(gid); err != nil {
+		abortAll(t)
+		return err
+	}
+	if err := db.AppendDecision(gid, true); err != nil {
+		return err
+	}
+	return t.CommitPrepared()
+}
+
+// Recovery adoption resolves on both arms; the decision is already on
+// disk by definition, so CommitPrepared needs no AppendDecision here.
+func resolveAdopted(db *DB, commit bool) error {
+	t, err := db.AdoptPrepared()
+	if err != nil {
+		return err
+	}
+	if commit {
+		if err := t.CommitPrepared(); err != nil {
+			return err
+		}
+	} else {
+		if err := t.AbortPrepared(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// abortAll exports a resolver summary, so calling it resolves …
+func abortAll(t *Txn) { _ = t.AbortPrepared() }
+
+// … and helper-mediated resolution is clean.
+func viaHelper(t *Txn, gid uint64) error {
+	if err := t.Prepare(gid); err != nil {
+		return err
+	}
+	abortAll(t)
+	return nil
+}
+
+// The pipeline shape: prepare in one loop, resolve in a later one.
+func pipeline(db *DB, ts []*Txn, gid uint64) error {
+	for _, t := range ts {
+		if err := t.Prepare(gid); err != nil {
+			return err
+		}
+	}
+	if err := db.AppendDecision(gid, true); err != nil {
+		return err
+	}
+	for _, t := range ts {
+		if err := t.CommitPrepared(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// A plain commit with nothing prepared on the path is ordinary.
+func fastPath(t *Txn) error {
+	return t.Commit()
+}

@@ -1,0 +1,347 @@
+// Package twophase is a protocol-state pass over the engine's two-phase
+// commit surface (core.Txn.Prepare / CommitPrepared / AbortPrepared,
+// core.DB.AdoptPrepared / AppendDecision). It walks every function that
+// creates a prepared transaction — a "frame" — with the anz branch-path
+// walker and enforces the presumed-abort discipline the sharded router
+// depends on:
+//
+//   - A prepare point (Prepare, or adopting an in-doubt transaction at
+//     recovery) must be post-dominated by exactly one resolution
+//     (CommitPrepared or AbortPrepared) on every non-error path. An exit
+//     that returns success with a participant still prepared leaves it
+//     holding locks and pinned in the ATT forever; resolving twice
+//     double-finishes the transaction.
+//   - CommitPrepared downstream of Prepare requires the coordinator's
+//     decision to be durable first (AppendDecision post-dominating the
+//     prepare, before phase 2) — committing participants before the
+//     decision record is exactly the atomicity hole presumed-abort
+//     recovery cannot close. Frames that adopt at recovery are exempt:
+//     there the decision is already on disk by definition.
+//   - Plain Commit/Abort on a transaction known prepared on this path is
+//     a protocol violation (it skips the prepared-state bookkeeping).
+//
+// Calls are classified interprocedurally: function literals passed as
+// call arguments count at the call (the router's eachPart(func(s int)
+// error { return t.parts[s].Prepare(gid) }) shape), and per-package
+// summaries mark resolver and decider helpers (abortParts,
+// recordDecision) so their call sites inherit the classification.
+// Fixture stand-ins — types named Txn/DB declared under testdata — are
+// recognized alongside the real core types.
+package twophase
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis/anz"
+	"repro/internal/analysis/facts"
+)
+
+// Analyzer is the twophase pass.
+var Analyzer = &anz.Analyzer{
+	Name: "twophase",
+	Doc:  "every prepared transaction must be resolved exactly once, after a durable decision",
+	Run:  run,
+}
+
+type kind uint8
+
+const (
+	kPrepare kind = 1 << iota
+	kAdopt
+	kResolveCommit
+	kResolveAbort
+	kPlainCommit
+	kPlainAbort
+	kDecide
+)
+
+// summary is the per-function fact: calling this function performs the
+// marked protocol actions.
+type summary struct {
+	resolves bool // calls CommitPrepared/AbortPrepared on some path
+	decides  bool // calls AppendDecision
+}
+
+// tstate is the walker state for one control-flow path.
+type tstate struct {
+	outstanding bool // a prepared transaction awaits resolution
+	viaPrepare  bool // the prepare point was Prepare (not recovery adoption)
+	resolved    bool // a resolution has happened since the prepare point
+	decided     bool // AppendDecision has happened on every path here
+}
+
+func (s *tstate) Clone() anz.PathState {
+	c := *s
+	return &c
+}
+
+func (s *tstate) Merge(other anz.PathState) anz.PathState {
+	o := other.(*tstate)
+	s.outstanding = s.outstanding || o.outstanding
+	s.viaPrepare = s.viaPrepare || o.viaPrepare
+	s.resolved = s.resolved || o.resolved
+	s.decided = s.decided && o.decided
+	return s
+}
+
+func run(pass *anz.Pass) error {
+	summarize(pass)
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if !isFrame(pass, fd) {
+				continue
+			}
+			checkFrame(pass, fd)
+		}
+	}
+	return nil
+}
+
+// primKinds classifies a single call against the 2PC primitives.
+func primKinds(pass *anz.Pass, call *ast.CallExpr) kind {
+	fn := facts.CalleeFunc(pass.TypesInfo, call)
+	if fn == nil {
+		return 0
+	}
+	recv := facts.RecvNamed(fn)
+	if recv == nil {
+		return 0
+	}
+	if matchType(recv, "Txn") {
+		switch fn.Name() {
+		case "Prepare":
+			return kPrepare
+		case "CommitPrepared":
+			return kResolveCommit
+		case "AbortPrepared":
+			return kResolveAbort
+		case "Commit":
+			return kPlainCommit
+		case "Abort":
+			return kPlainAbort
+		}
+	}
+	if matchType(recv, "DB") {
+		switch fn.Name() {
+		case "AdoptPrepared":
+			return kAdopt
+		case "AppendDecision":
+			return kDecide
+		}
+	}
+	return 0
+}
+
+// matchType accepts the real core type or a fixture stand-in of the same
+// name declared under testdata.
+func matchType(named *types.Named, name string) bool {
+	if facts.IsNamed(named, "internal/core", name) {
+		return true
+	}
+	return named.Obj().Name() == name && named.Obj().Pkg() != nil &&
+		strings.Contains(named.Obj().Pkg().Path(), "/testdata/")
+}
+
+// callKinds classifies call including the bodies of function literals
+// passed as its arguments (the eachPart shape: the literal runs within
+// the call) and the callee's exported summary.
+func callKinds(pass *anz.Pass, call *ast.CallExpr) kind {
+	k := primKinds(pass, call)
+	for _, arg := range call.Args {
+		lit, ok := arg.(*ast.FuncLit)
+		if !ok {
+			continue
+		}
+		for _, inner := range callsIn(lit.Body) {
+			k |= primKinds(pass, inner)
+		}
+	}
+	if callee := facts.Callee(pass.TypesInfo, call); callee != nil {
+		if f, ok := pass.Fact(callee); ok {
+			if s, ok := f.(summary); ok {
+				if s.resolves {
+					k |= kResolveAbort
+				}
+				if s.decides {
+					k |= kDecide
+				}
+			}
+		}
+	}
+	return k
+}
+
+// callsIn collects the calls in n, not descending into nested function
+// literals (their bodies run when the literal does, which a helper like
+// eachPart decides — one level of nesting is the shape the router uses).
+func callsIn(n ast.Node) []*ast.CallExpr {
+	var calls []*ast.CallExpr
+	ast.Inspect(n, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.CallExpr:
+			calls = append(calls, n)
+		}
+		return true
+	})
+	return calls
+}
+
+// summarize exports resolver/decider facts for this package's functions,
+// iterated to a fixpoint so helper chains classify.
+func summarize(pass *anz.Pass) {
+	for changed := true; changed; {
+		changed = false
+		for _, file := range pass.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				obj := pass.TypesInfo.Defs[fd.Name]
+				if obj == nil {
+					continue
+				}
+				prev, _ := pass.Fact(obj)
+				prevSum, _ := prev.(summary)
+				sum := prevSum
+				for _, call := range callsIn(fd.Body) {
+					k := primKinds(pass, call)
+					if callee := facts.Callee(pass.TypesInfo, call); callee != nil {
+						if f, ok := pass.Fact(callee); ok {
+							if s, ok := f.(summary); ok {
+								if s.resolves {
+									k |= kResolveAbort
+								}
+								if s.decides {
+									k |= kDecide
+								}
+							}
+						}
+					}
+					if k&(kResolveCommit|kResolveAbort) != 0 {
+						sum.resolves = true
+					}
+					if k&kDecide != 0 {
+						sum.decides = true
+					}
+				}
+				if sum != prevSum {
+					pass.ExportFact(obj, sum)
+					changed = true
+				}
+			}
+		}
+	}
+}
+
+// isFrame reports whether fd contains a prepare point — directly or in a
+// function literal argument — making it subject to the walk.
+func isFrame(pass *anz.Pass, fd *ast.FuncDecl) bool {
+	for _, call := range callsIn(fd.Body) {
+		k := primKinds(pass, call)
+		for _, arg := range call.Args {
+			if lit, ok := arg.(*ast.FuncLit); ok {
+				for _, inner := range callsIn(lit.Body) {
+					k |= primKinds(pass, inner)
+				}
+			}
+		}
+		if k&(kPrepare|kAdopt) != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// checkFrame walks fd's body, tracking prepared-transaction state.
+func checkFrame(pass *anz.Pass, fd *ast.FuncDecl) {
+	apply := func(n ast.Node, st *tstate) {
+		for _, call := range callsIn(n) {
+			k := callKinds(pass, call)
+			if k == 0 {
+				continue
+			}
+			if k&kPrepare != 0 {
+				st.outstanding = true
+				st.viaPrepare = true
+				st.resolved = false
+			}
+			if k&kAdopt != 0 {
+				st.outstanding = true
+				st.resolved = false
+			}
+			if k&kDecide != 0 {
+				st.decided = true
+			}
+			if k&kResolveCommit != 0 {
+				if st.viaPrepare && !st.decided {
+					pass.Reportf(call.Pos(), "CommitPrepared before the decision is durable: AppendDecision must post-dominate the prepare and precede phase 2")
+				}
+				resolve(pass, call, st)
+			}
+			if k&kResolveAbort != 0 {
+				resolve(pass, call, st)
+			}
+			if k&(kPlainCommit|kPlainAbort) != 0 && st.outstanding {
+				pass.Reportf(call.Pos(), "plain Commit/Abort on a transaction prepared on this path; use CommitPrepared/AbortPrepared")
+			}
+		}
+	}
+	hooks := &anz.PathHooks{
+		Stmt: func(s ast.Stmt, st anz.PathState) { apply(s, st.(*tstate)) },
+		Expr: func(e ast.Expr, st anz.PathState) { apply(e, st.(*tstate)) },
+		Return: func(ret *ast.ReturnStmt, st anz.PathState) {
+			t := st.(*tstate)
+			apply(ret, t)
+			if t.outstanding && successfulReturn(fd, ret) {
+				pass.Reportf(ret.Pos(), "%s returns success with a prepared transaction unresolved (CommitPrepared/AbortPrepared missing on this path)", fd.Name.Name)
+			}
+		},
+		Exit: func(st anz.PathState) {
+			if st.(*tstate).outstanding {
+				pass.Reportf(fd.Name.Pos(), "%s reaches the end of the function with a prepared transaction unresolved", fd.Name.Name)
+			}
+		},
+	}
+	anz.WalkPaths(fd.Body, &tstate{}, pass.TypesInfo, hooks)
+}
+
+// resolve transitions a path through a resolution, flagging doubles.
+func resolve(pass *anz.Pass, call *ast.CallExpr, st *tstate) {
+	if !st.outstanding && st.resolved {
+		pass.Reportf(call.Pos(), "prepared transaction resolved a second time on this path")
+	}
+	st.outstanding = false
+	st.resolved = true
+}
+
+// successfulReturn reports whether ret exits with a nil error: no error
+// result, a literal nil in the trailing slot, or a naked return. A
+// variable or call result is statically unknown and treated as the
+// failure path (recovery resolves what an error exit leaves prepared).
+func successfulReturn(fd *ast.FuncDecl, ret *ast.ReturnStmt) bool {
+	results := fd.Type.Results
+	if results == nil || len(results.List) == 0 {
+		return true
+	}
+	last := results.List[len(results.List)-1]
+	if named, ok := last.Type.(*ast.Ident); !ok || named.Name != "error" {
+		return true
+	}
+	if len(ret.Results) == 0 {
+		return true
+	}
+	lastExpr := ast.Unparen(ret.Results[len(ret.Results)-1])
+	if id, ok := lastExpr.(*ast.Ident); ok && id.Name == "nil" {
+		return true
+	}
+	return false
+}

@@ -1,0 +1,12 @@
+package twophase_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/anztest"
+	"repro/internal/analysis/twophase"
+)
+
+func TestFixture(t *testing.T) {
+	anztest.Run(t, ".", "../testdata/twophase", twophase.Analyzer)
+}

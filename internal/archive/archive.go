@@ -20,7 +20,6 @@ import (
 	"encoding/binary"
 	"fmt"
 	"hash/crc32"
-	"os"
 	"path/filepath"
 
 	"repro/internal/core"
@@ -106,9 +105,13 @@ func Write(db *core.DB, path string) (Info, error) {
 	return info, nil
 }
 
-// Read loads an archive file.
-func Read(path string) (Info, []byte, []byte, error) {
-	b, err := os.ReadFile(path)
+// Read loads an archive file from the real filesystem.
+func Read(path string) (Info, []byte, []byte, error) { return ReadFS(iofault.OS, path) }
+
+// ReadFS loads an archive file through fsys, so media recovery under an
+// injected filesystem observes the same faults the writer would.
+func ReadFS(fsys iofault.FS, path string) (Info, []byte, []byte, error) {
+	b, err := fsys.ReadFile(path)
 	if err != nil {
 		return Info{}, nil, nil, fmt.Errorf("archive: read: %w", err)
 	}
@@ -151,11 +154,11 @@ func Recover(cfg core.Config, archivePath string) (*core.DB, *recovery.Report, e
 	if err != nil {
 		return nil, nil, err
 	}
-	info, image, meta, err := Read(archivePath)
+	info, image, meta, err := ReadFS(cfg.FS, archivePath)
 	if err != nil {
 		return nil, nil, err
 	}
-	base, err := wal.LogBase(cfg.Dir)
+	base, err := wal.LogBaseFS(cfg.FS, cfg.Dir)
 	if err != nil {
 		return nil, nil, err
 	}

@@ -150,7 +150,7 @@ func Run(db *core.DB) ([]Problem, error) {
 
 	// Checkpoint anchor vs retained log.
 	if anchor, ok := db.Internals().Checkpoints.Anchor(); ok {
-		base, err := wal.LogBase(db.Config().Dir)
+		base, err := wal.LogBaseFS(db.FS(), db.Config().Dir)
 		if err != nil {
 			return nil, err
 		}
@@ -160,7 +160,7 @@ func Run(db *core.DB) ([]Problem, error) {
 		if anchor.CKEnd > db.Internals().Log.End() {
 			add(CodeCkptAnchorEnd, SevError, "checkpoint", "anchor CK_end %d beyond log end %d", anchor.CKEnd, db.Internals().Log.End())
 		}
-		if _, err := ckpt.Load(db.Config().Dir); err != nil {
+		if _, err := ckpt.LoadFS(db.FS(), db.Config().Dir); err != nil {
 			add(CodeCkptImage, SevError, "checkpoint", "current image unloadable: %v", err)
 		}
 	}

@@ -416,8 +416,12 @@ type Loaded struct {
 // Failures that mean the anchored image cannot be trusted (torn pages,
 // bad checksums, missing files) wrap ErrImageCorrupt so recovery can
 // attempt LoadFallback.
-func Load(dir string) (*Loaded, error) {
-	ab, err := os.ReadFile(filepath.Join(dir, AnchorFileName))
+func Load(dir string) (*Loaded, error) { return LoadFS(iofault.OS, dir) }
+
+// LoadFS is Load reading through fsys, so recovery sees the same
+// (possibly fault-injected) filesystem the checkpointer wrote through.
+func LoadFS(fsys iofault.FS, dir string) (*Loaded, error) {
+	ab, err := fsys.ReadFile(filepath.Join(dir, AnchorFileName))
 	if err != nil {
 		return nil, fmt.Errorf("ckpt: no checkpoint anchor: %w", err)
 	}
@@ -425,7 +429,7 @@ func Load(dir string) (*Loaded, error) {
 	if err != nil {
 		return nil, err
 	}
-	ckEnd, img, entries, meta, err := loadImage(dir, a.Current)
+	ckEnd, img, entries, meta, err := loadImage(fsys, dir, a.Current)
 	if err != nil {
 		return nil, err
 	}
@@ -450,8 +454,11 @@ func Load(dir string) (*Loaded, error) {
 // The fallback is only usable when the stable log still retains records
 // back to that older CK_end — log compaction normally discards them, so
 // callers must check wal.LogBase against the returned CKEnd.
-func LoadFallback(dir string) (*Loaded, error) {
-	ab, err := os.ReadFile(filepath.Join(dir, AnchorFileName))
+func LoadFallback(dir string) (*Loaded, error) { return LoadFallbackFS(iofault.OS, dir) }
+
+// LoadFallbackFS is LoadFallback reading through fsys.
+func LoadFallbackFS(fsys iofault.FS, dir string) (*Loaded, error) {
+	ab, err := fsys.ReadFile(filepath.Join(dir, AnchorFileName))
 	if err != nil {
 		return nil, fmt.Errorf("ckpt: no checkpoint anchor: %w", err)
 	}
@@ -460,7 +467,7 @@ func LoadFallback(dir string) (*Loaded, error) {
 		return nil, err
 	}
 	fb := 1 - a.Current
-	ckEnd, img, entries, meta, err := loadImage(dir, fb)
+	ckEnd, img, entries, meta, err := loadImage(fsys, dir, fb)
 	if err != nil {
 		return nil, fmt.Errorf("ckpt: fallback image %d: %w", fb, err)
 	}
@@ -480,12 +487,12 @@ func LoadFallback(dir string) (*Loaded, error) {
 // returning the meta's CK_end, the image bytes, the checkpointed ATT and
 // the database metadata. Every verification failure wraps
 // ErrImageCorrupt.
-func loadImage(dir string, image int) (wal.LSN, []byte, []*wal.TxnEntry, []byte, error) {
-	img, err := os.ReadFile(filepath.Join(dir, imageName(image)))
+func loadImage(fsys iofault.FS, dir string, image int) (wal.LSN, []byte, []*wal.TxnEntry, []byte, error) {
+	img, err := fsys.ReadFile(filepath.Join(dir, imageName(image)))
 	if err != nil {
 		return 0, nil, nil, nil, fmt.Errorf("%w: read image: %v", ErrImageCorrupt, err)
 	}
-	mb, err := os.ReadFile(filepath.Join(dir, metaName(image)))
+	mb, err := fsys.ReadFile(filepath.Join(dir, metaName(image)))
 	if err != nil {
 		return 0, nil, nil, nil, fmt.Errorf("%w: read meta: %v", ErrImageCorrupt, err)
 	}

@@ -622,6 +622,7 @@ func (t *Txn) FinishAborted() {
 	// Ignore a poisoned-log failure: recovery-driven rollback is already
 	// reconstructing state from the stable log, and the missing abort
 	// record only means the next restart repeats the (idempotent) rollback.
+	//dbvet:allow errflow recovery rollback tolerates a poisoned log; the abort record is redundant with the idempotent replay
 	_ = t.db.log.Append(&wal.Record{Kind: wal.KindTxnAbort, Txn: t.entry.ID})
 	t.db.barrier.RUnlock()
 	t.finish(wal.TxnAborted)

@@ -23,6 +23,9 @@ const (
 	OpTruncate
 	OpRename
 	OpSyncDir
+	// OpRead does not consume an I/O point (reads cannot change the
+	// durable state); it exists so read failpoints have an op label.
+	OpRead
 )
 
 func (o Op) String() string {
@@ -41,6 +44,8 @@ func (o Op) String() string {
 		return "rename"
 	case OpSyncDir:
 		return "syncdir"
+	case OpRead:
+		return "read"
 	}
 	return "unknown"
 }
@@ -86,6 +91,11 @@ type FaultFS struct {
 	shortWriteN uint64 // Nth write persists half and returns ErrInjected
 	noSpaceN    uint64 // Nth write fails wholesale with ErrNoSpace
 	tornWriteN  uint64 // Nth write persists half but reports success
+
+	reads          uint64 // ReadFile calls seen (for FailNthRead)
+	failReadN      uint64 // fail the Nth (1-based) ReadFile with ErrInjected
+	corruptReadOf  string // base name whose reads are corrupted
+	corruptReadOff int64  // byte offset flipped in corrupted reads
 
 	durable map[string]dstate
 	pending []dirop
@@ -171,6 +181,34 @@ func (fs *FaultFS) TornWriteNth(n uint64) {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
 	fs.tornWriteN = n
+}
+
+// FailNthRead arms an injected failure of the nth (1-based) ReadFile —
+// the latent media error recovery hits when it reads the anchor, a
+// checkpoint image or the stable log back. Zero disarms.
+func (fs *FaultFS) FailNthRead(n uint64) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.failReadN = n
+}
+
+// CorruptReadAt arms silent read corruption: every ReadFile of a file
+// whose base name is name returns the stored bytes with the byte at
+// offset off flipped — lying storage on the read path, which only
+// checksummed/codeworded readers can catch. An empty name disarms.
+func (fs *FaultFS) CorruptReadAt(name string, off int64) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.corruptReadOf = filepath.Base(name)
+	fs.corruptReadOff = off
+}
+
+// Reads reports the number of ReadFile calls seen so far, so a caller can
+// arm FailNthRead at "the next read from now" (Reads()+1).
+func (fs *FaultFS) Reads() uint64 {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.reads
 }
 
 // Points reports the number of I/O points consumed so far. After a fully
@@ -260,15 +298,35 @@ func (fs *FaultFS) OpenFile(name string, flag int, perm os.FileMode) (File, erro
 }
 
 // ReadFile reads the volatile content; it fails once the simulated
-// machine is down.
+// machine is down, and consults the read failpoints (FailNthRead,
+// CorruptReadAt) before returning.
 func (fs *FaultFS) ReadFile(name string) ([]byte, error) {
 	fs.mu.Lock()
 	if fs.crashed {
 		fs.mu.Unlock()
 		return nil, fmt.Errorf("%w (read %s)", ErrCrashed, filepath.Base(name))
 	}
+	fs.reads++
+	if fs.failReadN != 0 && fs.reads == fs.failReadN {
+		fs.injectLocked("failread", OpRead, name)
+		fs.mu.Unlock()
+		return nil, fmt.Errorf("%w: read %s failed", ErrInjected, filepath.Base(name))
+	}
+	corrupt := fs.corruptReadOf != "" && fs.corruptReadOf == filepath.Base(name)
+	off := fs.corruptReadOff
+	if corrupt {
+		fs.injectLocked("corruptread", OpRead, name)
+	}
 	fs.mu.Unlock()
-	return os.ReadFile(name)
+
+	data, err := os.ReadFile(name)
+	if err != nil {
+		return data, err
+	}
+	if corrupt && off >= 0 && off < int64(len(data)) {
+		data[off] ^= 0xFF
+	}
+	return data, nil
 }
 
 // Rename performs the volatile rename and records the pending

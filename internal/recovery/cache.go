@@ -28,7 +28,7 @@ func CacheRecover(db *core.DB, ranges []Range) error {
 	if n := db.Internals().ATT.Len(); n != 0 {
 		return fmt.Errorf("recovery: cache recovery requires quiescence; %d transactions active", n)
 	}
-	loaded, err := ckpt.Load(db.Config().Dir)
+	loaded, err := ckpt.LoadFS(db.FS(), db.Config().Dir)
 	if err != nil {
 		return fmt.Errorf("recovery: cache recovery needs a certified checkpoint: %w", err)
 	}
@@ -49,7 +49,7 @@ func CacheRecover(db *core.DB, ranges []Range) error {
 			copy(arena.Slice(r.Start, r.Len), loaded.Image[r.Start:int(r.Start)+r.Len])
 		}
 		// Replay committed physical history over the ranges.
-		err := wal.Scan(db.Config().Dir, loaded.Anchor.CKEnd, func(rec *wal.Record) bool {
+		err := wal.ScanFS(db.FS(), db.Config().Dir, loaded.Anchor.CKEnd, func(rec *wal.Record) bool {
 			if rec.Kind != wal.KindPhysRedo || len(rec.Data) == 0 {
 				return true
 			}

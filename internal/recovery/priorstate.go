@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/ckpt"
 	"repro/internal/core"
+	"repro/internal/iofault"
 	"repro/internal/wal"
 )
 
@@ -29,18 +30,18 @@ func PriorState(cfg core.Config, before wal.LSN, opts Options) (*core.DB, *Repor
 	if err != nil {
 		return nil, nil, err
 	}
-	if loaded, err := ckpt.Load(cfg.Dir); err == nil {
+	if loaded, err := ckpt.LoadFS(cfg.FS, cfg.Dir); err == nil {
 		if loaded.Anchor.CKEnd > before {
 			return nil, nil, fmt.Errorf(
 				"recovery: prior-state target %d predates the checkpoint (CK_end %d); an archive image would be required",
 				before, loaded.Anchor.CKEnd)
 		}
 	}
-	cut, err := boundaryAtOrBefore(cfg.Dir, before)
+	cut, err := boundaryAtOrBefore(cfg.FS, cfg.Dir, before)
 	if err != nil {
 		return nil, nil, err
 	}
-	if err := wal.TruncateAt(cfg.Dir, cut); err != nil {
+	if err := wal.TruncateAtFS(cfg.FS, cfg.Dir, cut); err != nil {
 		return nil, nil, fmt.Errorf("recovery: truncate log for prior state: %w", err)
 	}
 	// Corruption-mode machinery is pointless on the prefix: everything at
@@ -51,8 +52,8 @@ func PriorState(cfg core.Config, before wal.LSN, opts Options) (*core.DB, *Repor
 
 // boundaryAtOrBefore finds the largest record boundary <= target, at or
 // above the log's base (records below the base were compacted away).
-func boundaryAtOrBefore(dir string, target wal.LSN) (wal.LSN, error) {
-	base, err := wal.LogBase(dir)
+func boundaryAtOrBefore(fsys iofault.FS, dir string, target wal.LSN) (wal.LSN, error) {
+	base, err := wal.LogBaseFS(fsys, dir)
 	if err != nil {
 		return 0, err
 	}
@@ -60,7 +61,7 @@ func boundaryAtOrBefore(dir string, target wal.LSN) (wal.LSN, error) {
 		return 0, fmt.Errorf("recovery: prior-state target %d precedes the retained log (base %d)", target, base)
 	}
 	cut := base
-	err = wal.Scan(dir, base, func(r *wal.Record) bool {
+	err = wal.ScanFS(fsys, dir, base, func(r *wal.Record) bool {
 		end := r.LSN + wal.LSN(r.EncodedSize())
 		if end > target {
 			return false

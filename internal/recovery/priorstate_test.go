@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/heap"
+	"repro/internal/iofault"
 	"repro/internal/protect"
 	"repro/internal/wal"
 )
@@ -108,7 +109,7 @@ func TestBoundaryAtOrBefore(t *testing.T) {
 	db.Close()
 
 	// A target inside the second record cuts before it.
-	cut, err := boundaryAtOrBefore(cfg.Dir, r2.LSN+1)
+	cut, err := boundaryAtOrBefore(iofault.OS, cfg.Dir, r2.LSN+1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -117,7 +118,7 @@ func TestBoundaryAtOrBefore(t *testing.T) {
 	}
 	// A target at a boundary keeps the whole prefix.
 	end := r2.LSN + wal.LSN(r2.EncodedSize())
-	cut, err = boundaryAtOrBefore(cfg.Dir, end)
+	cut, err = boundaryAtOrBefore(iofault.OS, cfg.Dir, end)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -125,7 +126,7 @@ func TestBoundaryAtOrBefore(t *testing.T) {
 		t.Fatalf("cut = %d, want %d", cut, end)
 	}
 	// Target zero cuts everything.
-	cut, _ = boundaryAtOrBefore(cfg.Dir, 0)
+	cut, _ = boundaryAtOrBefore(iofault.OS, cfg.Dir, 0)
 	if cut != 0 {
 		t.Fatalf("cut = %d, want 0", cut)
 	}

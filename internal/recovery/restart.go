@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/ckpt"
 	"repro/internal/core"
+	"repro/internal/iofault"
 	"repro/internal/mem"
 	"repro/internal/obs"
 	"repro/internal/protect"
@@ -139,7 +140,7 @@ func Open(cfg core.Config, opts Options) (*core.DB, *Report, error) {
 		fbTo    int
 	)
 	if anchorExists {
-		loaded, err := ckpt.Load(cfg.Dir)
+		loaded, err := ckpt.LoadFS(cfg.FS, cfg.Dir)
 		if errors.Is(err, ckpt.ErrImageCorrupt) {
 			// The anchored image cannot be trusted (a torn page from lying
 			// storage, a bad meta checksum). The other ping-pong image is
@@ -149,11 +150,11 @@ func Open(cfg core.Config, opts Options) (*core.DB, *Report, error) {
 			// those records, so this rescue mostly applies to databases run
 			// with DisableLogCompaction).
 			loadErr := err
-			fb, fberr := ckpt.LoadFallback(cfg.Dir)
+			fb, fberr := ckpt.LoadFallbackFS(cfg.FS, cfg.Dir)
 			if fberr != nil {
 				return nil, nil, fmt.Errorf("recovery: %w (fallback image also unusable: %v)", loadErr, fberr)
 			}
-			base, berr := wal.LogBase(cfg.Dir)
+			base, berr := wal.LogBaseFS(cfg.FS, cfg.Dir)
 			if berr != nil {
 				return nil, nil, fmt.Errorf("recovery: %w (fallback log base: %v)", loadErr, berr)
 			}
@@ -234,7 +235,7 @@ func openFrom(cfg core.Config, image, meta []byte, entries map[wal.TxnID]*wal.Tx
 
 	// Pre-scan: locate the last clean audit (Audit_SN), gather the
 	// corrupt ranges noted by failed audits, and find the ID horizon.
-	pre, err := prescan(cfg.Dir, ckEnd, auditSN)
+	pre, err := prescan(cfg.FS, cfg.Dir, ckEnd, auditSN)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -274,7 +275,7 @@ func openFrom(cfg core.Config, image, meta []byte, entries map[wal.TxnID]*wal.Tx
 	if corruptionMode && !cwMode && scanState.seedAt <= ckEnd {
 		scanState.seedNow()
 	}
-	if err := wal.Scan(cfg.Dir, ckEnd, scanState.step); err != nil {
+	if err := wal.ScanFS(cfg.FS, cfg.Dir, ckEnd, scanState.step); err != nil {
 		return nil, nil, err
 	}
 	if scanState.err != nil {
@@ -348,10 +349,10 @@ type prescanResult struct {
 // horizons. It must be a separate pass because corrupt ranges are seeded
 // into the CorruptDataTable when the main scan passes Audit_SN, which is
 // earlier in the log than the failed audit that noted them.
-func prescan(dir string, from wal.LSN, anchorAuditSN wal.LSN) (*prescanResult, error) {
+func prescan(fsys iofault.FS, dir string, from wal.LSN, anchorAuditSN wal.LSN) (*prescanResult, error) {
 	res := &prescanResult{lastCleanBegin: anchorAuditSN}
 	begins := make(map[uint64]wal.LSN)
-	err := wal.Scan(dir, from, func(r *wal.Record) bool {
+	err := wal.ScanFS(fsys, dir, from, func(r *wal.Record) bool {
 		if r.Txn > res.maxTxn {
 			res.maxTxn = r.Txn
 		}

@@ -33,6 +33,8 @@ type Txn struct {
 }
 
 // Begin starts a router transaction.
+//
+//dbvet:allow ctxflow Begin is the documented no-deadline convenience wrapper; request paths use BeginCtx
 func (r *Router) Begin() *Txn { return r.BeginCtx(context.Background()) }
 
 // BeginCtx starts a router transaction bound to ctx: every per-shard

@@ -601,17 +601,24 @@ func (l *SystemLog) Reset() error {
 	if l.poisoned != nil {
 		return l.poisoned
 	}
+	// A reset that fails midway leaves the stable log in an unknown state
+	// (possibly truncated, possibly a half-written header): fail-stop, same
+	// as a failed flush.
 	if err := l.f.Truncate(0); err != nil {
-		return fmt.Errorf("wal: reset: %w", err)
+		l.poisonLocked(err)
+		return fmt.Errorf("wal: reset: %w", l.poisoned)
 	}
 	if _, err := l.f.Seek(0, 0); err != nil {
-		return err
+		l.poisonLocked(err)
+		return l.poisoned
 	}
 	if _, err := l.f.Write(encodeLogHeader(0)); err != nil {
-		return fmt.Errorf("wal: reset header: %w", err)
+		l.poisonLocked(err)
+		return fmt.Errorf("wal: reset header: %w", l.poisoned)
 	}
 	if err := l.f.Sync(); err != nil {
-		return err
+		l.poisonLocked(err)
+		return l.poisoned
 	}
 	l.baseLSN = 0
 	l.stableEnd = 0
@@ -649,9 +656,14 @@ func (l *SystemLog) CloseWithoutFlush() error {
 }
 
 // LogBase reports the base LSN of the stable log in dir (the oldest
-// retained record); zero for a missing or empty log.
-func LogBase(dir string) (LSN, error) {
-	data, err := os.ReadFile(filepath.Join(dir, LogFileName))
+// retained record); zero for a missing or empty log. It reads through the
+// real filesystem; recovery paths with an injectable FS use LogBaseFS.
+func LogBase(dir string) (LSN, error) { return LogBaseFS(iofault.OS, dir) }
+
+// LogBaseFS is LogBase reading through fsys, so recovery observes the
+// same (possibly fault-injected) filesystem the engine writes through.
+func LogBaseFS(fsys iofault.FS, dir string) (LSN, error) {
+	data, err := fsys.ReadFile(filepath.Join(dir, LogFileName))
 	if err != nil {
 		if os.IsNotExist(err) {
 			return 0, nil
@@ -666,10 +678,16 @@ func LogBase(dir string) (LSN, error) {
 
 // TruncateAt discards every stable record at or after lsn, which must be
 // a record boundary at or above the log base. Prior-state recovery uses
-// this to cut history; the log must not be open for writing.
-func TruncateAt(dir string, lsn LSN) error {
+// this to cut history; the log must not be open for writing. It operates
+// on the real filesystem; recovery paths use TruncateAtFS.
+func TruncateAt(dir string, lsn LSN) error { return TruncateAtFS(iofault.OS, dir, lsn) }
+
+// TruncateAtFS is TruncateAt through fsys. The shortened log is forced
+// durable before returning: a prior-state cut that silently reverts on
+// crash would resurrect the history the caller just discarded.
+func TruncateAtFS(fsys iofault.FS, dir string, lsn LSN) error {
 	path := filepath.Join(dir, LogFileName)
-	data, err := os.ReadFile(path)
+	data, err := fsys.ReadFile(path)
 	if err != nil {
 		return fmt.Errorf("wal: truncate: %w", err)
 	}
@@ -689,15 +707,33 @@ func TruncateAt(dir string, lsn LSN) error {
 			return fmt.Errorf("wal: truncate point %d is not a record boundary", lsn)
 		}
 	}
-	return os.Truncate(path, int64(cut))
+	f, err := fsys.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: truncate: %w", err)
+	}
+	if err := f.Truncate(int64(cut)); err != nil {
+		f.Close()
+		return fmt.Errorf("wal: truncate: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("wal: truncate: %w", err)
+	}
+	return f.Close()
 }
 
 // Scan reads the stable log in dir from LSN from, invoking fn for each
 // record in order. Scanning stops at the first torn record (treated as end
 // of log) or when fn returns false. It is used by restart and corruption
-// recovery; the log file must not be concurrently written.
+// recovery; the log file must not be concurrently written. It reads the
+// real filesystem; recovery paths with an injectable FS use ScanFS.
 func Scan(dir string, from LSN, fn func(*Record) bool) error {
-	data, err := os.ReadFile(filepath.Join(dir, LogFileName))
+	return ScanFS(iofault.OS, dir, from, fn)
+}
+
+// ScanFS is Scan reading through fsys.
+func ScanFS(fsys iofault.FS, dir string, from LSN, fn func(*Record) bool) error {
+	data, err := fsys.ReadFile(filepath.Join(dir, LogFileName))
 	if err != nil {
 		if os.IsNotExist(err) {
 			return nil

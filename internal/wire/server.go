@@ -72,6 +72,7 @@ type serverConn struct {
 // observability registry under server.*.
 func NewServer(router *shard.Router, cfg ServerConfig) *Server {
 	reg := router.Observability()
+	//dbvet:allow ctxflow the server owns its lifetime root; every request context is derived from it and canceled on Close
 	ctx, cancel := context.WithCancel(context.Background())
 	return &Server{
 		router:     router,

@@ -1,6 +1,10 @@
 package main
 
 import (
+	"fmt"
+	"path/filepath"
+	"slices"
+	"sort"
 	"strings"
 	"testing"
 
@@ -14,32 +18,43 @@ import (
 func TestBuggySchemeDifferential(t *testing.T) {
 	diags := anztest.Diagnostics(t, ".", "../../internal/analysis/testdata/buggyscheme", analyzers...)
 
-	// Expected line per pass — generation 1 in buggy.go, generation 2 in
-	// buggy2.go; update alongside the fixtures.
-	wantLine := map[string]int{
-		"latchorder":   30, // buggy.go: s.prot.Lock() under the syslog latch
-		"guardedwrite": 37, // buggy.go: direct store through arena.Slice
-		"cwpair":       44, // buggy.go: return nil without a fold
-		"obsnames":     50, // buggy.go: undeclared metric name
-		"iopath":       15, // buggy2.go: raw os.ReadFile on the durable path
-		"errflow":      24, // buggy2.go: discarded SystemLog.Append error
-		"twophase":     37, // buggy2.go: CommitPrepared before the decision
-		"ctxflow":      42, // buggy2.go: context.Background() inside RunCtx
+	// Expected (file, line) per pass and rule — generation 1 in buggy.go,
+	// generation 2 in buggy2.go, generation 3 (the parallel-log rules) in
+	// buggy3.go; update alongside the fixtures. A pass with two entries
+	// carries one violation per rule, each firing exactly once.
+	wantLines := map[string][]string{
+		"latchorder": {
+			"buggy.go:30",  // s.prot.Lock() under the syslog latch
+			"buggy3.go:25", // second stream latch acquired under the first
+		},
+		"guardedwrite": {"buggy.go:37"}, // direct store through arena.Slice
+		"cwpair":       {"buggy.go:44"}, // return nil without a fold
+		"obsnames":     {"buggy.go:50"}, // undeclared metric name
+		"iopath":       {"buggy2.go:15"}, // raw os.ReadFile on the durable path
+		"errflow": {
+			"buggy2.go:24", // discarded SystemLog.Append error
+			"buggy3.go:33", // stream-file sync failure never poisons the set
+		},
+		"twophase": {"buggy2.go:37"}, // CommitPrepared before the decision
+		"ctxflow":  {"buggy2.go:42"}, // context.Background() inside RunCtx
 	}
-	got := make(map[string][]int)
+	got := make(map[string][]string)
+	total := 0
 	for _, d := range diags {
-		got[d.Pass] = append(got[d.Pass], d.Pos.Line)
+		got[d.Pass] = append(got[d.Pass], fmt.Sprintf("%s:%d", filepath.Base(d.Pos.Filename), d.Pos.Line))
 	}
-	for pass, line := range wantLine {
-		switch lines := got[pass]; {
-		case len(lines) != 1:
-			t.Errorf("%s: fired %d times (%v), want exactly once", pass, len(lines), lines)
-		case lines[0] != line:
-			t.Errorf("%s: fired at line %d, want line %d", pass, lines[0], line)
+	for pass, want := range wantLines {
+		total += len(want)
+		lines := got[pass]
+		sort.Strings(lines)
+		sorted := append([]string(nil), want...)
+		sort.Strings(sorted)
+		if !slices.Equal(lines, sorted) {
+			t.Errorf("%s: fired at %v, want %v", pass, lines, sorted)
 		}
 	}
-	if len(diags) != len(wantLine) {
-		t.Errorf("got %d diagnostics, want %d:", len(diags), len(wantLine))
+	if len(diags) != total {
+		t.Errorf("got %d diagnostics, want %d:", len(diags), total)
 		for _, d := range diags {
 			t.Errorf("  %s", d)
 		}

@@ -482,6 +482,20 @@ func (c *checker) orderCheck(call *ast.CallExpr, cls string, st *state, callee s
 	if rank == 0 {
 		return
 	}
+	// Any-stream-before-none: a path holding one stream latch may not
+	// acquire another — streams are flushed by concurrent workers, and a
+	// second nested stream latch deadlocks against a sibling holding the
+	// pair in the other order. Direct acquisitions only: a callee summary
+	// cannot distinguish sequential per-stream brackets (acquire, release,
+	// next stream) from genuine nesting.
+	if cls == anz.LatchStream && callee == "" {
+		for _, l := range st.held {
+			if l.class == anz.LatchStream {
+				c.pass.Reportf(call.Pos(), "acquires a stream latch while another stream latch is held (streams are latched independently; hold at most one)")
+				return
+			}
+		}
+	}
 	for _, l := range st.held {
 		if hr := anz.LatchRank(l.class); hr > rank {
 			if callee != "" {

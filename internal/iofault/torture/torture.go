@@ -39,6 +39,13 @@ type Config struct {
 	// transactions (0 = only the post-load checkpoint).
 	Txns            int
 	CheckpointEvery int
+	// LogStreams shards the WAL into this many independent streams
+	// (core.Config.LogStreams; 0/1 = the historical single system.log).
+	// Crash points then land in every stream file's writes and fsyncs.
+	LogStreams int
+	// RedoWorkers drives recovery's partitioned parallel redo-apply pass
+	// during Verify (recovery.Options.RedoWorkers; 0/1 = serial).
+	RedoWorkers int
 }
 
 // DefaultConfig is the exhaustive-test workload: small enough that the
@@ -77,6 +84,7 @@ func CoreConfig(dir string, fsys iofault.FS, c Config) core.Config {
 		PageSize:  c.PageSize,
 		Protect:   protect.Config{Kind: protect.KindDataCW, RegionSize: 64},
 		Workers:   1,
+		LogStreams: c.LogStreams,
 		DisableLogCompaction: true,
 		FS:        fsys,
 	}
@@ -211,7 +219,7 @@ func Verify(fsys *iofault.FaultFS, recoverDir string, c Config, res *RunResult) 
 	if err := fsys.MaterializeDurable(recoverDir); err != nil {
 		return nil, fmt.Errorf("torture: materialize durable state: %w", err)
 	}
-	db, rep, err := recovery.Open(CoreConfig(recoverDir, nil, c), recovery.Options{})
+	db, rep, err := recovery.Open(CoreConfig(recoverDir, nil, c), recovery.Options{RedoWorkers: c.RedoWorkers})
 	if err != nil {
 		return nil, fmt.Errorf("torture: recovery did not converge: %w", err)
 	}

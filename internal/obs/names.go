@@ -45,6 +45,18 @@ const (
 	NameWALLatchWaitNS   = "wal.latch_wait_ns" // histogram: contended log-latch waits
 	NameWALLatchContends = "wal.latch_contended"
 
+	// internal/wal — multi-stream log sets (PR 8). Per-stream group-commit
+	// histograms are derived from NameWALGroupCommitStream by appending the
+	// stream index ("wal.group_commit_records.stream0", ...); the prefix is
+	// the closed-namespace member, the index suffix is dynamic.
+	NameWALStreams            = "wal.streams" // gauge: log streams in the set
+	NameWALGSN                = "wal.gsn"     // gauge: last global sequence number stamped
+	NameWALGroupCommitStream  = "wal.group_commit_records.stream"
+
+	// internal/recovery — parallel merge-redo (PR 8).
+	NameRecoveryRedoWorkers = "recovery.redo_workers" // gauge: workers used by the partitioned redo pass
+	NameRecoveryParallelNS  = "recovery.parallel_ns"  // histogram: parallel redo apply wall time
+
 	// internal/region — codeword table maintenance.
 	NameRegionFolds         = "region.folds"
 	NameRegionFoldBytes     = "region.fold_bytes"

@@ -6,10 +6,10 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"time"
 
 	"repro/internal/ckpt"
 	"repro/internal/core"
-	"repro/internal/iofault"
 	"repro/internal/mem"
 	"repro/internal/obs"
 	"repro/internal/protect"
@@ -29,6 +29,12 @@ type Options struct {
 	// and asserts): the ranges are treated like ranges noted by a failed
 	// audit.
 	ExtraCorrupt []Range
+	// RedoWorkers sets the worker count for the partitioned parallel
+	// redo-apply pass (0 uses Config.Workers; 1 forces the serial path).
+	// Corruption-mode recovery is always serial regardless: the
+	// delete-transaction algorithm's corrupt-read checks consult the image
+	// as it evolves record by record.
+	RedoWorkers int
 	// SkipCompletionCheckpoint suppresses the checkpoint that normally
 	// ends recovery. FOR CRASH DRILLS ONLY: it leaves the database in the
 	// state a crash immediately before the completion checkpoint would —
@@ -72,6 +78,11 @@ type Report struct {
 	// physical records applied to the image.
 	RecordsScanned int
 	RedoApplied    int
+	// LogStreams is the stream count of the recovered database's log set;
+	// RedoWorkers the worker count the redo-apply pass ran with (1 when
+	// the serial path was taken).
+	LogStreams  int
+	RedoWorkers int
 	// CorruptionMode reports whether the delete-transaction algorithm
 	// ran; CWMode whether the codeword-in-read-log variant was used.
 	CorruptionMode bool
@@ -117,7 +128,11 @@ func Open(cfg core.Config, opts Options) (*core.DB, *Report, error) {
 	report := &Report{}
 
 	anchorExists := fileExists(filepath.Join(cfg.Dir, ckpt.AnchorFileName))
-	logExists := fileExists(filepath.Join(cfg.Dir, wal.LogFileName))
+	nStreams, err := wal.DetectStreamsFS(cfg.FS, cfg.Dir)
+	if err != nil {
+		return nil, nil, fmt.Errorf("recovery: %w", err)
+	}
+	logExists := nStreams > 0
 	if !anchorExists && !logExists {
 		db, err := core.Open(cfg)
 		if err != nil {
@@ -134,7 +149,7 @@ func Open(cfg core.Config, opts Options) (*core.DB, *Report, error) {
 		image   []byte
 		meta    []byte
 		entries = make(map[wal.TxnID]*wal.TxnEntry)
-		ckEnd   wal.LSN
+		ckEnds  []wal.LSN
 		auditSN wal.LSN
 		fbFrom  int // images involved in a fallback load, for the event
 		fbTo    int
@@ -154,13 +169,18 @@ func Open(cfg core.Config, opts Options) (*core.DB, *Report, error) {
 			if fberr != nil {
 				return nil, nil, fmt.Errorf("recovery: %w (fallback image also unusable: %v)", loadErr, fberr)
 			}
-			base, berr := wal.LogBaseFS(cfg.FS, cfg.Dir)
+			bases, berr := wal.LogBasesFS(cfg.FS, cfg.Dir)
 			if berr != nil {
 				return nil, nil, fmt.Errorf("recovery: %w (fallback log base: %v)", loadErr, berr)
 			}
-			if base > fb.Anchor.CKEnd {
-				return nil, nil, fmt.Errorf("recovery: %w (fallback image needs log from %d but log was compacted to %d)",
-					loadErr, fb.Anchor.CKEnd, base)
+			fbVec := fb.Anchor.Vector()
+			for i, base := range bases {
+				// Streams beyond the fallback's vector replay from their own
+				// base, which trivially reaches back far enough.
+				if i < len(fbVec) && base > fbVec[i] {
+					return nil, nil, fmt.Errorf("recovery: %w (fallback image needs stream %d log from %d but it was compacted to %d)",
+						loadErr, i, fbVec[i], base)
+				}
 			}
 			loaded, err = fb, nil
 			report.UsedFallbackImage = true
@@ -176,7 +196,7 @@ func Open(cfg core.Config, opts Options) (*core.DB, *Report, error) {
 		}
 		image = loaded.Image
 		meta = loaded.Meta
-		ckEnd = loaded.Anchor.CKEnd
+		ckEnds = loaded.Anchor.Vector()
 		auditSN = loaded.Anchor.AuditSN
 		report.CheckpointSeq = loaded.Anchor.SeqNo
 		for _, e := range loaded.ATTEntries {
@@ -185,7 +205,7 @@ func Open(cfg core.Config, opts Options) (*core.DB, *Report, error) {
 	} else {
 		image = make([]byte, imageSize)
 	}
-	db, rep, err := openFrom(cfg, image, meta, entries, ckEnd, auditSN, opts, report)
+	db, rep, err := openFrom(cfg, image, meta, entries, ckEnds, auditSN, opts, report)
 	if err == nil && rep.UsedFallbackImage {
 		reg := db.Observability()
 		reg.Counter(obs.NameCkptFallbacks).Inc()
@@ -204,6 +224,10 @@ type ImageState struct {
 	Meta    []byte
 	CKEnd   wal.LSN
 	AuditSN wal.LSN
+	// CKEnds is the per-stream consistency vector for multi-stream logs
+	// (entry 0 equals CKEnd). Empty means single-stream: streams beyond
+	// the vector replay from their base.
+	CKEnds []wal.LSN
 }
 
 // OpenFromImage runs restart recovery from an externally supplied image
@@ -221,24 +245,38 @@ func OpenFromImage(cfg core.Config, st ImageState, opts Options) (*core.DB, *Rep
 		return nil, nil, fmt.Errorf("recovery: supplied image is %d bytes, config implies %d",
 			len(st.Image), imageSize)
 	}
+	ckEnds := st.CKEnds
+	if len(ckEnds) == 0 {
+		ckEnds = []wal.LSN{st.CKEnd}
+	}
 	report := &Report{ScanStart: st.CKEnd}
 	image := append([]byte(nil), st.Image...)
 	return openFrom(cfg, image, st.Meta, make(map[wal.TxnID]*wal.TxnEntry),
-		st.CKEnd, st.AuditSN, opts, report)
+		ckEnds, st.AuditSN, opts, report)
 }
 
 // openFrom is the shared redo/undo/checkpoint pipeline behind Open and
 // OpenFromImage.
 func openFrom(cfg core.Config, image, meta []byte, entries map[wal.TxnID]*wal.TxnEntry,
-	ckEnd, auditSN wal.LSN, opts Options, report *Report) (*core.DB, *Report, error) {
+	ckEnds []wal.LSN, auditSN wal.LSN, opts Options, report *Report) (*core.DB, *Report, error) {
+	var ckEnd wal.LSN
+	if len(ckEnds) > 0 {
+		ckEnd = ckEnds[0]
+	}
 	report.ScanStart = ckEnd
 
-	// Pre-scan: locate the last clean audit (Audit_SN), gather the
-	// corrupt ranges noted by failed audits, and find the ID horizon.
-	pre, err := prescan(cfg.FS, cfg.Dir, ckEnd, auditSN)
+	// One merged scan: every stream is read concurrently from its entry in
+	// the checkpoint's stream vector (streams the vector predates replay
+	// from their base) and the records merge into global GSN order. Both
+	// the pre-scan and the redo scan walk this one materialized sequence.
+	merged, err := wal.ScanStreamsFS(cfg.FS, cfg.Dir, ckEnds)
 	if err != nil {
 		return nil, nil, err
 	}
+
+	// Pre-scan: locate the last clean audit (Audit_SN), gather the
+	// corrupt ranges noted by failed audits, and find the ID horizon.
+	pre := prescan(merged, auditSN)
 
 	pcfg := cfg.Protect.Defaulted()
 	cwMode := pcfg.Kind == protect.KindCWReadLog && !opts.DisableCorruptionMode
@@ -253,9 +291,22 @@ func openFrom(cfg core.Config, image, meta []byte, entries map[wal.TxnID]*wal.Tx
 	seed = append(seed, opts.ExtraCorrupt...)
 	report.SeedCorrupt = seed
 
-	// Redo phase: forward scan from CK_end, repeating history physically
-	// — except for transactions found to have read corrupt data, whose
-	// writes are diverted into the CorruptDataTable (§4.3).
+	// The partitioned parallel apply only runs outside corruption mode:
+	// the delete-transaction algorithm's corrupt-read checks consult the
+	// image as it evolves record by record, which is inherently serial.
+	workers := opts.RedoWorkers
+	if workers <= 0 {
+		workers = cfg.Workers
+	}
+	deferApply := !corruptionMode && workers > 1
+	report.RedoWorkers = 1
+	if deferApply {
+		report.RedoWorkers = workers
+	}
+
+	// Redo phase: forward scan in global order, repeating history
+	// physically — except for transactions found to have read corrupt
+	// data, whose writes are diverted into the CorruptDataTable (§4.3).
 	scanState := &redoScan{
 		image:      image,
 		regionSize: pcfg.RegionSize,
@@ -263,26 +314,46 @@ func openFrom(cfg core.Config, image, meta []byte, entries map[wal.TxnID]*wal.Tx
 		ctt:        make(map[wal.TxnID]*DeletedTxn),
 		cwMode:     cwMode,
 		corruption: corruptionMode,
-		seedAt:     pre.lastCleanBegin,
 		seed:       seed,
 		maxTxn:     pre.maxTxn,
+		deferApply: deferApply,
 	}
 	for id := range entries {
 		if id > scanState.maxTxn {
 			scanState.maxTxn = id
 		}
 	}
-	if corruptionMode && !cwMode && scanState.seedAt <= ckEnd {
+	if corruptionMode && !cwMode && pre.lastCleanBegin <= ckEnd {
 		scanState.seedNow()
 	}
-	if err := wal.ScanFS(cfg.FS, cfg.Dir, ckEnd, scanState.step); err != nil {
-		return nil, nil, err
+	for i, sr := range merged {
+		if corruptionMode && !cwMode && !scanState.seeded && pre.seedIdx >= 0 && i >= pre.seedIdx {
+			// The merged scan reached Audit_SN (the begin record of the
+			// last clean audit): seed the data known corrupt at that point.
+			scanState.seedNow()
+		}
+		if !scanState.step(sr.R) {
+			break
+		}
 	}
 	if scanState.err != nil {
 		return nil, nil, scanState.err
 	}
 	report.RecordsScanned = scanState.scanned
 	report.RedoApplied = scanState.applied
+
+	// Deferred parallel apply: workers own disjoint contiguous partitions
+	// of the image and each walks the full apply list in global order,
+	// copying only the bytes that intersect its partition. Every image
+	// byte is written by exactly one worker in record order, so the final
+	// image — and every captured before-image — is byte-identical to a
+	// serial replay.
+	var redoNS uint64
+	if deferApply && len(scanState.items) > 0 {
+		startApply := time.Now()
+		applyParallel(image, scanState.items, workers)
+		redoNS = uint64(time.Since(startApply).Nanoseconds())
+	}
 
 	// Assemble the database around the recovered image.
 	db, err := core.NewRecovered(cfg, &core.RecoveredState{
@@ -293,6 +364,12 @@ func openFrom(cfg core.Config, image, meta []byte, entries map[wal.TxnID]*wal.Tx
 	})
 	if err != nil {
 		return nil, nil, err
+	}
+	report.LogStreams = db.Internals().Log.NumStreams()
+	reg := db.Observability()
+	reg.Gauge(obs.NameRecoveryRedoWorkers).Set(int64(report.RedoWorkers))
+	if deferApply {
+		reg.Histogram(obs.NameRecoveryParallelNS).Observe(redoNS)
 	}
 
 	// Undo phase: every remaining entry — incomplete transactions and
@@ -339,9 +416,14 @@ func roundUp(n, multiple int) int {
 // prescanResult carries what the first pass learned.
 type prescanResult struct {
 	lastCleanBegin wal.LSN
-	failRanges     []Range
-	maxTxn         wal.TxnID
-	maxAuditSN     uint64
+	// seedIdx is the position in the merged scan where the corruption
+	// algorithm seeds the CorruptDataTable: the first stream-0 record at
+	// or past Audit_SN (audit records live on stream 0, so Audit_SN is a
+	// stream-0 LSN). -1 when no scanned record qualifies.
+	seedIdx    int
+	failRanges []Range
+	maxTxn     wal.TxnID
+	maxAuditSN uint64
 }
 
 // prescan finds Audit_SN (the begin LSN of the last clean audit), the
@@ -349,10 +431,11 @@ type prescanResult struct {
 // horizons. It must be a separate pass because corrupt ranges are seeded
 // into the CorruptDataTable when the main scan passes Audit_SN, which is
 // earlier in the log than the failed audit that noted them.
-func prescan(fsys iofault.FS, dir string, from wal.LSN, anchorAuditSN wal.LSN) (*prescanResult, error) {
-	res := &prescanResult{lastCleanBegin: anchorAuditSN}
+func prescan(merged []wal.StreamRecord, anchorAuditSN wal.LSN) *prescanResult {
+	res := &prescanResult{lastCleanBegin: anchorAuditSN, seedIdx: -1}
 	begins := make(map[uint64]wal.LSN)
-	err := wal.ScanFS(fsys, dir, from, func(r *wal.Record) bool {
+	for _, sr := range merged {
+		r := sr.R
 		if r.Txn > res.maxTxn {
 			res.maxTxn = r.Txn
 		}
@@ -378,12 +461,14 @@ func prescan(fsys iofault.FS, dir string, from wal.LSN, anchorAuditSN wal.LSN) (
 				}
 			}
 		}
-		return true
-	})
-	if err != nil {
-		return nil, err
 	}
-	return res, nil
+	for i, sr := range merged {
+		if sr.Stream == 0 && sr.R.LSN >= res.lastCleanBegin {
+			res.seedIdx = i
+			break
+		}
+	}
+	return res
 }
 
 // redoScan is the state of the redo phase's forward scan.
@@ -395,14 +480,67 @@ type redoScan struct {
 	cdt        RangeSet                  // CorruptDataTable
 	cwMode     bool
 	corruption bool
-	seedAt     wal.LSN
 	seed       []Range
 	seeded     bool
 	maxTxn     wal.TxnID
 	scanned    int
 	applied    int
 	decisions  map[uint64]bool // coordinator verdicts seen in this log
+	// deferApply diverts physical redos into items for the partitioned
+	// parallel apply pass instead of applying them inline.
+	deferApply bool
+	items      []applyItem
 	err        error
+}
+
+// applyItem is one physical redo deferred for the parallel apply pass.
+// before is the undo buffer already pushed on the transaction's entry;
+// apply workers fill the parts of it that intersect their partition.
+type applyItem struct {
+	addr   mem.Addr
+	data   []byte
+	before []byte
+}
+
+// applyParallel replays deferred physical redos with workers owning
+// disjoint contiguous byte partitions of the image. Each worker walks the
+// full item list in global order and copies only the intersection with
+// its partition — capturing the before-image, then applying the data —
+// so per byte the replay happens exactly in serial order, and no two
+// workers touch the same byte of the image or of any before buffer.
+func applyParallel(image []byte, items []applyItem, workers int) {
+	pool := region.NewPool(workers)
+	psz := (len(image) + workers - 1) / workers
+	if psz < 1 {
+		psz = 1
+	}
+	pool.Run(workers, 1, func(lo, hi int) {
+		for p := lo; p < hi; p++ {
+			plo := p * psz
+			phi := plo + psz
+			if plo >= len(image) {
+				continue
+			}
+			if phi > len(image) {
+				phi = len(image)
+			}
+			for _, it := range items {
+				a := int(it.addr)
+				s, e := a, a+len(it.data)
+				if s < plo {
+					s = plo
+				}
+				if e > phi {
+					e = phi
+				}
+				if s >= e {
+					continue
+				}
+				copy(it.before[s-a:e-a], image[s:e])
+				copy(image[s:e], it.data[s-a:e-a])
+			}
+		}
+	})
 }
 
 func (s *redoScan) seedNow() {
@@ -493,9 +631,6 @@ func (s *redoScan) step(r *wal.Record) bool {
 	if r.Txn > s.maxTxn {
 		s.maxTxn = r.Txn
 	}
-	if s.corruption && !s.cwMode && !s.seeded && r.LSN >= s.seedAt {
-		s.seedNow()
-	}
 	switch r.Kind {
 	case wal.KindTxnBegin:
 		s.entry(r.Txn)
@@ -527,10 +662,14 @@ func (s *redoScan) step(r *wal.Record) bool {
 		}
 		e := s.entry(r.Txn)
 		before := make([]byte, len(r.Data))
-		copy(before, s.image[r.Addr:end])
 		u := e.PushPhysUndo(r.Addr, before)
 		u.CodewordPending = false // codewords are recomputed wholesale after redo
-		copy(s.image[r.Addr:end], r.Data)
+		if s.deferApply {
+			s.items = append(s.items, applyItem{addr: r.Addr, data: r.Data, before: before})
+		} else {
+			copy(before, s.image[r.Addr:end])
+			copy(s.image[r.Addr:end], r.Data)
+		}
 		s.applied++
 
 	case wal.KindOpBegin:
@@ -554,7 +693,7 @@ func (s *redoScan) step(r *wal.Record) bool {
 				return false
 			}
 		} else {
-			if err := e.CommitOp(r.Level, r.Key, r.Undo, r.LSN); err != nil {
+			if err := e.CommitOp(r.Level, r.Key, r.Undo, r.OrderLSN()); err != nil {
 				s.err = fmt.Errorf("recovery: %w", err)
 				return false
 			}

@@ -240,15 +240,35 @@ func TestCrossShardCommitSurvivesReopen(t *testing.T) {
 // at least one transaction through the in-doubt path (prepared records
 // durable, decision applied or presumed abort at open).
 func TestCrossShardTortureEveryCrashPoint(t *testing.T) {
+	runCrossShardTorture(t, 0)
+}
+
+// TestCrossShardTortureEveryCrashPointMultiStream reruns the campaign
+// with each shard's WAL sharded into two streams: crash points now land
+// inside every stream file's writes and fsyncs, and in-doubt 2PC
+// resolution must merge prepare/decision records across streams by GSN.
+func TestCrossShardTortureEveryCrashPointMultiStream(t *testing.T) {
+	runCrossShardTorture(t, 2)
+}
+
+func runCrossShardTorture(t *testing.T, logStreams int) {
 	if testing.Short() {
 		t.Skip("torture campaign is long; skipped with -short")
 	}
 
 	const K = 2
+	mkCfg := func(dir string) Config {
+		c := testConfig(t, dir, K)
+		c.LogStreams = logStreams
+		if logStreams > 1 {
+			c.RedoWorkers = 2
+		}
+		return c
+	}
 	seed := filepath.Join(t.TempDir(), "seed")
 
 	// Build the seed state once: baseline values for one key per shard.
-	cfg := testConfig(t, seed, K)
+	cfg := mkCfg(seed)
 	r, _ := mustOpen(t, cfg)
 	keys := crossShardKeys(t, r)
 	txn := r.Begin()
@@ -267,7 +287,7 @@ func TestCrossShardTortureEveryCrashPoint(t *testing.T) {
 	// scenario opens the work copy through the fault FS and runs the
 	// cross-shard update. Errors from the armed crash are expected.
 	scenario := func(work string, ffs *iofault.FaultFS) {
-		wcfg := testConfig(t, work, K)
+		wcfg := mkCfg(work)
 		wcfg.FS = ffs
 		wr, _, err := Open(wcfg)
 		if err != nil {
@@ -309,7 +329,7 @@ func TestCrossShardTortureEveryCrashPoint(t *testing.T) {
 		if err := ffs.MaterializeDurable(recoverDir); err != nil {
 			t.Fatalf("point %d: materialize: %v", k, err)
 		}
-		rr, rep, err := Open(testConfig(t, recoverDir, K))
+		rr, rep, err := Open(mkCfg(recoverDir))
 		if err != nil {
 			t.Fatalf("point %d: recovery open: %v", k, err)
 		}

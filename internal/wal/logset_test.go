@@ -1,0 +1,378 @@
+package wal
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/iofault"
+)
+
+// TestLogSetSingleStreamByteCompat pins the upgrade contract: a LogSet
+// opened with one stream writes byte-identical output to a plain
+// SystemLog (no GSN stamping, no extra files), so existing databases
+// upgrade and downgrade without conversion.
+func TestLogSetSingleStreamByteCompat(t *testing.T) {
+	mkRecs := func() []*Record {
+		return []*Record{
+			{Kind: KindTxnBegin, Txn: 7},
+			{Kind: KindPhysRedo, Txn: 7, Addr: 64, Data: []byte("abcdefgh")},
+			{Kind: KindTxnCommit, Txn: 7},
+		}
+	}
+
+	setDir := t.TempDir()
+	ls, err := OpenLogSet(setDir, 4096, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ls.NumStreams() != 1 {
+		t.Fatalf("NumStreams = %d", ls.NumStreams())
+	}
+	if err := ls.AppendAndFlush(mkRecs()...); err != nil {
+		t.Fatal(err)
+	}
+	if ls.GSN() != 0 {
+		// Single-stream sets never stamp: the counter stays at its seed,
+		// which is zero for a freshly created set.
+		t.Fatalf("single-stream set advanced the GSN: %d", ls.GSN())
+	}
+	if err := ls.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(setDir, StreamFileName(1))); err == nil {
+		t.Fatal("single-stream set created a second stream file")
+	}
+
+	rawDir := t.TempDir()
+	sl, err := OpenSystemLog(rawDir, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sl.AppendAndFlush(mkRecs()...); err != nil {
+		t.Fatal(err)
+	}
+	if err := sl.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	a, err := os.ReadFile(filepath.Join(setDir, LogFileName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(filepath.Join(rawDir, LogFileName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatalf("single-stream LogSet output differs from SystemLog output (%d vs %d bytes)", len(a), len(b))
+	}
+}
+
+// TestLogSetRoutingAndMerge appends interleaved transactions across a
+// multi-stream set and checks the two ordering invariants recovery
+// relies on: all records of one transaction live on its home stream in
+// append order, and the merged scan reproduces the exact global append
+// order via GSNs.
+func TestLogSetRoutingAndMerge(t *testing.T) {
+	dir := t.TempDir()
+	l, err := OpenLogSet(dir, 4096, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.NumStreams() != 3 {
+		t.Fatalf("NumStreams = %d", l.NumStreams())
+	}
+
+	// A deterministic interleaving of four transactions (streams 1, 2, 0, 1).
+	var want []TxnID // global append order, by txn of each record
+	appendOne := func(txn TxnID, kind Kind, payload byte) {
+		r := &Record{Kind: kind, Txn: txn}
+		if kind == KindPhysRedo {
+			r.Addr = 128
+			r.Data = []byte{payload, payload, payload, payload}
+		}
+		if err := l.Append(r); err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, txn)
+	}
+	for _, txn := range []TxnID{1, 2, 3, 4} {
+		appendOne(txn, KindTxnBegin, 0)
+	}
+	for i := 0; i < 5; i++ {
+		for _, txn := range []TxnID{4, 1, 3, 2} {
+			appendOne(txn, KindPhysRedo, byte(i))
+		}
+	}
+	for _, txn := range []TxnID{2, 4, 1, 3} {
+		appendOne(txn, KindTxnCommit, 0)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	merged, err := ScanStreamsFS(iofault.OS, dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(merged) != len(want) {
+		t.Fatalf("merged %d records, appended %d", len(merged), len(want))
+	}
+	var lastGSN uint64
+	for i, sr := range merged {
+		if sr.R.Txn != want[i] {
+			t.Fatalf("merged[%d] is txn %d, want %d", i, sr.R.Txn, want[i])
+		}
+		if wantStream := int(uint64(sr.R.Txn) % 3); sr.Stream != wantStream {
+			t.Fatalf("txn %d record on stream %d, want %d", sr.R.Txn, sr.Stream, wantStream)
+		}
+		if sr.R.GSN == 0 {
+			t.Fatalf("merged[%d] has no GSN on a multi-stream set", i)
+		}
+		if sr.R.GSN <= lastGSN {
+			t.Fatalf("merged[%d] GSN %d not above predecessor %d", i, sr.R.GSN, lastGSN)
+		}
+		lastGSN = sr.R.GSN
+		if sr.R.OrderLSN() != LSN(sr.R.GSN) {
+			t.Fatalf("OrderLSN %d != GSN %d", sr.R.OrderLSN(), sr.R.GSN)
+		}
+	}
+}
+
+// TestMergeStreamRecordsDeterministic pins the merge rule on a hand-built
+// interleaving: unstamped records (the single-stream prefix, GSN 0) sort
+// first in their original order; stamped records follow in GSN order
+// regardless of stream or position.
+func TestMergeStreamRecordsDeterministic(t *testing.T) {
+	recs := []StreamRecord{
+		{Stream: 0, R: &Record{Kind: KindTxnBegin, Txn: 1, LSN: 16, GSN: 0}},
+		{Stream: 0, R: &Record{Kind: KindTxnCommit, Txn: 1, LSN: 32, GSN: 0}},
+		{Stream: 1, R: &Record{Kind: KindTxnBegin, Txn: 3, GSN: 107}},
+		{Stream: 0, R: &Record{Kind: KindTxnBegin, Txn: 2, GSN: 101}},
+		{Stream: 2, R: &Record{Kind: KindTxnCommit, Txn: 3, GSN: 112}},
+		{Stream: 1, R: &Record{Kind: KindTxnCommit, Txn: 2, GSN: 104}},
+	}
+	MergeStreamRecords(recs)
+	wantGSN := []uint64{0, 0, 101, 104, 107, 112}
+	wantLSN := []LSN{16, 32, 0, 0, 0, 0}
+	for i, sr := range recs {
+		if sr.R.GSN != wantGSN[i] {
+			t.Fatalf("pos %d: GSN %d, want %d", i, sr.R.GSN, wantGSN[i])
+		}
+		if wantGSN[i] == 0 && sr.R.LSN != wantLSN[i] {
+			t.Fatalf("pos %d: unstamped prefix out of LSN order (LSN %d, want %d)", i, sr.R.LSN, wantLSN[i])
+		}
+	}
+}
+
+// TestLogSetAutoWiden pins that the on-disk stream count is a floor: a
+// set written with three streams reopens with three even when asked for
+// one, and widens when asked for more.
+func TestLogSetAutoWiden(t *testing.T) {
+	dir := t.TempDir()
+	l, err := OpenLogSet(dir, 4096, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.AppendAndFlush(&Record{Kind: KindTxnBegin, Txn: 5}); err != nil {
+		t.Fatal(err)
+	}
+	gsnAtClose := l.GSN()
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, err := OpenLogSet(dir, 4096, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l2.NumStreams() != 3 {
+		t.Fatalf("reopened with %d streams, want 3 (floor)", l2.NumStreams())
+	}
+	if l2.GSN() < gsnAtClose {
+		t.Fatalf("GSN seed %d below last stamped %d", l2.GSN(), gsnAtClose)
+	}
+	if err := l2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	l3, err := OpenLogSet(dir, 4096, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l3.Close()
+	if l3.NumStreams() != 5 {
+		t.Fatalf("widened to %d streams, want 5", l3.NumStreams())
+	}
+	if n, err := DetectStreamsFS(iofault.OS, dir); err != nil || n != 5 {
+		t.Fatalf("DetectStreamsFS = %d, %v; want 5", n, err)
+	}
+}
+
+// TestLogSetUpgradeMergesOldPrefix writes a single-stream log, reopens it
+// as a two-stream set, and checks the merged scan yields the unstamped
+// old records first (in LSN order) followed by the stamped new ones.
+func TestLogSetUpgradeMergesOldPrefix(t *testing.T) {
+	dir := t.TempDir()
+	l, err := OpenLogSet(dir, 4096, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.AppendAndFlush(
+		&Record{Kind: KindTxnBegin, Txn: 2},
+		&Record{Kind: KindTxnCommit, Txn: 2},
+	); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, err := OpenLogSet(dir, 4096, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, txn := range []TxnID{3, 4} {
+		if err := l2.AppendAndFlush(
+			&Record{Kind: KindTxnBegin, Txn: txn},
+			&Record{Kind: KindTxnCommit, Txn: txn},
+		); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	merged, err := ScanStreamsFS(iofault.OS, dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(merged) != 6 {
+		t.Fatalf("merged %d records, want 6", len(merged))
+	}
+	wantTxn := []TxnID{2, 2, 3, 3, 4, 4}
+	for i, sr := range merged {
+		if sr.R.Txn != wantTxn[i] {
+			t.Fatalf("merged[%d] txn %d, want %d", i, sr.R.Txn, wantTxn[i])
+		}
+		if stamped := sr.R.GSN != 0; stamped != (sr.R.Txn != 2) {
+			t.Fatalf("merged[%d] txn %d stamped=%v", i, sr.R.Txn, stamped)
+		}
+	}
+}
+
+// TestLogSetCompactVector appends across streams and compacts with a
+// vector shorter than the set: covered streams truncate to their entry,
+// the uncovered stream keeps its full history.
+func TestLogSetCompactVector(t *testing.T) {
+	dir := t.TempDir()
+	l, err := OpenLogSet(dir, 4096, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	for _, txn := range []TxnID{3, 4, 5} { // streams 0, 1, 2
+		if err := l.AppendAndFlush(
+			&Record{Kind: KindTxnBegin, Txn: txn},
+			&Record{Kind: KindTxnCommit, Txn: txn},
+		); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ends := l.StableEnds()
+	if err := l.CompactVector(ends[:2]); err != nil {
+		t.Fatal(err)
+	}
+	bases := l.BaseLSNs()
+	if bases[0] != ends[0] || bases[1] != ends[1] {
+		t.Fatalf("covered streams not compacted: bases %v, ends %v", bases, ends)
+	}
+	if bases[2] != 0 {
+		t.Fatalf("uncovered stream compacted: base %d", bases[2])
+	}
+	if got, err := LogBasesFS(iofault.OS, dir); err != nil ||
+		got[0] != bases[0] || got[1] != bases[1] || got[2] != bases[2] {
+		t.Fatalf("LogBasesFS = %v, %v; want %v", got, err, bases)
+	}
+}
+
+// TestLogSetPoisonFanOutNoAcks is the fail-stop contract across streams,
+// checked under -race: once ANY stream poisons, no stream of the set
+// acknowledges another commit. Committers sample the set-level poison
+// before each commit; a commit that began after the poison was observable
+// must not return nil. The fan-out must also wake every sibling stream.
+func TestLogSetPoisonFanOutNoAcks(t *testing.T) {
+	const streams = 4
+	dir := t.TempDir()
+	fsys := iofault.NewFaultFS(dir)
+	// The set syncs each stream file once at open (durability of the file
+	// set), so the failing sync must land after those.
+	fsys.FailNthSync(streams + 3)
+	l, err := OpenLogSetFS(fsys, dir, 4096, streams)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const goroutines = 8
+	const perG = 30
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	ackedAfterPoison := 0
+	poisonedSeen := 0
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				id := TxnID(g*perG + i + 1)
+				poisonedBefore := l.Poisoned() != nil
+				err := l.AppendAndFlush(
+					&Record{Kind: KindTxnBegin, Txn: id},
+					&Record{Kind: KindTxnCommit, Txn: id},
+				)
+				mu.Lock()
+				if err == nil && poisonedBefore {
+					ackedAfterPoison++
+				}
+				if errors.Is(err, ErrLogPoisoned) {
+					poisonedSeen++
+				}
+				mu.Unlock()
+			}
+		}(g)
+	}
+	wg.Wait() // a hang here means a group-commit waiter was never woken
+
+	if poisonedSeen == 0 {
+		t.Fatal("injected fsync failure never surfaced to a committer")
+	}
+	if ackedAfterPoison != 0 {
+		t.Fatalf("%d commits acknowledged after the set was observably poisoned", ackedAfterPoison)
+	}
+	if err := l.Poisoned(); !errors.Is(err, ErrLogPoisoned) {
+		t.Fatalf("set Poisoned() = %v", err)
+	}
+	// The fan-out runs on its own goroutine; every sibling must fail-stop.
+	deadline := time.Now().Add(5 * time.Second)
+	for i := 0; i < streams; i++ {
+		for l.Stream(i).Poisoned() == nil {
+			if time.Now().After(deadline) {
+				t.Fatalf("stream %d never poisoned by the fan-out", i)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	// And the set stays dead: no append on any stream succeeds.
+	for txn := TxnID(1000); txn < TxnID(1000+streams); txn++ {
+		if err := l.Append(&Record{Kind: KindTxnBegin, Txn: txn}); !errors.Is(err, ErrLogPoisoned) {
+			t.Fatalf("append to txn %d's stream after poison = %v", txn, err)
+		}
+	}
+	l.CloseWithoutFlush()
+}

@@ -121,6 +121,14 @@ type Record struct {
 	Kind Kind
 	Txn  TxnID
 
+	// GSN is the global sequence number stamped by a multi-stream log set
+	// (wal.LogSet) under the owning stream's latch: an atomic counter shared
+	// by all streams, so (stream, LSN) pairs merge into one total order
+	// without a shared append-path latch. Zero on single-stream logs — the
+	// encoder omits a zero GSN entirely, keeping S=1 output byte-identical
+	// to the pre-stream format.
+	GSN uint64
+
 	// Physical fields (KindPhysRedo, KindRead).
 	Addr mem.Addr
 	Len  int    // byte count for KindRead
@@ -240,6 +248,14 @@ func (r *Record) encodePayload(b []byte) []byte {
 			b = appendUvarint(b, uint64(r.CorruptAddrs[i]))
 			b = appendUvarint(b, uint64(r.CorruptLens[i]))
 		}
+	}
+	// Optional trailing GSN: only stamped by multi-stream log sets. The
+	// decoder treats leftover payload bytes as this field, so old readers
+	// (which ignore trailing bytes) and old records (which have none)
+	// interoperate; a single-stream log never writes it, keeping its
+	// on-disk format byte-identical to the pre-stream layout.
+	if r.GSN != 0 {
+		b = appendUvarint(b, r.GSN)
 	}
 	return b
 }
@@ -375,10 +391,26 @@ func decodePayload(payload []byte) (*Record, error) {
 	default:
 		return nil, fmt.Errorf("%w: unknown kind %d", ErrTornRecord, r.Kind)
 	}
+	if d.err == nil && d.pos < len(d.buf) {
+		r.GSN = d.uvarint()
+	}
 	if d.err != nil {
 		return nil, d.err
 	}
 	return r, nil
+}
+
+// OrderLSN is the record's position in the global commit order: the GSN
+// when one was stamped (multi-stream log sets), the stream-local LSN
+// otherwise. Logical-undo ordering across transactions compares OrderLSNs;
+// a log set seeds its GSN counter above every byte offset already written,
+// so mixed GSN/LSN comparisons across a stream-count change stay
+// conservative-correct (newer operations always compare larger).
+func (r *Record) OrderLSN() LSN {
+	if r.GSN != 0 {
+		return LSN(r.GSN)
+	}
+	return r.LSN
 }
 
 func (r *Record) decodeCW(d *decodeReader) {

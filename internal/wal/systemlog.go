@@ -7,6 +7,7 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/iofault"
@@ -82,7 +83,7 @@ func (f DirtyNoterFunc) NoteDirty(id mem.PageID) { f(id) }
 // appends so that LSNs are dense byte offsets into the (stable ++ tail)
 // byte stream.
 type SystemLog struct {
-	latch latch.Latch //dbvet:latch syslog — the paper's "system log latch"
+	latch latch.Latch //dbvet:latch stream — the paper's "system log latch"; one per stream in a sharded set
 	// flushDone is signalled whenever a flush completes; committers
 	// waiting for their records to become durable sleep on it (group
 	// commit: the latch is NOT held across the fsync, so appends and
@@ -97,6 +98,8 @@ type SystemLog struct {
 
 	fs        iofault.FS
 	dir       string
+	name      string // file name within dir (LogFileName, or a stream file)
+	stream    int    // stream index within a LogSet (0 for a standalone log)
 	f         iofault.File
 	baseLSN   LSN    // LSN of the first record in the file (post-compaction)
 	stableEnd LSN    // everything below this LSN is on disk
@@ -104,9 +107,21 @@ type SystemLog struct {
 	tailRecs  []tailRec
 	pageSize  int
 
+	// gsnSrc, when non-nil, is the owning LogSet's shared global sequence
+	// counter: appendLocked stamps every record from it (under this
+	// stream's latch), giving cross-stream records a total order without a
+	// shared append-path latch. nil on standalone (single-stream) logs.
+	gsnSrc *atomic.Uint64
+
 	// poisoned, once set, permanently fails every Append/Flush (fail-stop
 	// after a stable-log write/fsync failure). Guarded by the log latch.
 	poisoned error
+	// onPoison, when set, is called exactly once at poison time (with this
+	// stream's latch held). The owning LogSet installs a hook here that
+	// fail-stops the sibling streams: it must not acquire another stream's
+	// latch synchronously (it flips a set-level atomic and fans out on a
+	// fresh goroutine).
+	onPoison func(cause error)
 
 	noters []DirtyNoter
 
@@ -127,6 +142,11 @@ type SystemLog struct {
 	hFsyncNS     *obs.Histogram
 	hFlushBytes  *obs.Histogram
 	hGroupCommit *obs.Histogram
+	// hGroupCommitStream, set by an owning multi-stream LogSet, additionally
+	// records this stream's group-commit batch sizes under a per-stream
+	// metric name, so an operator can see whether commit load spreads
+	// across streams. nil (no-op) on standalone logs.
+	hGroupCommitStream *obs.Histogram
 }
 
 // SetRegistry wires the log's metrics and events into reg: append/flush
@@ -179,7 +199,13 @@ func OpenSystemLog(dir string, pageSize int) (*SystemLog, error) {
 // through an iofault.FS, so storage-fault campaigns can inject fsync
 // failures, short writes and crash points into the stable log.
 func OpenSystemLogFS(fsys iofault.FS, dir string, pageSize int) (*SystemLog, error) {
-	path := filepath.Join(dir, LogFileName)
+	return openStreamLogFS(fsys, dir, LogFileName, 0, pageSize)
+}
+
+// openStreamLogFS opens one stream file of a log set (stream 0 is the
+// historical system.log, so single-stream databases keep their layout).
+func openStreamLogFS(fsys iofault.FS, dir, name string, stream, pageSize int) (*SystemLog, error) {
+	path := filepath.Join(dir, name)
 	f, err := fsys.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("wal: open system log: %w", err)
@@ -224,7 +250,7 @@ func OpenSystemLogFS(fsys iofault.FS, dir string, pageSize int) (*SystemLog, err
 		return nil, err
 	}
 	l := &SystemLog{
-		fs: fsys, dir: dir, f: f, baseLSN: base,
+		fs: fsys, dir: dir, name: name, stream: stream, f: f, baseLSN: base,
 		stableEnd: base + LSN(valid-logHeaderSize),
 		pageSize:  pageSize,
 	}
@@ -264,7 +290,7 @@ func (l *SystemLog) Compact(keepFrom LSN) error {
 	if keepFrom == l.baseLSN {
 		return nil
 	}
-	path := filepath.Join(l.dir, LogFileName)
+	path := filepath.Join(l.dir, l.name)
 	data, err := l.fs.ReadFile(path)
 	if err != nil {
 		return fmt.Errorf("wal: compact read: %w", err)
@@ -343,6 +369,9 @@ func (l *SystemLog) Append(recs ...*Record) error {
 func (l *SystemLog) appendLocked(recs []*Record) {
 	for _, r := range recs {
 		r.LSN = l.endLocked()
+		if l.gsnSrc != nil {
+			r.GSN = l.gsnSrc.Add(1)
+		}
 		before := len(l.tail)
 		l.tail = r.Encode(l.tail)
 		l.tailRecs = append(l.tailRecs, tailRec{lsn: r.LSN, kind: r.Kind, addr: r.Addr, n: len(r.Data)})
@@ -372,6 +401,24 @@ func (l *SystemLog) poisonLocked(cause error) {
 		l.reg.Emit(obs.LogPoisonedEvent{Cause: cause})
 	}
 	l.flushDone.Broadcast()
+	if l.onPoison != nil {
+		// Fan-out hook: one poisoned stream fail-stops the whole log set.
+		// The hook runs with THIS stream's latch held, so it must not take
+		// a sibling's latch synchronously (the LogSet hook flips an atomic
+		// flag and poisons siblings from a fresh goroutine).
+		l.onPoison(cause)
+	}
+}
+
+// Poison fail-stops the log with the given cause, exactly as a failed
+// write/fsync would: the tail is discarded, waiters wake, and every future
+// Append/Flush fails. Used by the LogSet poison fan-out (a sibling stream
+// failed) — once any stream of a set is poisoned, no stream of the set may
+// acknowledge another commit. Poisoning an already poisoned log is a no-op.
+func (l *SystemLog) Poison(cause error) {
+	l.latch.Lock()
+	defer l.latch.Unlock()
+	l.poisonLocked(cause)
 }
 
 // Poisoned reports the poison error if the log has fail-stopped, nil
@@ -481,6 +528,7 @@ func (l *SystemLog) flushToLocked(ctx context.Context, target LSN) error {
 		l.hFsyncNS.ObserveDuration(fsync)
 		l.hFlushBytes.Observe(uint64(len(buf)))
 		l.hGroupCommit.Observe(uint64(len(recs)))
+		l.hGroupCommitStream.Observe(uint64(len(recs)))
 		if ferr != nil {
 			l.mFlushErrors.Inc()
 		} else {
@@ -663,7 +711,12 @@ func LogBase(dir string) (LSN, error) { return LogBaseFS(iofault.OS, dir) }
 // LogBaseFS is LogBase reading through fsys, so recovery observes the
 // same (possibly fault-injected) filesystem the engine writes through.
 func LogBaseFS(fsys iofault.FS, dir string) (LSN, error) {
-	data, err := fsys.ReadFile(filepath.Join(dir, LogFileName))
+	return logBaseFileFS(fsys, dir, LogFileName)
+}
+
+// logBaseFileFS is LogBaseFS for one named stream file.
+func logBaseFileFS(fsys iofault.FS, dir, name string) (LSN, error) {
+	data, err := fsys.ReadFile(filepath.Join(dir, name))
 	if err != nil {
 		if os.IsNotExist(err) {
 			return 0, nil
@@ -733,7 +786,12 @@ func Scan(dir string, from LSN, fn func(*Record) bool) error {
 
 // ScanFS is Scan reading through fsys.
 func ScanFS(fsys iofault.FS, dir string, from LSN, fn func(*Record) bool) error {
-	data, err := fsys.ReadFile(filepath.Join(dir, LogFileName))
+	return scanFileFS(fsys, dir, LogFileName, from, fn)
+}
+
+// scanFileFS is ScanFS over one named stream file.
+func scanFileFS(fsys iofault.FS, dir, name string, from LSN, fn func(*Record) bool) error {
+	data, err := fsys.ReadFile(filepath.Join(dir, name))
 	if err != nil {
 		if os.IsNotExist(err) {
 			return nil

@@ -310,6 +310,13 @@ type Snapshot struct {
 // single-stream databases pass one entry). Pages are copied to the side so
 // the barrier can be released before disk writes begin.
 func (s *Set) Begin(arena *mem.Arena, att, meta []byte, ckEnds []wal.LSN) *Snapshot {
+	if len(ckEnds) == 0 {
+		// Begin is exported API: an empty cut vector must not panic inside
+		// the checkpoint path. Synthesize the single-stream zero cut — the
+		// snapshot is then consistent with "nothing replayed", which is the
+		// only cut an empty vector can honestly claim.
+		ckEnds = []wal.LSN{0}
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	img := 0

@@ -329,6 +329,21 @@ func (fs *FaultFS) ReadFile(name string) ([]byte, error) {
 	return data, nil
 }
 
+// Stat reports metadata for the volatile view of name. Like ReadFile it
+// fails once the simulated machine is down, but it is not a read
+// failpoint: existence probes carry no data whose loss a campaign could
+// exercise, and keeping them out of the read count keeps FailNthRead
+// positions stable across probe-only refactors.
+func (fs *FaultFS) Stat(name string) (os.FileInfo, error) {
+	fs.mu.Lock()
+	if fs.crashed {
+		fs.mu.Unlock()
+		return nil, fmt.Errorf("%w (stat %s)", ErrCrashed, filepath.Base(name))
+	}
+	fs.mu.Unlock()
+	return os.Stat(name)
+}
+
 // Rename performs the volatile rename and records the pending
 // directory-entry operation; the durable view keeps the old entries until
 // a SyncDir or a Sync of the new path commits it.

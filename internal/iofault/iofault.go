@@ -60,6 +60,11 @@ type FS interface {
 	OpenFile(name string, flag int, perm os.FileMode) (File, error)
 	// ReadFile reads the whole (volatile) content of a file.
 	ReadFile(name string) ([]byte, error)
+	// Stat reports metadata for the (volatile) file at name without
+	// reading its content — existence probes over large files (log stream
+	// detection) must not cost a full-file read. A missing file yields an
+	// error satisfying errors.Is(err, fs.ErrNotExist).
+	Stat(name string) (os.FileInfo, error)
 	// Rename atomically replaces newpath with oldpath.
 	Rename(oldpath, newpath string) error
 	// SyncDir fsyncs a directory, making entry operations (creates,
@@ -78,6 +83,8 @@ func (osFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
 }
 
 func (osFS) ReadFile(name string) ([]byte, error) { return os.ReadFile(name) }
+
+func (osFS) Stat(name string) (os.FileInfo, error) { return os.Stat(name) }
 
 func (osFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
 

@@ -56,6 +56,7 @@ const (
 	// internal/recovery — parallel merge-redo (PR 8).
 	NameRecoveryRedoWorkers = "recovery.redo_workers" // gauge: workers used by the partitioned redo pass
 	NameRecoveryParallelNS  = "recovery.parallel_ns"  // histogram: parallel redo apply wall time
+	NameRecoveryGSNGaps     = "recovery.gsn_gaps"     // holes found in the merged scan's stamped-GSN sequence
 
 	// internal/region — codeword table maintenance.
 	NameRegionFolds         = "region.folds"

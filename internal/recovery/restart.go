@@ -103,6 +103,16 @@ type Report struct {
 	// other ping-pong image instead, replaying the log from its older
 	// CK_end.
 	UsedFallbackImage bool
+	// GSNGaps lists holes found in the merged scan's stamped-GSN
+	// sequence. GSNs are stamped densely within a session (per-open epoch
+	// records absorb the counter re-seed), and the commit path forces every
+	// record below an acknowledged commit durable across streams before
+	// acking — so a gap means a record that surviving sibling-stream
+	// records may depend on was lost, and the recovered state past the
+	// first gap should not be trusted blindly. Recovery still replays
+	// (surviving records are better applied than dropped) but surfaces the
+	// holes here, in the recovery.gsn_gaps counter, and as events.
+	GSNGaps []wal.GSNGap
 	// InDoubt lists 2PC-prepared transactions recovery left attached
 	// (neither undone nor released), sorted by ID. The opener must resolve
 	// each against its coordinator's decision.
@@ -274,6 +284,14 @@ func openFrom(cfg core.Config, image, meta []byte, entries map[wal.TxnID]*wal.Tx
 		return nil, nil, err
 	}
 
+	// GSN density check: each stream's scan ended independently at its own
+	// torn tail, so a hole in the stamped sequence — a lost record with
+	// surviving higher-GSN records merged over it — would otherwise be
+	// undetectable. Gaps are surfaced (report, counter, events below), not
+	// fatal: replaying the surviving records still converges the image,
+	// and the audit pass decides what state is trustworthy.
+	report.GSNGaps = wal.FindGSNGaps(merged)
+
 	// Pre-scan: locate the last clean audit (Audit_SN), gather the
 	// corrupt ranges noted by failed audits, and find the ID horizon.
 	pre := prescan(merged, auditSN)
@@ -370,6 +388,14 @@ func openFrom(cfg core.Config, image, meta []byte, entries map[wal.TxnID]*wal.Tx
 	reg.Gauge(obs.NameRecoveryRedoWorkers).Set(int64(report.RedoWorkers))
 	if deferApply {
 		reg.Histogram(obs.NameRecoveryParallelNS).Observe(redoNS)
+	}
+	if len(report.GSNGaps) > 0 {
+		reg.Counter(obs.NameRecoveryGSNGaps).Add(uint64(len(report.GSNGaps)))
+		if reg.HasSinks() {
+			for _, g := range report.GSNGaps {
+				reg.Emit(obs.RecoveryGSNGapEvent{After: g.After, Next: g.Next, Stream: g.Stream})
+			}
+		}
 	}
 
 	// Undo phase: every remaining entry — incomplete transactions and

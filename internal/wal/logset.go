@@ -14,6 +14,15 @@
 // Recovery for Main-Memory DBMSs on Multicores": partitioned logging with
 // sequence-number merge recovers near-linearly with core count).
 //
+// Durability is prefix-durability in GSN order: a commit is acknowledged
+// only once every record stamped before it — on any stream — is on disk.
+// The commit path reads each sibling's (stamped, durable) GSN watermarks
+// and forces, in parallel with its own stream, any sibling still holding
+// a volatile record below the committing batch; recovery double-checks
+// the property by verifying the merged scan's stamped GSNs are dense
+// (FindGSNGaps), with per-session epoch records absorbing the counter
+// re-seed at open.
+//
 // Stream 0 is the historical system.log. A set opened with S=1 never
 // stamps GSNs and writes byte-identical output to the pre-stream format,
 // so existing databases upgrade (and downgrade) without conversion.
@@ -88,15 +97,15 @@ func OpenLogSetFS(fsys iofault.FS, dir string, pageSize, streams int) (*LogSet, 
 	if s < 1 {
 		s = 1
 	}
-	for {
-		ok, err := streamFileExists(fsys, dir, s)
-		if err != nil {
-			return nil, fmt.Errorf("wal: probe stream %d: %w", s, err)
-		}
-		if !ok {
-			break
-		}
-		s++
+	// One Stat-based detection pass decides the width (probes cost a
+	// metadata lookup each, never a file read); the on-disk count is a
+	// floor, never shrunk.
+	existing, err := DetectStreamsFS(fsys, dir)
+	if err != nil {
+		return nil, err
+	}
+	if existing > s {
+		s = existing
 	}
 	l := &LogSet{}
 	for i := 0; i < s; i++ {
@@ -146,15 +155,29 @@ func OpenLogSetFS(fsys iofault.FS, dir string, pageSize, streams int) (*LogSet, 
 		}
 		sl.onPoison = l.onStreamPoison
 	}
+	if s > 1 {
+		// Open a GSN stamping session: the epoch record takes the session's
+		// first stamp (seed+1), so a recovery scan can tell the legitimate
+		// jump a re-seeded counter makes at open from a genuine hole in the
+		// sequence (FindGSNGaps). It is appended, not forced — the first
+		// commit's cross-stream dependency force (AppendAndFlushCtx) makes
+		// it durable before any commit of the session is acknowledged.
+		if err := l.streams[0].Append(&Record{Kind: KindGSNEpoch}); err != nil {
+			l.CloseWithoutFlush()
+			return nil, fmt.Errorf("wal: append gsn epoch: %w", err)
+		}
+	}
 	l.gGSN = (*obs.Registry)(nil).Gauge(obs.NameWALGSN)
 	return l, nil
 }
 
-// streamFileExists probes for stream i's file. A read error other than
-// non-existence is propagated, not folded into "absent": an injected or
-// real I/O failure must never make the set look narrower than it is.
+// streamFileExists probes for stream i's file with a metadata Stat (never
+// a content read — log files are large and probes are per-open). An error
+// other than non-existence is propagated, not folded into "absent": an
+// injected or real I/O failure must never make the set look narrower than
+// it is.
 func streamFileExists(fsys iofault.FS, dir string, i int) (bool, error) {
-	_, err := fsys.ReadFile(filepath.Join(dir, StreamFileName(i)))
+	_, err := fsys.Stat(filepath.Join(dir, StreamFileName(i)))
 	if err == nil {
 		return true, nil
 	}
@@ -241,15 +264,93 @@ func (l *LogSet) AppendAndFlush(recs ...*Record) error {
 }
 
 // AppendAndFlushCtx is AppendAndFlush with a context bounding the
-// group-commit wait. After a successful flush the set-level poison is
-// re-checked: once any stream has poisoned, no stream of the set
-// acknowledges another commit, even if this stream's own fsync succeeded
-// — the database is fail-stop as a unit.
+// group-commit wait.
+//
+// On a multi-stream set the flush enforces the WAL prefix property across
+// streams before the commit is acknowledged. The committing transaction
+// may depend on records it never wrote: an op-commit another transaction
+// appended (without flushing) before releasing its operation locks, or
+// index state observed under a structure latch. Every such record was
+// stamped before this batch, so its GSN is below the batch's first stamp —
+// but it may sit volatile in a sibling stream's tail, because sibling
+// group-commit queues run independently. A commit acknowledged while such
+// a record is volatile would let a crash erase the predecessor underneath
+// a durably-committed dependent (a single shared log prevented this by
+// flushing its prefix wholesale). So before the home stream's flush the
+// commit forces every sibling still holding a volatile record stamped
+// below this batch — the active form of Wu et al.'s passive group commit:
+// the ack waits until the global durable-GSN watermark covers the batch's
+// dependency horizon.
+//
+// The two force rounds are ordered, not merged: the sibling forces (which
+// do run in parallel with each other) must complete before the home
+// stream's flush starts. Flushing the commit record concurrently with its
+// dependencies would open a window where the commit is durable while a
+// dependency is still volatile — a crash there recovers a committed
+// transaction on top of a hole, the exact anomaly the force exists to
+// prevent. Ordering the rounds keeps the on-disk image write-ahead at
+// every instant: a commit record becomes durable only after everything
+// below its dependency horizon already is.
+//
+// After the forces the set-level poison is re-checked: once any stream
+// has poisoned, no stream of the set acknowledges another commit, even if
+// the fsyncs here succeeded — the database is fail-stop as a unit.
 func (l *LogSet) AppendAndFlushCtx(ctx context.Context, recs ...*Record) error {
 	if len(recs) == 0 {
 		return nil
 	}
-	err := l.streams[l.streamFor(recs[0])].AppendAndFlushCtx(ctx, recs...)
+	home := l.streams[l.streamFor(recs[0])]
+	if len(l.streams) == 1 {
+		return home.AppendAndFlushCtx(ctx, recs...)
+	}
+	if err := ctx.Err(); err != nil {
+		// Fail before anything is appended (the caller can still abort).
+		return fmt.Errorf("wal: append: %w", err)
+	}
+	if err := home.Append(recs...); err != nil {
+		return err
+	}
+	// dep is the dependency horizon: every record the batch could depend
+	// on was stamped strictly before the batch's first record. A sibling
+	// needs forcing iff it still holds a volatile record at or below dep —
+	// volatile records' GSNs all exceed the stream's durable watermark, so
+	// that reduces to durable < dep (watermarks read under the sibling's
+	// latch, which orders them after any stamp that precedes ours).
+	dep := recs[0].GSN - 1
+	var siblings []*SystemLog
+	for _, s := range l.streams {
+		if s == home {
+			continue
+		}
+		if stamped, durable := s.GSNWatermarks(); stamped > durable && durable < dep {
+			siblings = append(siblings, s)
+		}
+	}
+	var err error
+	switch len(siblings) {
+	case 0:
+	case 1:
+		err = siblings[0].ForceGSNCtx(ctx, dep)
+	default:
+		errs := make([]error, len(siblings))
+		var wg sync.WaitGroup
+		for i, s := range siblings {
+			wg.Add(1)
+			go func(i int, s *SystemLog) {
+				defer wg.Done()
+				errs[i] = s.ForceGSNCtx(ctx, dep)
+			}(i, s)
+		}
+		// Each per-stream ForceGSNCtx honors ctx itself, so this join is
+		// bounded by the caller's context.
+		//dbvet:allow ctxflow the joined goroutines run ForceGSNCtx with this ctx, which unblocks on cancellation
+		wg.Wait()
+		err = errors.Join(errs...)
+	}
+	if err == nil {
+		// Dependencies are durable; only now may the commit record be.
+		err = home.FlushCtx(ctx)
+	}
 	if err == nil {
 		if perr := l.Poisoned(); perr != nil {
 			return perr
@@ -586,4 +687,44 @@ func MergeStreamRecords(recs []StreamRecord) {
 	sort.SliceStable(recs, func(a, b int) bool {
 		return recs[a].R.GSN < recs[b].R.GSN
 	})
+}
+
+// GSNGap is a hole in the stamped-GSN sequence of a merged multi-stream
+// scan: After is the last GSN seen before the hole, Next the first GSN
+// after it (Next > After+1 and the record carrying Next is not a session
+// epoch), Stream the stream Next was read from.
+type GSNGap struct {
+	After, Next uint64
+	Stream      int
+}
+
+// FindGSNGaps verifies the density of the stamped-GSN sequence in a
+// merged scan. GSNs are stamped one per record from a single shared
+// counter, so within a stamping session the merged sequence is dense;
+// the counter re-seeds above the total bytes written at every open, and
+// the KindGSNEpoch record appended there carries the session's first
+// stamp, absorbing exactly that jump. Any other jump is a hole: each
+// stream ends its scan independently at its own torn tail, so a record
+// lost from one stream would otherwise be silently papered over by
+// higher-GSN survivors on its siblings. The commit path's cross-stream
+// dependency force keeps every record below an acknowledged commit
+// durable, so a reported gap below the last committed GSN is evidence of
+// a broken durability contract (or a damaged log), not of a normal crash
+// — recovery surfaces it rather than trusting the merge blindly. Records
+// above the cut with GSN zero (the unstamped single-stream prefix) are
+// outside the stamped sequence and are skipped.
+func FindGSNGaps(recs []StreamRecord) []GSNGap {
+	var gaps []GSNGap
+	var prev uint64
+	for _, sr := range recs {
+		g := sr.R.GSN
+		if g == 0 {
+			continue
+		}
+		if prev != 0 && g != prev+1 && sr.R.Kind != KindGSNEpoch {
+			gaps = append(gaps, GSNGap{After: prev, Next: g, Stream: sr.Stream})
+		}
+		prev = g
+	}
+	return gaps
 }

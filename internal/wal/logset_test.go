@@ -120,10 +120,16 @@ func TestLogSetRoutingAndMerge(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// Every multi-stream open stamps one gsn-epoch record on stream 0. It
+	// carries the session's first GSN, so it merges ahead of the payload.
+	if len(merged) == 0 || merged[0].R.Kind != KindGSNEpoch || merged[0].Stream != 0 {
+		t.Fatal("merged scan does not start with the open's gsn-epoch record")
+	}
+	lastGSN := merged[0].R.GSN
+	merged = merged[1:]
 	if len(merged) != len(want) {
 		t.Fatalf("merged %d records, appended %d", len(merged), len(want))
 	}
-	var lastGSN uint64
 	for i, sr := range merged {
 		if sr.R.Txn != want[i] {
 			t.Fatalf("merged[%d] is txn %d, want %d", i, sr.R.Txn, want[i])
@@ -253,9 +259,15 @@ func TestLogSetUpgradeMergesOldPrefix(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(merged) != 6 {
-		t.Fatalf("merged %d records, want 6", len(merged))
+	if len(merged) != 7 {
+		t.Fatalf("merged %d records, want 7 (6 txn records + 1 gsn-epoch)", len(merged))
 	}
+	// The upgrade open stamps its gsn-epoch right after the unstamped
+	// single-stream prefix: it holds the session's first GSN.
+	if merged[2].R.Kind != KindGSNEpoch {
+		t.Fatalf("merged[2] kind %v, want the upgrade open's gsn-epoch", merged[2].R.Kind)
+	}
+	merged = append(merged[:2:2], merged[3:]...)
 	wantTxn := []TxnID{2, 2, 3, 3, 4, 4}
 	for i, sr := range merged {
 		if sr.R.Txn != wantTxn[i] {
@@ -375,4 +387,143 @@ func TestLogSetPoisonFanOutNoAcks(t *testing.T) {
 		}
 	}
 	l.CloseWithoutFlush()
+}
+
+// TestLogSetCommitForcesDependencies is the cross-stream prefix-durability
+// contract behind the sharded group commit: acknowledging a commit on one
+// stream must first force every sibling stream holding volatile records
+// with lower GSNs. Txn 2's op records sit unflushed on stream 0 when txn
+// 3 commits on stream 1; after a crash (close without flush) txn 2's
+// records must still be on disk, or redo of the acked commit could run
+// against state missing its predecessor.
+func TestLogSetCommitForcesDependencies(t *testing.T) {
+	dir := t.TempDir()
+	l, err := OpenLogSet(dir, 4096, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Txn 2 routes to stream 0, txn 3 to stream 1.
+	if err := l.Append(
+		&Record{Kind: KindTxnBegin, Txn: 2},
+		&Record{Kind: KindPhysRedo, Txn: 2, Addr: 64, Data: []byte{1, 2, 3, 4}},
+	); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.AppendAndFlush(
+		&Record{Kind: KindTxnBegin, Txn: 3},
+		&Record{Kind: KindTxnCommit, Txn: 3},
+	); err != nil {
+		t.Fatal(err)
+	}
+	commitGSN := l.GSN()
+	l.CloseWithoutFlush() // crash: volatile tails are dropped
+
+	merged, err := ScanStreamsFS(iofault.OS, dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var txn2 int
+	for _, sr := range merged {
+		if sr.R.Txn == 2 {
+			txn2++
+		}
+		if sr.R.GSN == 0 || sr.R.GSN > commitGSN {
+			t.Fatalf("unexpected GSN %d in crash image (commit GSN %d)", sr.R.GSN, commitGSN)
+		}
+	}
+	if txn2 != 2 {
+		t.Fatalf("txn 2 left %d durable records, want 2: acked commit depends on volatile sibling-stream records", txn2)
+	}
+	if gaps := FindGSNGaps(merged); len(gaps) != 0 {
+		t.Fatalf("GSN gaps after dependency-forced commit: %v", gaps)
+	}
+}
+
+// TestFindGSNGapsDetectsLostStream doctors the failure FindGSNGaps exists
+// to report: a stream flushed past its siblings (bypassing the set-level
+// dependency force), then a crash dropped the volatile sibling records.
+// The merged scan must surface the hole in the stamped-GSN sequence.
+func TestFindGSNGapsDetectsLostStream(t *testing.T) {
+	dir := t.TempDir()
+	l, err := OpenLogSet(dir, 4096, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(&Record{Kind: KindTxnBegin, Txn: 2}); err != nil { // stream 0, GSN 2
+		t.Fatal(err)
+	}
+	if err := l.Stream(0).Flush(); err != nil { // epoch (GSN 1) + GSN 2 durable
+		t.Fatal(err)
+	}
+	if err := l.Append(&Record{Kind: KindPhysRedo, Txn: 2, Addr: 64, Data: []byte{9, 9, 9, 9}}); err != nil { // stream 0, GSN 3, volatile
+		t.Fatal(err)
+	}
+	if err := l.Append(&Record{Kind: KindTxnBegin, Txn: 3}); err != nil { // stream 1, GSN 4
+		t.Fatal(err)
+	}
+	if err := l.Stream(1).Flush(); err != nil { // per-stream flush skips the dependency force
+		t.Fatal(err)
+	}
+	l.CloseWithoutFlush() // crash: GSN 3 is lost, GSN 4 survives
+
+	merged, err := ScanStreamsFS(iofault.OS, dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gaps := FindGSNGaps(merged)
+	if len(gaps) != 1 {
+		t.Fatalf("FindGSNGaps = %v, want exactly one hole", gaps)
+	}
+	if g := gaps[0]; g.After != 2 || g.Next != 4 || g.Stream != 1 {
+		t.Fatalf("gap = %+v, want {After:2 Next:4 Stream:1}", g)
+	}
+}
+
+// TestFindGSNGapsSessionBoundary pins that reopening a multi-stream set
+// does not false-positive as a gap: the GSN counter re-seeds above the
+// previous session's stamps, and the per-open gsn-epoch record absorbs
+// exactly that jump.
+func TestFindGSNGapsSessionBoundary(t *testing.T) {
+	dir := t.TempDir()
+	for _, txn := range []TxnID{2, 3} {
+		l, err := OpenLogSet(dir, 4096, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := l.AppendAndFlush(
+			&Record{Kind: KindTxnBegin, Txn: txn},
+			&Record{Kind: KindTxnCommit, Txn: txn},
+		); err != nil {
+			t.Fatal(err)
+		}
+		if err := l.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	merged, err := ScanStreamsFS(iofault.OS, dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var epochs int
+	var jumped bool
+	var prev uint64
+	for _, sr := range merged {
+		if sr.R.Kind == KindGSNEpoch {
+			epochs++
+			if prev != 0 && sr.R.GSN != prev+1 {
+				jumped = true // the seed jump lands on this epoch
+			}
+		}
+		prev = sr.R.GSN
+	}
+	if epochs != 2 {
+		t.Fatalf("found %d gsn-epoch records, want one per open", epochs)
+	}
+	if !jumped {
+		t.Fatal("second open did not re-seed the GSN above the first session (test would not exercise the epoch exemption)")
+	}
+	if gaps := FindGSNGaps(merged); len(gaps) != 0 {
+		t.Fatalf("session boundary reported as gaps: %v", gaps)
+	}
 }

@@ -81,6 +81,16 @@ const (
 	// identifies the global transaction; Decision is true for commit.
 	// Under presumed abort, a missing decision record means abort.
 	KindTxnDecision
+	// KindGSNEpoch marks the start of a GSN stamping session: a multi-stream
+	// log set appends one to stream 0 at every open, immediately after
+	// seeding its GSN counter, so the record's own GSN is the first stamp of
+	// the session. The counter is seeded above the sum of stream ends (to
+	// dominate pre-stream LSNs), which jumps past the previous session's
+	// last stamp — recovery's gap detector uses the epoch record to tell
+	// these legitimate session-boundary jumps from a genuine hole, where a
+	// record a durable commit depended on was lost. Single-stream logs
+	// never write one, preserving their byte-exact format.
+	KindGSNEpoch
 )
 
 var kindNames = map[Kind]string{
@@ -95,6 +105,7 @@ var kindNames = map[Kind]string{
 	KindAuditEnd:    "audit-end",
 	KindTxnPrepare:  "txn-prepare",
 	KindTxnDecision: "txn-decision",
+	KindGSNEpoch:    "gsn-epoch",
 }
 
 func (k Kind) String() string {
@@ -223,8 +234,9 @@ func (r *Record) encodePayload(b []byte) []byte {
 		b = appendUvarint(b, uint64(r.Undo.Key))
 		b = appendUvarint(b, uint64(len(r.Undo.Args)))
 		b = append(b, r.Undo.Args...)
-	case KindTxnBegin, KindTxnCommit, KindTxnAbort:
-		// Kind and Txn suffice.
+	case KindTxnBegin, KindTxnCommit, KindTxnAbort, KindGSNEpoch:
+		// Kind and Txn suffice (the epoch's session seed is carried by its
+		// own GSN stamp in the trailing field).
 	case KindTxnPrepare:
 		b = appendUvarint(b, r.GID)
 	case KindTxnDecision:
@@ -372,7 +384,7 @@ func decodePayload(payload []byte) (*Record, error) {
 		r.Undo.Key = ObjectKey(d.uvarint())
 		n := int(d.uvarint())
 		r.Undo.Args = append([]byte(nil), d.bytes(n)...)
-	case KindTxnBegin, KindTxnCommit, KindTxnAbort:
+	case KindTxnBegin, KindTxnCommit, KindTxnAbort, KindGSNEpoch:
 	case KindTxnPrepare:
 		r.GID = d.uvarint()
 	case KindTxnDecision:

@@ -112,6 +112,15 @@ type SystemLog struct {
 	// stream's latch), giving cross-stream records a total order without a
 	// shared append-path latch. nil on standalone (single-stream) logs.
 	gsnSrc *atomic.Uint64
+	// stampedGSN is the highest GSN stamped onto a record of this stream;
+	// durableGSN is the stampedGSN value as of the capture of the last
+	// completed flush. Both are guarded by the stream latch. Because a
+	// stream's records are stamped in ascending GSN order, every volatile
+	// (not yet durable) record has GSN > durableGSN — the owning LogSet's
+	// commit path uses this to decide which sibling streams must be forced
+	// before a commit is acknowledged (cross-stream prefix durability).
+	stampedGSN uint64
+	durableGSN uint64
 
 	// poisoned, once set, permanently fails every Append/Flush (fail-stop
 	// after a stable-log write/fsync failure). Guarded by the log latch.
@@ -371,6 +380,7 @@ func (l *SystemLog) appendLocked(recs []*Record) {
 		r.LSN = l.endLocked()
 		if l.gsnSrc != nil {
 			r.GSN = l.gsnSrc.Add(1)
+			l.stampedGSN = r.GSN
 		}
 		before := len(l.tail)
 		l.tail = r.Encode(l.tail)
@@ -444,6 +454,58 @@ func (l *SystemLog) StableEnd() LSN {
 	return l.stableEnd
 }
 
+// GSNWatermarks reports the stream's GSN high-water marks: stamped is the
+// highest GSN assigned to a record of this stream, durable the highest
+// GSN known to be on disk. stamped == durable means the stream holds no
+// volatile stamped records; otherwise every volatile record's GSN lies in
+// (durable, stamped]. Reading under the latch is what makes the pair safe
+// for cross-stream commit decisions: a sibling's append holds its latch
+// from stamp to tail insertion, so a stamp that predates our own commit
+// record is always visible here.
+func (l *SystemLog) GSNWatermarks() (stamped, durable uint64) {
+	l.latch.Lock()
+	defer l.latch.Unlock()
+	return l.stampedGSN, l.durableGSN
+}
+
+// ForceGSNCtx blocks until every record of this stream stamped at or
+// below dep is durable. It is the cross-stream dependency force of the
+// set-level commit: unlike FlushCtx, which waits for the stream's current
+// end, it returns as soon as the durable watermark covers the horizon —
+// an in-flight group commit that captured the dependency records
+// satisfies it without a second force, so concurrent committers on
+// sibling streams mostly piggyback instead of queuing extra fsyncs. Only
+// when the horizon is still volatile and no force is in flight does it
+// start one (for the whole tail, as any flusher does).
+func (l *SystemLog) ForceGSNCtx(ctx context.Context, dep uint64) error {
+	l.latch.Lock()
+	defer l.latch.Unlock()
+	var stopWatch chan struct{}
+	for l.durableGSN < dep && l.durableGSN < l.stampedGSN {
+		if l.poisoned != nil {
+			return l.poisoned
+		}
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("%w: %w", ErrFlushWaitCanceled, err)
+		}
+		if l.flushing {
+			// The in-flight force may advance the durable watermark past
+			// dep; re-check after it settles instead of queuing another.
+			if ctx.Done() != nil && stopWatch == nil {
+				stopWatch = make(chan struct{})
+				defer close(stopWatch)
+				go l.watchFlushWait(ctx, stopWatch)
+			}
+			l.flushDone.Wait()
+			continue
+		}
+		if err := l.flushToLocked(ctx, l.endLocked()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // Flush forces everything appended so far to the stable log and notifies
 // the registered dirty noters of every page touched by a flushed physical
 // record. The system log latch is released during the disk force, so
@@ -503,9 +565,13 @@ func (l *SystemLog) flushToLocked(ctx context.Context, target LSN) error {
 			// a force that completed between our checks.
 			break
 		}
-		// Become the flusher for the whole current tail.
+		// Become the flusher for the whole current tail. The captured
+		// buffer holds every record appended so far, so on success the
+		// durable-GSN watermark advances to the stamp high-water mark read
+		// here, under the latch, before the force begins.
 		buf := l.tail
 		recs := l.tailRecs
+		capturedGSN := l.stampedGSN
 		l.tail = nil
 		l.tailRecs = nil
 		l.flushing = true
@@ -564,6 +630,9 @@ func (l *SystemLog) flushToLocked(ctx context.Context, target LSN) error {
 			return l.poisoned
 		}
 		l.stableEnd += LSN(len(buf))
+		if capturedGSN > l.durableGSN {
+			l.durableGSN = capturedGSN
+		}
 		l.flushes++
 		for _, tr := range recs {
 			if tr.kind != KindPhysRedo || tr.n == 0 {
@@ -672,6 +741,8 @@ func (l *SystemLog) Reset() error {
 	l.stableEnd = 0
 	l.tail = l.tail[:0]
 	l.tailRecs = l.tailRecs[:0]
+	l.stampedGSN = 0
+	l.durableGSN = 0
 	return nil
 }
 

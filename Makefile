@@ -12,14 +12,19 @@ build:
 # Static checks plus a race-detector pass over the subsystems with the
 # most cross-goroutine state (metrics registry, WAL group commit, the
 # concurrent TPC-B driver), and a one-iteration smoke of the codeword
-# kernel benchmarks. dbvet is the repo's own eight-pass suite (latch
+# kernel benchmarks. dbvet is the repo's own eleven-pass suite (latch
 # order, guarded writes, codeword pairing, metric names, I/O path,
-# error flow, 2PC protocol, context propagation); the passes share one
-# load and run in parallel, so the eight-pass suite costs the same wall
-# time as the original four. See DESIGN.md "Machine-checked invariants".
+# error flow, 2PC protocol, context propagation, field-level locksets,
+# latch-cycle detection, replay determinism); the passes share one load
+# and run in parallel, so the eleven-pass suite costs roughly the same
+# wall time as the original four. The -stats invocation reuses that
+# load to gate suppression debt: the count of //dbvet:allow sites per
+# pass must not grow past the checked-in dbvet.debt.json baseline.
+# See DESIGN.md "Machine-checked invariants".
 vet: bench-smoke torture-smoke server-smoke bench-streams-smoke
 	$(GO) vet ./...
 	$(GO) run ./cmd/dbvet ./...
+	$(GO) run ./cmd/dbvet -stats -debt-baseline dbvet.debt.json ./...
 	$(GO) test -race ./internal/core ./internal/wal ./internal/obs ./internal/tpcb
 
 # End-to-end smoke of the TCP front end: a K=4 sharded server takes a

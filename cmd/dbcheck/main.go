@@ -1,10 +1,13 @@
 // Command dbcheck opens a database (running restart recovery if needed)
 // and runs the full consistency check suite: codeword audit, heap
-// structure, index structure, and checkpoint/log agreement. Exit status 0
-// means consistent (warning-severity findings are printed but do not
-// fail the check); 1 means error-severity problems were found; 2 means
-// the check could not run. Problem lines carry stable CW0xx codes for
-// machine consumption.
+// structure, index structure, checkpoint/log agreement, and the log
+// stream audit (CW050 stamped-GSN density, CW051 watermark inversions,
+// CW052 poisoned streams — the runtime counterparts of dbvet's
+// determinism, lockfield and errflow contracts). Exit status 0 means
+// consistent (warning-severity findings are printed but do not fail the
+// check); 1 means error-severity problems were found, including any of
+// the CW05x log findings; 2 means the check could not run. Problem
+// lines carry stable CW0xx codes for machine consumption.
 //
 // Usage:
 //

@@ -1,14 +1,18 @@
 package main
 
 import (
+	"encoding/json"
 	"fmt"
+	"os"
 	"path/filepath"
 	"slices"
 	"sort"
 	"strings"
 	"testing"
 
+	"repro/internal/analysis/anz"
 	"repro/internal/analysis/anztest"
+	"repro/internal/analysis/load"
 )
 
 // TestBuggySchemeDifferential runs the full multichecker over the
@@ -20,7 +24,8 @@ func TestBuggySchemeDifferential(t *testing.T) {
 
 	// Expected (file, line) per pass and rule — generation 1 in buggy.go,
 	// generation 2 in buggy2.go, generation 3 (the parallel-log rules) in
-	// buggy3.go; update alongside the fixtures. A pass with two entries
+	// buggy3.go, generation 4 (lockset/lock-graph/determinism rules) in
+	// buggy4.go; update alongside the fixtures. A pass with two entries
 	// carries one violation per rule, each firing exactly once.
 	wantLines := map[string][]string{
 		"latchorder": {
@@ -37,6 +42,9 @@ func TestBuggySchemeDifferential(t *testing.T) {
 		},
 		"twophase": {"buggy2.go:37"}, // CommitPrepared before the decision
 		"ctxflow":  {"buggy2.go:42"}, // context.Background() inside RunCtx
+		"lockfield":   {"buggy4.go:34"}, // durable watermark read outside its latch
+		"latchcycle":  {"buggy4.go:55"}, // idx/dat mutexes nested in opposite orders
+		"determinism": {"buggy4.go:63"}, // in-doubt gids collected in map order
 	}
 	got := make(map[string][]string)
 	total := 0
@@ -91,6 +99,90 @@ func TestAllowWithoutReason(t *testing.T) {
 	}
 	if len(diags) != 2 {
 		t.Errorf("got %d diagnostics, want 2: %v", len(diags), diags)
+	}
+}
+
+// TestDebtGate pins the suppression-debt gate against the allow fixture
+// tree (a known population of //dbvet:allow sites): counts match the
+// fixture, one extra allow over baseline fails the gate, and one
+// removed allow passes while flagging the baseline for a ratchet.
+func TestDebtGate(t *testing.T) {
+	prog, err := load.Load(".", "../../internal/analysis/testdata/allow")
+	if err != nil {
+		t.Fatalf("loading allow fixture: %v", err)
+	}
+	counts := anz.CountAllows(prog)
+
+	// Every canonical pass has exactly one well-formed allow site in the
+	// fixture; the malformed directives (unknown pass, no reason) in the
+	// same tree must not be counted as debt.
+	for _, a := range analyzers {
+		if counts[a.Name] != 1 {
+			t.Errorf("allow fixture: pass %s has %d counted sites, want 1", a.Name, counts[a.Name])
+		}
+	}
+	if st := newDebtStats(counts); st.Total != len(analyzers) {
+		t.Errorf("allow fixture: total debt %d, want %d", st.Total, len(analyzers))
+	}
+
+	// At baseline: no growth, no shrinkage.
+	baseline := make(map[string]int, len(counts))
+	for p, n := range counts {
+		baseline[p] = n
+	}
+	if grown, shrunk := checkDebt(counts, baseline); len(grown) != 0 || len(shrunk) != 0 {
+		t.Errorf("at baseline: grown=%v shrunk=%v, want none", grown, shrunk)
+	}
+
+	// One new allow site over baseline: the gate must fail that pass.
+	baseline["errflow"]--
+	grown, _ := checkDebt(counts, baseline)
+	if len(grown) != 1 || !strings.Contains(grown[0], "errflow") {
+		t.Errorf("debt growth not caught: grown=%v", grown)
+	}
+	baseline["errflow"]++
+
+	// One allow site removed: the gate passes and reports the slack so
+	// the baseline can shrink.
+	baseline["iopath"]++
+	grown, shrunk := checkDebt(counts, baseline)
+	if len(grown) != 0 {
+		t.Errorf("shrunken debt failed the gate: %v", grown)
+	}
+	if len(shrunk) != 1 || !strings.Contains(shrunk[0], "iopath") {
+		t.Errorf("debt shrinkage not reported: shrunk=%v", shrunk)
+	}
+}
+
+// TestDebtBaselineCurrent pins the checked-in baseline to the tree: the
+// repository's own allow counts must equal dbvet.debt.json exactly, so
+// debt can neither grow past it nor rot above the true count.
+func TestDebtBaselineCurrent(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-tree load in -short mode")
+	}
+	prog, err := load.Load("../..", "./...")
+	if err != nil {
+		t.Fatalf("loading tree: %v", err)
+	}
+	counts := anz.CountAllows(prog)
+	raw, err := os.ReadFile("../../dbvet.debt.json")
+	if err != nil {
+		t.Fatalf("reading baseline: %v", err)
+	}
+	var base debtStats
+	if err := json.Unmarshal(raw, &base); err != nil {
+		t.Fatalf("parsing baseline: %v", err)
+	}
+	grown, shrunk := checkDebt(counts, base.AllowSites)
+	for _, s := range grown {
+		t.Errorf("suppression debt above checked-in baseline: %s", s)
+	}
+	for _, s := range shrunk {
+		t.Errorf("checked-in baseline above actual debt (ratchet dbvet.debt.json): %s", s)
+	}
+	if got := newDebtStats(counts).Total; got != base.Total {
+		t.Errorf("baseline total %d, actual %d", base.Total, got)
 	}
 }
 

@@ -21,6 +21,9 @@ var knownPasses = map[string]bool{
 	"errflow":      true,
 	"twophase":     true,
 	"ctxflow":      true,
+	"lockfield":    true,
+	"latchcycle":   true,
+	"determinism":  true,
 }
 
 // Latch classes of the documented partial order, in acquisition order:
@@ -116,6 +119,35 @@ func collectDirectives(prog *load.Program) (allowIndex, []Diagnostic) {
 		}
 	}
 	return ai, diags
+}
+
+// CountAllows tallies the well-formed //dbvet:allow directives of
+// prog's target packages, by pass name. This is the suppression-debt
+// measure behind `dbvet -stats`: every allow site is a hand-argued
+// exception to a machine-checked invariant, and the debt gate holds the
+// count to a checked-in baseline so exceptions cannot accrete silently.
+// Malformed directives (unknown pass, missing reason) are not counted —
+// they are diagnostics, not debt.
+func CountAllows(prog *load.Program) map[string]int {
+	counts := make(map[string]int)
+	for _, pkg := range prog.Targets {
+		for _, f := range pkg.Syntax {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					rest, ok := strings.CutPrefix(c.Text, "//dbvet:allow")
+					if !ok {
+						continue
+					}
+					fields := strings.Fields(rest)
+					if len(fields) < 2 || !knownPasses[fields[0]] {
+						continue
+					}
+					counts[fields[0]]++
+				}
+			}
+		}
+	}
+	return counts
 }
 
 // LatchClasses extracts //dbvet:latch <class> annotations from the

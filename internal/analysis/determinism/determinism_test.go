@@ -1,0 +1,12 @@
+package determinism_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/anztest"
+	"repro/internal/analysis/determinism"
+)
+
+func TestFixture(t *testing.T) {
+	anztest.Run(t, ".", "../testdata/determinism", determinism.Analyzer)
+}

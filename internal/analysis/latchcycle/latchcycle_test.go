@@ -1,0 +1,12 @@
+package latchcycle_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/anztest"
+	"repro/internal/analysis/latchcycle"
+)
+
+func TestFixture(t *testing.T) {
+	anztest.Run(t, ".", "../testdata/latchcycle", latchcycle.Analyzer)
+}

@@ -1,0 +1,12 @@
+package lockfield_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/anztest"
+	"repro/internal/analysis/lockfield"
+)
+
+func TestFixture(t *testing.T) {
+	anztest.Run(t, ".", "../testdata/lockfield", lockfield.Analyzer)
+}

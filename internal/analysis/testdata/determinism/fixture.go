@@ -1,0 +1,159 @@
+// Package determinism is the golden fixture for the determinism pass:
+// violation shapes for each rule — order-observing map ranges, wall
+// clock reaching state and output, goroutine-order appends — plus the
+// sanctioned shapes (accumulate-then-sort, max idiom, metric telemetry,
+// per-worker indexed slots) that must stay silent.
+package determinism
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+type report struct {
+	InDoubt []uint64
+	Elapsed time.Duration
+}
+
+// ---- rule 1: map iteration order ----
+
+// Shape 1a: appended in map order, never sorted.
+func collectUnsorted(pending map[uint64]bool) []uint64 {
+	var gids []uint64
+	for gid := range pending { // want "iterates a map in nondeterministic order and appends to gids"
+		gids = append(gids, gid)
+	}
+	return gids
+}
+
+// Shape 1b: encodes bytes in map order.
+func encodeDecisions(dec map[uint64]bool) []byte {
+	var meta []byte
+	for gid, commit := range dec { // want "iterates a map in nondeterministic order and appends to meta"
+		meta = binary.AppendUvarint(meta, gid)
+		if commit {
+			meta = append(meta, 1)
+		} else {
+			meta = append(meta, 0)
+		}
+	}
+	return meta
+}
+
+// Shape 1c: emits text in map order.
+func dumpState(w io.Writer, state map[string]int) {
+	for name, v := range state { // want "iterates a map in nondeterministic order and emits output"
+		fmt.Fprintf(w, "%s=%d\n", name, v)
+	}
+}
+
+// Shape 1d: last iteration wins.
+func pickVictim(waiters map[uint64]int) uint64 {
+	var victim uint64
+	for id := range waiters { // want "iterates a map in nondeterministic order and assigns a loop-derived value to victim"
+		victim = id
+	}
+	return victim
+}
+
+// Sanctioned: accumulate, then sort — the recovery-report shape.
+func collectSorted(pending map[uint64]bool) []uint64 {
+	var gids []uint64
+	for gid := range pending {
+		gids = append(gids, gid)
+	}
+	sort.Slice(gids, func(i, j int) bool { return gids[i] < gids[j] })
+	return gids
+}
+
+// Sanctioned: max-selection idiom, commutative sum, map-to-map writes,
+// existence probe with a constant return.
+func summarize(entries map[uint64]int, out map[uint64]int) (max uint64, total int, any bool) {
+	for id, n := range entries {
+		if id > max {
+			max = id
+		}
+		total += n
+		out[id] = n
+	}
+	for id := range entries {
+		if id == 0 {
+			return max, total, true
+		}
+	}
+	return max, total, false
+}
+
+// ---- rule 2: wall clock / randomness ----
+
+// Shape 2a: wall clock stored into replayed state.
+func stampReport(r *report, start time.Time) {
+	r.Elapsed = time.Since(start) // want "stores a wall-clock/random value into r.Elapsed"
+}
+
+// Shape 2b: wall clock returned.
+func redoDuration(start time.Time) time.Duration {
+	d := time.Since(start)
+	return d // want "returns a wall-clock/random value"
+}
+
+// Shape 2c: wall clock written to report output.
+func printTiming(w io.Writer) {
+	now := time.Now()
+	fmt.Fprintf(w, "finished at %v\n", now) // want "writes a wall-clock/random value to output"
+}
+
+// Sanctioned: timing observed into a metrics histogram is telemetry.
+type histo struct{}
+
+func (h *histo) Observe(v float64) {}
+
+func observeTiming(h *histo, start time.Time) {
+	h.Observe(float64(time.Since(start)))
+}
+
+// ---- rule 3: goroutine-order appends ----
+
+// Shape 3: results ordered by scheduling accident.
+func scanAll(parts [][]uint64) []uint64 {
+	var all []uint64
+	done := make(chan struct{})
+	for i := range parts {
+		go func(i int) {
+			for _, v := range parts[i] {
+				all = append(all, v) // want "appends to captured slice all from a goroutine"
+			}
+			done <- struct{}{}
+		}(i)
+	}
+	for range parts {
+		<-done
+	}
+	return all
+}
+
+// Sanctioned: the deterministic chunk protocol — each worker owns its
+// indexed slot, merged after the barrier.
+func scanChunked(parts [][]uint64) []uint64 {
+	per := make([][]uint64, len(parts))
+	done := make(chan struct{})
+	for i := range parts {
+		go func(i int) {
+			for _, v := range parts[i] {
+				per[i] = append(per[i], v)
+			}
+			done <- struct{}{}
+		}(i)
+	}
+	for range parts {
+		<-done
+	}
+	var all []uint64
+	for _, p := range per {
+		all = append(all, p...)
+	}
+	return all
+}

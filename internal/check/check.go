@@ -3,7 +3,9 @@
 // codeword audits (which verify bytes against codewords but know nothing
 // of structure). It verifies the heap catalog against allocation bitmaps,
 // hash indexes against the heap records they point to, the checkpoint
-// anchor against the retained log, and the codeword audit itself.
+// anchor against the retained log, the log streams' watermark and
+// poison state plus the density of the merged stamped-GSN sequence, and
+// the codeword audit itself.
 package check
 
 import (
@@ -39,7 +41,14 @@ func (s Severity) String() string {
 // Stable machine-readable problem codes. Tooling keys on these; the
 // human-readable Desc text may be reworded freely. Codes are grouped by
 // area (CW00x att, CW01x codeword, CW02x heap, CW03x index, CW04x
-// checkpoint) and are never renumbered or reused.
+// checkpoint, CW05x log) and are never renumbered or reused.
+//
+// The CW05x codes are the runtime counterparts of dbvet's parallel-log
+// contracts: CW050 audits what the determinism pass assumes (a dense
+// stamped-GSN order for the merged replay), CW051 what the lockfield
+// pass guards (watermarks that only move under their tail latch move
+// monotonically), CW052 the poison transition the errflow pass forces
+// failed syncs through.
 const (
 	CodeActiveTxns       = "CW001" // transactions active while checking
 	CodeCodewordMismatch = "CW010" // region codeword does not match data
@@ -52,6 +61,9 @@ const (
 	CodeCkptAnchorBase   = "CW040" // anchor precedes retained log base
 	CodeCkptAnchorEnd    = "CW041" // anchor beyond log end
 	CodeCkptImage        = "CW042" // checkpoint image unloadable
+	CodeLogGSNGap        = "CW050" // hole in the merged stamped-GSN sequence
+	CodeLogWatermark     = "CW051" // stream watermark inversion (durable > stamped or stable > end)
+	CodeLogPoisoned      = "CW052" // log stream fail-stopped (poisoned)
 )
 
 // Problem is one consistency finding.
@@ -60,7 +72,7 @@ type Problem struct {
 	Code string
 	// Severity grades the finding; see the Sev constants.
 	Severity Severity
-	// Area is "codeword", "heap", "index", "checkpoint" or "att".
+	// Area is "codeword", "heap", "index", "checkpoint", "log" or "att".
 	Area string
 	// Desc describes the violation.
 	Desc string
@@ -146,6 +158,29 @@ func Run(db *core.DB) ([]Problem, error) {
 		if idx.Count() != len(entries) {
 			add(CodeIndexCount, SevError, "index", "index %q: Count()=%d but scan found %d", idx.Name, idx.Count(), len(entries))
 		}
+	}
+
+	// Log streams: watermark sanity, poison state, and the density of
+	// the stamped-GSN sequence across the merged streams.
+	log := db.Internals().Log
+	for _, st := range log.StreamStats() {
+		stamped, durable := log.Stream(st.Stream).GSNWatermarks()
+		if durable > stamped {
+			add(CodeLogWatermark, SevError, "log", "stream %d: durable GSN %d above stamped GSN %d", st.Stream, durable, stamped)
+		}
+		if st.StableEnd > st.End {
+			add(CodeLogWatermark, SevError, "log", "stream %d: stable end %d beyond tail end %d", st.Stream, st.StableEnd, st.End)
+		}
+		if st.Poisoned {
+			add(CodeLogPoisoned, SevError, "log", "stream %d is poisoned (fail-stopped): %v", st.Stream, log.Stream(st.Stream).Poisoned())
+		}
+	}
+	if recs, err := wal.ScanStreamsFS(db.FS(), db.Config().Dir, nil); err == nil {
+		for _, g := range wal.FindGSNGaps(recs) {
+			add(CodeLogGSNGap, SevError, "log", "stamped-GSN hole after %d: next is %d on stream %d (a record below an acknowledged commit is missing)", g.After, g.Next, g.Stream)
+		}
+	} else {
+		add(CodeLogGSNGap, SevWarning, "log", "stream scan for GSN density failed: %v", err)
 	}
 
 	// Checkpoint anchor vs retained log.

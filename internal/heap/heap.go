@@ -19,6 +19,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 
 	"repro/internal/core"
@@ -265,7 +266,9 @@ func (c *Catalog) TableByID(id uint32) (*Table, error) {
 	return t, nil
 }
 
-// Tables returns the table names.
+// Tables returns the table names in sorted order, so consumers that
+// walk the catalog (the audit pass, reports) produce the same output
+// on every run.
 func (c *Catalog) Tables() []string {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -273,6 +276,7 @@ func (c *Catalog) Tables() []string {
 	for n := range c.byName {
 		out = append(out, n)
 	}
+	sort.Strings(out)
 	return out
 }
 

@@ -3,6 +3,7 @@ package shard
 import (
 	"encoding/binary"
 	"fmt"
+	"sort"
 )
 
 // Global transaction IDs pack the coordinator shard and the coordinator's
@@ -32,10 +33,18 @@ func gidShard(gid uint64) int {
 const decisionsMetaKey = "shard.2pc.decisions"
 
 func encodeDecisions(m map[uint64]bool) []byte {
+	// Encode in sorted gid order: the blob is checkpointed engine
+	// metadata, and replaying the same decision table must produce the
+	// same bytes (map iteration order would leak into durable state).
+	gids := make([]uint64, 0, len(m))
+	for gid := range m {
+		gids = append(gids, gid)
+	}
+	sort.Slice(gids, func(i, j int) bool { return gids[i] < gids[j] })
 	b := binary.AppendUvarint(nil, uint64(len(m)))
-	for gid, commit := range m {
+	for _, gid := range gids {
 		b = binary.AppendUvarint(b, gid)
-		if commit {
+		if m[gid] {
 			b = append(b, 1)
 		} else {
 			b = append(b, 0)
@@ -96,7 +105,11 @@ func (r *Router) forgetDecision(coord int, gid uint64) {
 func (r *Router) resolveInDoubt(report *OpenReport) error {
 	// Assemble each coordinator's known decisions: the log scan plus the
 	// checkpointed table (the log may have been compacted since the
-	// decision was written).
+	// decision was written). The tables are decMu-guarded like every
+	// other access — resolution runs while client traffic is still
+	// fenced, but the guard is what the invariant (and the lockfield
+	// pass) holds us to.
+	r.decMu.Lock()
 	for i, u := range r.units {
 		rep := report.PerShard[i]
 		if rep != nil {
@@ -107,6 +120,7 @@ func (r *Router) resolveInDoubt(report *OpenReport) error {
 		if blob, ok := u.db.Meta(decisionsMetaKey); ok {
 			m, err := decodeDecisions(blob)
 			if err != nil {
+				r.decMu.Unlock()
 				return fmt.Errorf("shard %d: %w", i, err)
 			}
 			for gid, commit := range m {
@@ -114,6 +128,7 @@ func (r *Router) resolveInDoubt(report *OpenReport) error {
 			}
 		}
 	}
+	r.decMu.Unlock()
 
 	for i, u := range r.units {
 		rep := report.PerShard[i]
@@ -123,7 +138,9 @@ func (r *Router) resolveInDoubt(report *OpenReport) error {
 		for _, d := range rep.InDoubt {
 			commit := false
 			if cs := gidShard(d.GID); cs >= 0 && cs < len(r.units) {
+				r.decMu.Lock()
 				commit = r.decisions[cs][d.GID]
+				r.decMu.Unlock()
 			}
 			entry := u.db.Internals().ATT.Lookup(d.ID)
 			if entry == nil {

@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race cover bench bench-smoke bench-shard bench-streams bench-streams-smoke server-smoke torture torture-smoke table1 table2 faultstudy faultstudy-disk examples clean
+.PHONY: all build vet test race cover bench bench-smoke bench-shard bench-streams bench-streams-smoke server-smoke torture torture-smoke heal heal-smoke table1 table2 faultstudy faultstudy-disk examples clean
 
 all: build vet test
 
@@ -21,7 +21,7 @@ build:
 # load to gate suppression debt: the count of //dbvet:allow sites per
 # pass must not grow past the checked-in dbvet.debt.json baseline.
 # See DESIGN.md "Machine-checked invariants".
-vet: bench-smoke torture-smoke server-smoke bench-streams-smoke
+vet: bench-smoke torture-smoke server-smoke bench-streams-smoke heal-smoke
 	$(GO) vet ./...
 	$(GO) run ./cmd/dbvet ./...
 	$(GO) run ./cmd/dbvet -stats -debt-baseline dbvet.debt.json ./...
@@ -42,6 +42,19 @@ server-smoke:
 # points land in every stream file's writes and fsyncs.
 torture-smoke:
 	$(GO) test -race -short ./internal/iofault/...
+
+# Error-correction smoke: a small targeted-damage campaign (every
+# ECC-bearing scheme x damage shape) whose gates require each repairable
+# fault to heal in place byte-identically with zero delete-transaction
+# recoveries, and double-word damage to escalate to a clean recovery.
+# The JSON outcome table is the artifact CI uploads.
+heal-smoke:
+	$(GO) run ./cmd/faultstudy -heal -campaigns 8 -txns 3 -json heal.smoke.json
+
+# The full healing campaign behind the PR's acceptance numbers
+# (>= 99% of single-word wild writes silently repaired in place).
+heal:
+	$(GO) run ./cmd/faultstudy -heal -campaigns 100
 
 # The full exhaustive sweep (DefaultConfig workload, hundreds of crash
 # points) plus the disk fault-study campaign.
@@ -110,4 +123,4 @@ examples:
 	$(GO) run ./examples/extensible_index
 
 clean:
-	rm -f cover.out test_output.txt bench_output.txt
+	rm -f cover.out test_output.txt bench_output.txt heal.smoke.json

@@ -12,10 +12,18 @@
 // write would), shows the per-page codeword table refusing the image, and
 // recovers from the older ping-pong image plus retained log.
 //
+// With -heal it demonstrates the error-correction tier instead: it
+// injects one fault of each shape (single-word smash, stale parity
+// plane, double-word smash), prints the consistency checker's CW06x
+// report before healing, heals, prints the report after — repairable
+// damage gone, unrepairable damage escalated through crash and
+// delete-transaction recovery.
+//
 // Usage:
 //
 //	corruptool [-scheme readlog|cwreadlog|precheck|datacw] [-faults N] [-carriers N] [-seed N] [-dir DIR]
 //	corruptool -tear-ckpt-page [-seed N] [-dir DIR]
+//	corruptool -heal [-seed N] [-dir DIR]
 package main
 
 import (
@@ -25,12 +33,14 @@ import (
 	"os"
 	"path/filepath"
 
+	"repro/internal/check"
 	"repro/internal/ckpt"
 	"repro/internal/core"
 	"repro/internal/fault"
 	"repro/internal/heap"
 	"repro/internal/protect"
 	"repro/internal/recovery"
+	"repro/internal/region"
 	"repro/internal/tpcb"
 )
 
@@ -41,12 +51,16 @@ func main() {
 	seed := flag.Int64("seed", 1, "fault injection seed")
 	dir := flag.String("dir", "", "database directory (default: a temp dir)")
 	tearCkpt := flag.Bool("tear-ckpt-page", false, "tear a page of the current checkpoint image and recover from the fallback")
+	heal := flag.Bool("heal", false, "demonstrate the error-correction tier: inject every damage shape, show the CW06x report before and after healing")
 	flag.Parse()
 
 	var err error
-	if *tearCkpt {
+	switch {
+	case *tearCkpt:
 		err = runTearCkptPage(*seed, *dir)
-	} else {
+	case *heal:
+		err = runHeal(*seed, *dir)
+	default:
 		err = run(*schemeName, *faults, *carriers, *seed, *dir)
 	}
 	if err != nil {
@@ -163,15 +177,19 @@ func runTearCkptPage(seed int64, dir string) error {
 }
 
 func schemeConfig(name string) (protect.Config, error) {
+	// Healing is off in the classic walkthrough: it demonstrates the
+	// paper's detect/carry/delete-transaction ladder, which an in-place
+	// ECC repair would short-circuit. The -heal mode demonstrates the
+	// correction tier with healing on.
 	switch name {
 	case "datacw":
-		return protect.Config{Kind: protect.KindDataCW, RegionSize: 512}, nil
+		return protect.Config{Kind: protect.KindDataCW, RegionSize: 512, DisableHeal: true}, nil
 	case "precheck":
-		return protect.Config{Kind: protect.KindPrecheck, RegionSize: 64}, nil
+		return protect.Config{Kind: protect.KindPrecheck, RegionSize: 64, DisableHeal: true}, nil
 	case "readlog":
-		return protect.Config{Kind: protect.KindReadLog, RegionSize: 512}, nil
+		return protect.Config{Kind: protect.KindReadLog, RegionSize: 512, DisableHeal: true}, nil
 	case "cwreadlog":
-		return protect.Config{Kind: protect.KindCWReadLog, RegionSize: 64}, nil
+		return protect.Config{Kind: protect.KindCWReadLog, RegionSize: 64, DisableHeal: true}, nil
 	default:
 		return protect.Config{}, fmt.Errorf("unknown scheme %q", name)
 	}
@@ -312,6 +330,120 @@ func run(schemeName string, faults, carriers int, seed int64, dir string) error 
 	fmt.Println("== verification: post-recovery full audit CLEAN; corrupted and carried data restored")
 	_ = carrierIDs
 	return nil
+}
+
+// runHeal walks through the error-correction tier on a live database:
+// one injected fault per damage shape, the consistency checker's CW06x
+// report before and after healing, and the escalation of the one shape
+// past the correction radius.
+func runHeal(seed int64, dir string) error {
+	if dir == "" {
+		d, err := os.MkdirTemp("", "corruptool-heal-*")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(d)
+		dir = d
+	}
+	scale := tpcb.SmallScale
+	cfg := core.Config{
+		Dir:       dir,
+		ArenaSize: scale.ArenaSize(),
+		Protect:   protect.Config{Kind: protect.KindDataCW, RegionSize: 512},
+	}
+
+	fmt.Printf("== setup: datacw scheme with the ECC tier on, database in %s\n", dir)
+	db, err := core.Open(cfg)
+	if err != nil {
+		return err
+	}
+	w, err := tpcb.Setup(db, scale, seed)
+	if err != nil {
+		return err
+	}
+	if err := w.Run(500); err != nil {
+		return err
+	}
+	if err := db.Audit(); err != nil {
+		return fmt.Errorf("clean-run audit: %w", err)
+	}
+	tab := db.Scheme().(interface{ Table() *region.Table }).Table()
+	fmt.Printf("   ran 500 clean operations; %d regions x %d locator planes each\n",
+		tab.NumRegions(), tab.NumPlanes())
+
+	// One fault per damage shape, each in its own region.
+	account, _, _, _ := w.Tables()
+	inj := fault.New(db.Internals().Arena, db.Scheme().Protector(), seed)
+	inj.SetRegistry(db.Observability())
+	a1 := account.RecordAddr(13) + 16
+	if _, err := inj.WordSmash(a1, 0xDEADBEEF); err != nil {
+		return err
+	}
+	fmt.Printf("== fault 1: single-word smash at %d (repairable)\n", a1)
+	r2 := tab.RegionOf(account.RecordAddr(29))
+	if err := inj.ParityHit(tab, r2, 1, 0xF00D); err != nil {
+		return err
+	}
+	fmt.Printf("== fault 2: stale locator plane on region %d (data intact)\n", r2)
+	a3 := account.RecordAddr(47) + 8
+	if _, err := inj.DoubleWordSmash(a3, a3+8, 0xAB, 0xCD); err != nil {
+		return err
+	}
+	fmt.Printf("== fault 3: double-word smash at %d (past the correction radius)\n", a3)
+
+	fmt.Println("== before: consistency check (no healing)")
+	printProblems(db, check.Options{})
+	fmt.Println("== healing: consistency check with -heal")
+	printProblems(db, check.Options{Heal: true})
+	fmt.Println("== after: consistency check again")
+	remaining := printProblems(db, check.Options{})
+	for _, p := range remaining {
+		if p.Code == check.CodeECCRepairable || p.Code == check.CodeECCParityStale {
+			return fmt.Errorf("repairable damage survived healing: %v", p)
+		}
+	}
+
+	fmt.Println("== escalation: the unrepairable region goes through crash + delete-transaction recovery")
+	if err := db.Crash(); err != nil {
+		return err
+	}
+	db2, rep, err := recovery.Open(cfg, recovery.Options{})
+	if err != nil {
+		return err
+	}
+	defer db2.Close()
+	fmt.Printf("   corruption mode: %v; %d transaction(s) deleted from history\n",
+		rep.CorruptionMode, len(rep.Deleted))
+	problems, err := check.Run(db2)
+	if err != nil {
+		return err
+	}
+	for _, p := range problems {
+		if p.Severity == check.SevError {
+			return fmt.Errorf("post-recovery check not clean: %v", p)
+		}
+	}
+	fmt.Println("== verification: post-recovery consistency check CLEAN")
+	fmt.Println("   repairable damage healed in place (no restart, no deleted transactions);")
+	fmt.Println("   only the damage past the correction radius cost a recovery.")
+	return nil
+}
+
+// printProblems runs the consistency checker and prints its findings.
+func printProblems(db *core.DB, opts check.Options) []check.Problem {
+	problems, err := check.RunOpts(db, opts)
+	if err != nil {
+		fmt.Println("   check error:", err)
+		return nil
+	}
+	if len(problems) == 0 {
+		fmt.Println("   consistent (no findings)")
+		return nil
+	}
+	for _, p := range problems {
+		fmt.Println("   ", p)
+	}
+	return problems
 }
 
 func cacheRepair(db *core.DB, account *heap.Table, victims []heap.RID) error {

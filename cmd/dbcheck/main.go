@@ -9,9 +9,16 @@
 // the CW05x log findings; 2 means the check could not run. Problem
 // lines carry stable CW0xx codes for machine consumption.
 //
+// With -heal the ECC sweep repairs what it can in place: located
+// single-word damage is reconstructed (CW061, warning) and stale locator
+// planes rebuilt (CW063, warning); damage past the correction radius
+// still reports CW062 as an error. Without -heal, repairable damage
+// reports CW060 as an error so an operator is never surprised by a
+// silently modified image.
+//
 // Usage:
 //
-//	dbcheck -dir DBDIR -arena BYTES [-scheme NAME]
+//	dbcheck -dir DBDIR -arena BYTES [-scheme NAME] [-heal]
 package main
 
 import (
@@ -29,6 +36,7 @@ func main() {
 	dir := flag.String("dir", "", "database directory (required)")
 	arena := flag.Int("arena", 0, "arena size in bytes (required; must match the database)")
 	schemeName := flag.String("scheme", "datacw", "protection scheme the database runs")
+	heal := flag.Bool("heal", false, "repair repairable ECC findings in place (CW061/CW063 warnings instead of CW060 errors)")
 	flag.Parse()
 	if *dir == "" || *arena == 0 {
 		fmt.Fprintln(os.Stderr, "dbcheck: -dir and -arena are required")
@@ -61,7 +69,7 @@ func main() {
 	if rep.CorruptionMode {
 		fmt.Printf("note: opening ran corruption recovery; %d transaction(s) deleted\n", len(rep.Deleted))
 	}
-	problems, err := check.Run(db)
+	problems, err := check.RunOpts(db, check.Options{Heal: *heal})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dbcheck:", err)
 		os.Exit(2)

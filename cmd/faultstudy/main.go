@@ -11,13 +11,22 @@
 // renames, directory syncs) and recovery from each frozen durable state is
 // verified, followed by fsync-failure drills that must fail-stop.
 //
+// With -heal it runs the error-correction campaign instead: targeted
+// damage shapes (single-bit, single-word, double-word, parity-column)
+// against each ECC-bearing scheme, verifying that repairable damage is
+// healed in place byte-identically with zero delete-transaction
+// recoveries, and that damage past the correction radius escalates to
+// the classic crash + delete-transaction recovery path.
+//
 // Usage:
 //
 //	faultstudy [-campaigns N] [-txns N] [-seed N]
 //	faultstudy -disk [-disk-txns N] [-disk-ckpt-every N]
+//	faultstudy -heal [-campaigns N] [-txns N] [-seed N] [-json FILE]
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -31,6 +40,8 @@ func main() {
 	txns := flag.Int("txns", 8, "carrier transactions per campaign")
 	seed := flag.Int64("seed", 1, "random seed")
 	disk := flag.Bool("disk", false, "run the storage-fault campaign (exhaustive crash points) instead")
+	heal := flag.Bool("heal", false, "run the error-correction campaign (targeted damage shapes, heal/escalate) instead")
+	jsonOut := flag.String("json", "", "also write campaign results as JSON to this file (with -heal)")
 	diskTxns := flag.Int("disk-txns", 0, "disk campaign: update transactions (0 = workload default)")
 	diskCkptEvery := flag.Int("disk-ckpt-every", -1, "disk campaign: checkpoint every N txns (-1 = workload default)")
 	flag.Parse()
@@ -58,6 +69,53 @@ func main() {
 		}
 		fmt.Println("\nEvery crash point recovered: committed work present, uncommitted work absent,")
 		fmt.Println("codeword audit clean — the multi-level recovery contract holds on disk too.")
+		return
+	}
+
+	if *heal {
+		fmt.Printf("Error-correction study: %d injections per scheme x shape, %d carrier txns each\n\n",
+			*campaigns, *txns)
+		outcomes, err := faultstudy.RunHeal(faultstudy.HealConfig{
+			Injections: *campaigns,
+			Carriers:   *txns,
+			Seed:       *seed,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "faultstudy:", err)
+			os.Exit(1)
+		}
+		fmt.Print(faultstudy.FormatHealOutcomes(outcomes))
+		if *jsonOut != "" {
+			b, err := json.MarshalIndent(outcomes, "", "  ")
+			if err == nil {
+				err = os.WriteFile(*jsonOut, append(b, '\n'), 0o644)
+			}
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "faultstudy: write json:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("\nwrote %s\n", *jsonOut)
+		}
+		bad := false
+		for _, o := range outcomes {
+			switch o.Shape {
+			case faultstudy.ShapeDoubleWord:
+				if o.Escalated != o.Injections || o.RecoveredClean != o.Escalated {
+					bad = true
+				}
+			default:
+				if o.HealRate < 0.99 || o.DeletedTxns != 0 {
+					bad = true
+				}
+			}
+		}
+		if bad {
+			fmt.Println("\nFAIL: a repairable shape fell below the 99% in-place heal rate, needed")
+			fmt.Println("delete-transaction recovery, or an escalation did not recover clean.")
+			os.Exit(1)
+		}
+		fmt.Println("\nEvery repairable fault healed in place (no restart, no deleted transactions);")
+		fmt.Println("damage past the correction radius escalated to delete-transaction recovery.")
 		return
 	}
 

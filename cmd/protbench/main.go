@@ -53,6 +53,7 @@ func main() {
 	recomputeWorkers := flag.String("recompute-workers", defaultWidths(), "comma-separated recompute pool widths to sweep (serial baseline of 1 always included)")
 	kernelArenaMB := flag.Int("kernel-arena-mb", 16, "image size for the kernel scan benchmarks, MiB")
 	jsonPath := flag.String("json", "BENCH_pr3.json", "write the kernel report to this file (empty disables)")
+	eccJSONPath := flag.String("ecc-json", "BENCH_pr10.json", "write the ECC overhead report (apply vs apply-ecc) to this file (empty disables)")
 	skipTable1 := flag.Bool("skip-table1", false, "skip the Table 1 protect/unprotect benchmark")
 	skipKernels := flag.Bool("skip-kernels", false, "skip the codeword kernel/scan benchmark")
 	flag.Parse()
@@ -100,6 +101,15 @@ func main() {
 				fail(err)
 			}
 			fmt.Printf("\nkernel report written to %s\n", *jsonPath)
+		}
+		ecc := benchtab.ECCOverhead(rep)
+		fmt.Println()
+		fmt.Print(benchtab.FormatECC(ecc))
+		if *eccJSONPath != "" {
+			if err := ecc.WriteJSON(*eccJSONPath); err != nil {
+				fail(err)
+			}
+			fmt.Printf("\nECC overhead report written to %s\n", *eccJSONPath)
 		}
 	}
 }

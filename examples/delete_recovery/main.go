@@ -46,7 +46,11 @@ func main() {
 		ArenaSize: 1 << 20,
 		// Read Logging: every transactional read leaves (identity, length)
 		// in the log, enabling corruption tracing after the fact.
-		Protect: protect.Config{Kind: protect.KindReadLog, RegionSize: 64},
+		// DisableHeal: this example demonstrates the detect → crash →
+		// delete-transaction ladder, which in-place ECC repair (the
+		// default) would short-circuit. See `corruptool -heal` for the
+		// error-correction tier.
+		Protect: protect.Config{Kind: protect.KindReadLog, RegionSize: 64, DisableHeal: true},
 	}
 	db, err := core.Open(cfg)
 	if err != nil {

@@ -29,7 +29,11 @@ func main() {
 	db, err := core.Open(core.Config{
 		Dir:       dir,
 		ArenaSize: 1 << 20,
-		Protect:   protect.Config{Kind: protect.KindDataCW, RegionSize: 512},
+		// DisableHeal keeps this walkthrough on the paper's detection
+		// story: with healing on (the default), the audit would repair
+		// the wild write in place instead of reporting it. See
+		// `corruptool -heal` for the error-correction tier demo.
+		Protect: protect.Config{Kind: protect.KindDataCW, RegionSize: 512, DisableHeal: true},
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -16,9 +16,17 @@
 // a failed update is rolled back, not folded.
 //
 // Fold calls are recognized by name (ApplyUpdate, UpdateDeltas, XorInto,
-// Fold, FoldDelta) and by fact: a function that folds on all its own
-// paths exports a fact, so wrappers like deferredScheme.Drain count at
-// their call sites.
+// XorDelta, Fold, FoldDelta) and by fact: a function that folds on all
+// its own paths exports a fact, so wrappers like deferredScheme.Drain
+// count at their call sites.
+//
+// The pass also enforces the ECC tier's plane-pairing rule: a function
+// that stores into a codeword table (an assignment through a `cws`
+// field) must maintain the locator planes in the same function —
+// xorPlanesLocked, a planesLocked copy, or a rebuild — because a
+// codeword updated without its planes leaves syndromes that misclassify
+// repairable damage as unrepairable (or worse, locate the wrong word).
+// Deliberate raw stores (checkpoint load) carry a //dbvet:allow.
 package cwpair
 
 import (
@@ -40,11 +48,22 @@ var Analyzer = &anz.Analyzer{
 // foldNames are the codeword-maintenance entry points; a call to any of
 // these (as method or function) counts as the fold half of the pair.
 var foldNames = map[string]bool{
-	"ApplyUpdate": true,
+	"ApplyUpdate":  true,
 	"UpdateDeltas": true,
-	"XorInto":     true,
-	"Fold":        true,
-	"FoldDelta":   true,
+	"XorInto":      true,
+	"XorDelta":     true,
+	"Fold":         true,
+	"FoldDelta":    true,
+}
+
+// planeNames are the locator-plane maintenance entry points; one of
+// these (or any expression touching a `planes` field) must accompany a
+// raw codeword store.
+var planeNames = map[string]bool{
+	"xorPlanesLocked": true,
+	"planesLocked":    true,
+	"rebuildPlanes":   true,
+	"computeECC":      true,
 }
 
 // captureNames are the undo-image capture primitives that arm the pass.
@@ -93,6 +112,8 @@ func run(pass *anz.Pass) error {
 				}
 			}
 
+			checkPlanePairing(pass, fd)
+
 			if !c.triggered(fd) {
 				continue
 			}
@@ -105,6 +126,40 @@ func run(pass *anz.Pass) error {
 		}
 	}
 	return nil
+}
+
+// checkPlanePairing reports codeword-table stores (assignments through a
+// `cws` field) in functions that nowhere maintain the locator planes.
+func checkPlanePairing(pass *anz.Pass, fd *ast.FuncDecl) {
+	var stores []*ast.AssignStmt
+	touchesPlanes := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if ix, ok := ast.Unparen(lhs).(*ast.IndexExpr); ok {
+					if sel, ok := ast.Unparen(ix.X).(*ast.SelectorExpr); ok && sel.Sel.Name == "cws" {
+						stores = append(stores, n)
+					}
+				}
+			}
+		case *ast.CallExpr:
+			if planeNames[calleeName(n)] {
+				touchesPlanes = true
+			}
+		case *ast.SelectorExpr:
+			if n.Sel.Name == "planes" {
+				touchesPlanes = true
+			}
+		}
+		return true
+	})
+	if touchesPlanes {
+		return
+	}
+	for _, s := range stores {
+		pass.Reportf(s.Pos(), "stores a region codeword without maintaining the locator planes (pair the store with xorPlanesLocked or a planesLocked rebuild, or it leaves syndromes that misdiagnose damage)")
+	}
 }
 
 type checker struct {

@@ -78,3 +78,41 @@ func (s *scheme) viaWrapper(addr int, before []byte) error {
 	s.drain(addr)
 	return nil
 }
+
+// ---- plane pairing (the ECC tier's rule) ----
+
+type ecctable struct {
+	cws    []uint64
+	planes []uint64
+}
+
+func (t *ecctable) xorPlanesLocked(r int, pd []uint64) {}
+
+// Storing a codeword without touching the planes anywhere in the
+// function leaves the (codeword, planes) pair inconsistent.
+func (t *ecctable) badStore(r int, cw uint64) {
+	t.cws[r] = cw // want "stores a region codeword without maintaining the locator planes"
+}
+
+// An op-assign store is a store too.
+func (t *ecctable) badXorStore(r int, delta uint64) {
+	t.cws[r] ^= delta // want "stores a region codeword without maintaining the locator planes"
+}
+
+// Pairing the store with the plane fold is clean.
+func (t *ecctable) goodStore(r int, cw uint64, pd []uint64) {
+	t.cws[r] = cw
+	t.xorPlanesLocked(r, pd)
+}
+
+// Touching the planes field directly also counts as maintenance.
+func (t *ecctable) goodDirect(r int, cw uint64, fresh []uint64) {
+	t.cws[r] = cw
+	copy(t.planes, fresh)
+}
+
+// A deliberate raw store carries an allow.
+func (t *ecctable) allowedRaw(r int, cw uint64) {
+	//dbvet:allow cwpair fixture: raw install, planes rebuilt by a later recompute
+	t.cws[r] = cw
+}

@@ -31,7 +31,9 @@ type KernelRow struct {
 	Scheme string `json:"scheme"`
 	// RegionBytes is the protection region size the row was measured at.
 	RegionBytes int `json:"region_bytes"`
-	// Op is the operation: fold | compute | apply | audit | recompute.
+	// Op is the operation: fold | compute | apply | apply-ecc | audit |
+	// recompute (apply-ecc is the apply path with locator-plane
+	// maintenance fused into the kernel).
 	Op string `json:"op"`
 	// Workers is the scan pool width (1 = serial path; 0 for the per-byte
 	// kernel rows, which are single-threaded by nature).
@@ -168,6 +170,23 @@ func RunKernels(params KernelParams) (*KernelReport, error) {
 		}
 		rep.Rows = append(rep.Rows, KernelRow{Scheme: "kernel", RegionBytes: size, Op: "apply", MBPerSec: mbps})
 
+		// The same maintenance path with the ECC tier on: the fused kernel
+		// derives the locator-plane deltas from the per-word old^new delta
+		// it already computes, so apply-ecc vs apply is the whole marginal
+		// cost of correction over detection.
+		etab, err := region.NewTable(params.ArenaBytes, size)
+		if err != nil {
+			return nil, err
+		}
+		etab.EnableECC()
+		mbps, err = measureMBPS(size, params.MinTime, func() error {
+			return etab.ApplyUpdate(addr, oldData, newData)
+		})
+		if err != nil {
+			return nil, err
+		}
+		rep.Rows = append(rep.Rows, KernelRow{Scheme: "kernel", RegionBytes: size, Op: "apply-ecc", MBPerSec: mbps})
+
 		// Scan rows: each scheme kind at each pool width, audits and
 		// recomputes over the whole arena under the scheme's own latches.
 		for _, kind := range kernelScanSchemes {
@@ -260,5 +279,99 @@ func FormatKernels(rep *KernelReport) string {
 	fmt.Fprintf(&b, "Codeword kernel and scan throughput (GOMAXPROCS=%d, %d MiB image)\n\n",
 		rep.GOMAXPROCS, rep.ArenaBytes>>20)
 	b.WriteString(Format([]string{"Scheme", "region B", "op", "workers", "MiB/s", "speedup"}, out))
+	return b.String()
+}
+
+// --- PR 10 ECC overhead report ----------------------------------------------
+
+// ECCRow compares codeword maintenance with and without the fused
+// locator-plane folds at one region size.
+type ECCRow struct {
+	RegionBytes  int     `json:"region_bytes"`
+	NumPlanes    int     `json:"num_planes"`
+	ApplyMBPS    float64 `json:"apply_mb_per_s"`
+	ApplyECCMBPS float64 `json:"apply_ecc_mb_per_s"`
+	// OverheadPct is the relative slowdown of apply-ecc vs apply:
+	// (apply/apply_ecc - 1) * 100.
+	OverheadPct float64 `json:"overhead_pct"`
+}
+
+// ECCReport is the correction-tier overhead summary, serialized to
+// BENCH_pr10.json (see EXPERIMENTS.md).
+type ECCReport struct {
+	GOMAXPROCS int      `json:"gomaxprocs"`
+	Rows       []ECCRow `json:"rows"`
+}
+
+// ECCOverhead extracts the apply vs apply-ecc comparison from a kernel
+// report.
+func ECCOverhead(rep *KernelReport) *ECCReport {
+	out := &ECCReport{GOMAXPROCS: rep.GOMAXPROCS}
+	bySize := map[int]*ECCRow{}
+	for _, r := range rep.Rows {
+		if r.Scheme != "kernel" || (r.Op != "apply" && r.Op != "apply-ecc") {
+			continue
+		}
+		row := bySize[r.RegionBytes]
+		if row == nil {
+			row = &ECCRow{RegionBytes: r.RegionBytes, NumPlanes: region.NumPlanesFor(r.RegionBytes)}
+			bySize[r.RegionBytes] = row
+			out.Rows = append(out.Rows, ECCRow{})
+		}
+		if r.Op == "apply" {
+			row.ApplyMBPS = r.MBPerSec
+		} else {
+			row.ApplyECCMBPS = r.MBPerSec
+		}
+	}
+	out.Rows = out.Rows[:0]
+	for _, size := range sortedKeys(bySize) {
+		row := bySize[size]
+		if row.ApplyECCMBPS > 0 {
+			row.OverheadPct = (row.ApplyMBPS/row.ApplyECCMBPS - 1) * 100
+		}
+		out.Rows = append(out.Rows, *row)
+	}
+	return out
+}
+
+// sortedKeys returns m's keys in ascending order.
+func sortedKeys(m map[int]*ECCRow) []int {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+	return keys
+}
+
+// WriteJSON writes the ECC overhead report to path as indented JSON.
+func (rep *ECCReport) WriteJSON(path string) error {
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// FormatECC renders the ECC overhead report as an aligned table.
+func FormatECC(rep *ECCReport) string {
+	var out [][]string
+	for _, r := range rep.Rows {
+		out = append(out, []string{
+			fmt.Sprintf("%d", r.RegionBytes),
+			fmt.Sprintf("%d", r.NumPlanes),
+			fmt.Sprintf("%.1f", r.ApplyMBPS),
+			fmt.Sprintf("%.1f", r.ApplyECCMBPS),
+			fmt.Sprintf("%.1f%%", r.OverheadPct),
+		})
+	}
+	var b strings.Builder
+	b.WriteString("ECC tier overhead: codeword maintenance with fused locator-plane folds\n\n")
+	b.WriteString(Format([]string{"region B", "planes", "apply MiB/s", "apply+ecc MiB/s", "overhead"}, out))
 	return b.String()
 }

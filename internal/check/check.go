@@ -15,6 +15,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/hashidx"
 	"repro/internal/heap"
+	"repro/internal/region"
 	"repro/internal/wal"
 )
 
@@ -41,7 +42,7 @@ func (s Severity) String() string {
 // Stable machine-readable problem codes. Tooling keys on these; the
 // human-readable Desc text may be reworded freely. Codes are grouped by
 // area (CW00x att, CW01x codeword, CW02x heap, CW03x index, CW04x
-// checkpoint, CW05x log) and are never renumbered or reused.
+// checkpoint, CW05x log, CW06x ecc) and are never renumbered or reused.
 //
 // The CW05x codes are the runtime counterparts of dbvet's parallel-log
 // contracts: CW050 audits what the determinism pass assumes (a dense
@@ -64,6 +65,10 @@ const (
 	CodeLogGSNGap        = "CW050" // hole in the merged stamped-GSN sequence
 	CodeLogWatermark     = "CW051" // stream watermark inversion (durable > stamped or stable > end)
 	CodeLogPoisoned      = "CW052" // log stream fail-stopped (poisoned)
+	CodeECCRepairable    = "CW060" // single-word damage located; repairable in place (run with heal)
+	CodeECCRepaired      = "CW061" // damage was repaired in place during this check
+	CodeECCUnrepairable  = "CW062" // damage past the correction radius; escalate to recovery
+	CodeECCParityStale   = "CW063" // locator planes stale over intact data (rebuilt when healing)
 )
 
 // Problem is one consistency finding.
@@ -82,10 +87,57 @@ func (p Problem) String() string {
 	return p.Code + " " + p.Severity.String() + " " + p.Area + ": " + p.Desc
 }
 
+// sweepECC diagnoses every region through the scheme's correction tier
+// (no-op for schemes without one). Without opts.Heal it only reports;
+// with it, repairable damage is fixed in place and reported as warnings.
+func sweepECC(db *core.DB, opts Options, add func(code string, sev Severity, area, format string, args ...any)) {
+	tb, ok := db.Scheme().(interface{ Table() *region.Table })
+	if !ok || !tb.Table().ECCEnabled() {
+		return
+	}
+	for r := 0; r < tb.Table().NumRegions(); r++ {
+		res := db.Scheme().Diagnose(r)
+		if res.Verdict == region.VerdictClean || res.Verdict == region.VerdictUnsupported {
+			continue
+		}
+		if opts.Heal {
+			res = db.Scheme().Heal(r)
+		}
+		switch res.Verdict {
+		case region.VerdictRepairable:
+			add(CodeECCRepairable, SevError, "ecc", "%v (repairable in place: re-run with heal)", res)
+		case region.VerdictRepaired:
+			add(CodeECCRepaired, SevWarning, "ecc", "%v (repaired in place)", res)
+		case region.VerdictParityStale:
+			if opts.Heal {
+				add(CodeECCParityStale, SevWarning, "ecc", "%v (planes rebuilt from intact data)", res)
+			} else {
+				add(CodeECCParityStale, SevWarning, "ecc", "%v (data intact; planes rebuilt when healing)", res)
+			}
+		case region.VerdictUnrepairable:
+			add(CodeECCUnrepairable, SevError, "ecc", "%v (past the correction radius: escalate to delete-transaction recovery)", res)
+		case region.VerdictClean:
+			// A concurrent repair (background audit) beat the sweep here.
+		}
+	}
+}
+
+// Options parameterizes a check run.
+type Options struct {
+	// Heal repairs what the ECC sweep finds repairable: located
+	// single-word damage is reconstructed in place and stale locator
+	// planes are rebuilt, each reported as a warning (CW061/CW063)
+	// instead of an error. Unrepairable damage still reports CW062.
+	Heal bool
+}
+
 // Run checks db and returns every problem found (empty means consistent).
 // The database should be quiescent; concurrent transactions may cause
 // spurious findings.
-func Run(db *core.DB) ([]Problem, error) {
+func Run(db *core.DB) ([]Problem, error) { return RunOpts(db, Options{}) }
+
+// RunOpts checks db under opts.
+func RunOpts(db *core.DB, opts Options) ([]Problem, error) {
 	var out []Problem
 	add := func(code string, sev Severity, area, format string, args ...any) {
 		out = append(out, Problem{Code: code, Severity: sev, Area: area, Desc: fmt.Sprintf(format, args...)})
@@ -95,6 +147,12 @@ func Run(db *core.DB) ([]Problem, error) {
 	if n := db.Internals().ATT.Len(); n != 0 {
 		add(CodeActiveTxns, SevWarning, "att", "%d transactions active; results may be unreliable", n)
 	}
+
+	// ECC diagnosis sweep, ahead of the codeword audit so that with
+	// opts.Heal a repaired region audits clean below (leaving only its
+	// CW061 trace). Plane-only damage is invisible to the codeword audit
+	// — this sweep is the only checker that finds it.
+	sweepECC(db, opts, add)
 
 	// Codewords.
 	if bad := db.Scheme().Audit(); len(bad) != 0 {

@@ -8,6 +8,7 @@ import (
 	"repro/internal/hashidx"
 	"repro/internal/heap"
 	"repro/internal/protect"
+	"repro/internal/region"
 )
 
 func setup(t *testing.T) (*core.DB, *heap.Table, *hashidx.Index) {
@@ -173,5 +174,120 @@ func TestDetectsCorruptIndexState(t *testing.T) {
 	}
 	if problemAreas(problems)["index"] == 0 {
 		t.Fatalf("corrupt index state missed: %v", problems)
+	}
+}
+
+// TestECCSweepReportsRepairable: without Heal, located single-word
+// damage must surface as a CW060 error (alongside the CW010 mismatch)
+// and the image must not be modified.
+func TestECCSweepReportsRepairable(t *testing.T) {
+	db, tb, _ := setup(t)
+	inj := fault.New(db.Internals().Arena, db.Scheme().Protector(), 7)
+	if _, err := inj.WordSmash(tb.RecordAddr(5)+16, 0xFEED); err != nil {
+		t.Fatal(err)
+	}
+	problems, err := Run(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	codes := problemCodes(problems)
+	if codes[CodeECCRepairable] != 1 {
+		t.Fatalf("want one %s, got: %v", CodeECCRepairable, problems)
+	}
+	if codes[CodeCodewordMismatch] == 0 {
+		t.Fatalf("CW010 should still fire without heal: %v", problems)
+	}
+	for _, p := range problems {
+		if p.Code == CodeECCRepairable && (p.Severity != SevError || p.Area != "ecc") {
+			t.Fatalf("CW060 should be an ecc-area error: %v", p)
+		}
+	}
+}
+
+// TestECCSweepHeals: with Heal, the same damage is repaired in place and
+// reported as a CW061 warning; the codeword audit then finds nothing,
+// and a second run is clean.
+func TestECCSweepHeals(t *testing.T) {
+	db, tb, _ := setup(t)
+	inj := fault.New(db.Internals().Arena, db.Scheme().Protector(), 8)
+	if _, err := inj.WordSmash(tb.RecordAddr(5)+16, 0xFEED); err != nil {
+		t.Fatal(err)
+	}
+	problems, err := RunOpts(db, Options{Heal: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	codes := problemCodes(problems)
+	if codes[CodeECCRepaired] != 1 || codes[CodeCodewordMismatch] != 0 {
+		t.Fatalf("want one %s and no %s: %v", CodeECCRepaired, CodeCodewordMismatch, problems)
+	}
+	for _, p := range problems {
+		if p.Code == CodeECCRepaired && p.Severity != SevWarning {
+			t.Fatalf("a repaired finding is advisory (warning): %v", p)
+		}
+	}
+	again, err := RunOpts(db, Options{Heal: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(again) != 0 {
+		t.Fatalf("second healing run should be clean: %v", again)
+	}
+}
+
+// TestECCSweepEscalatesUnrepairable: double-word damage reports CW062 as
+// an error with or without Heal, and healing must not modify the bytes.
+func TestECCSweepEscalatesUnrepairable(t *testing.T) {
+	db, tb, _ := setup(t)
+	inj := fault.New(db.Internals().Arena, db.Scheme().Protector(), 9)
+	addr := tb.RecordAddr(5) + 16
+	if _, err := inj.DoubleWordSmash(addr, addr+8, 0xAB, 0xCD); err != nil {
+		t.Fatal(err)
+	}
+	problems, err := RunOpts(db, Options{Heal: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	codes := problemCodes(problems)
+	if codes[CodeECCUnrepairable] != 1 {
+		t.Fatalf("want one %s: %v", CodeECCUnrepairable, problems)
+	}
+	if codes[CodeECCRepaired] != 0 {
+		t.Fatalf("unrepairable damage must not be 'repaired': %v", problems)
+	}
+}
+
+// TestECCSweepFindsParityDamage: stale locator planes are invisible to
+// the codeword audit; only the ECC sweep reports them (CW063, warning),
+// and with Heal the planes are rebuilt so the next run is clean.
+func TestECCSweepFindsParityDamage(t *testing.T) {
+	db, tb, _ := setup(t)
+	type tabler interface{ Table() *region.Table }
+	tab := db.Scheme().(tabler).Table()
+	r := tab.RegionOf(tb.RecordAddr(5))
+	if err := tab.CorruptPlane(r, 1, 0xF0F0); err != nil {
+		t.Fatal(err)
+	}
+	problems, err := Run(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	codes := problemCodes(problems)
+	if codes[CodeECCParityStale] != 1 || codes[CodeCodewordMismatch] != 0 {
+		t.Fatalf("want one %s and no %s: %v", CodeECCParityStale, CodeCodewordMismatch, problems)
+	}
+	healed, err := RunOpts(db, Options{Heal: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if problemCodes(healed)[CodeECCParityStale] != 1 {
+		t.Fatalf("healing run should report the rebuild: %v", healed)
+	}
+	again, err := Run(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(again) != 0 {
+		t.Fatalf("after rebuild the check should be clean: %v", again)
 	}
 }

@@ -34,7 +34,9 @@ func TestAuditorCleanSweeps(t *testing.T) {
 }
 
 func TestAuditorDetectsCorruption(t *testing.T) {
-	db := testDB(t, protect.Config{Kind: protect.KindDataCW, RegionSize: 64})
+	// DisableHeal pins detection-only semantics; the healing audit path
+	// has its own tests in heal_test.go.
+	db := testDB(t, protect.Config{Kind: protect.KindDataCW, RegionSize: 64, DisableHeal: true})
 	detected := make(chan *CorruptionError, 1)
 	a := NewAuditor(db, 2*time.Millisecond)
 	a.OnCorruption = func(ce *CorruptionError) { detected <- ce }
@@ -201,7 +203,7 @@ func finishWholePass(p *AuditPass) error {
 }
 
 func TestAuditPassDetectsMidPassCorruption(t *testing.T) {
-	db := testDB(t, protect.Config{Kind: protect.KindDataCW, RegionSize: 64})
+	db := testDB(t, protect.Config{Kind: protect.KindDataCW, RegionSize: 64, DisableHeal: true})
 	pass, err := db.BeginAuditPass()
 	if err != nil {
 		t.Fatal(err)
@@ -247,7 +249,7 @@ func TestAuditorIncrementalSlices(t *testing.T) {
 		t.Fatalf("phantom corruption: %v", a.Err())
 	}
 	// Corruption is still caught by the sliced mode.
-	db2 := testDB(t, protect.Config{Kind: protect.KindDataCW, RegionSize: 64})
+	db2 := testDB(t, protect.Config{Kind: protect.KindDataCW, RegionSize: 64, DisableHeal: true})
 	detected := make(chan *CorruptionError, 1)
 	a2 := NewAuditor(db2, time.Millisecond)
 	a2.SliceBytes = db2.Internals().Arena.Size() / 8

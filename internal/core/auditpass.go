@@ -28,6 +28,7 @@ type AuditPass struct {
 	beginLSN   wal.LSN
 	next       mem.Addr
 	mismatches []region.Mismatch
+	healed     int // mismatches repaired in place by the ECC tier
 	finished   bool
 	started    time.Time
 }
@@ -83,10 +84,40 @@ func (p *AuditPass) Step(maxBytes int) (done bool, err error) {
 		n = db.arena.Size() - int(p.next)
 	}
 	if n > 0 {
-		p.mismatches = append(p.mismatches, db.scheme.AuditRange(p.next, n)...)
+		for _, m := range db.scheme.AuditRange(p.next, n) {
+			if p.tryHeal(m) {
+				p.healed++
+				continue
+			}
+			p.mismatches = append(p.mismatches, m)
+		}
 		p.next += mem.Addr(n)
 	}
 	return int(p.next) >= db.arena.Size(), nil
+}
+
+// tryHeal offers a mismatch to the scheme's ECC tier. A repaired word
+// (or a region a concurrent pass already fixed) drops out of the pass's
+// mismatches: the damage never reaches CorruptionError, delete-
+// transaction recovery, or the audit-end record's corrupt set. Damage
+// past the correction radius stays a mismatch and is counted as an
+// escalation.
+func (p *AuditPass) tryHeal(m region.Mismatch) bool {
+	db := p.db
+	if !db.healAudits {
+		return false
+	}
+	res := db.scheme.Heal(m.Region)
+	switch res.Verdict {
+	case region.VerdictRepaired, region.VerdictClean, region.VerdictParityStale:
+		return true
+	case region.VerdictUnrepairable:
+		db.mHealEscalate.Inc()
+		if db.reg.HasSinks() {
+			db.reg.Emit(obs.HealEvent{Region: uint64(m.Region), Verdict: res.Verdict.String()})
+		}
+	}
+	return false
 }
 
 // Finish logs the audit-end record and, if the pass was clean, advances
@@ -119,13 +150,19 @@ func (p *AuditPass) Finish() error {
 	if len(p.mismatches) > 0 {
 		return &CorruptionError{Mismatches: p.mismatches}
 	}
+	// A pass that healed damage ends clean but was not clean from its
+	// begin record onward — the invariant Audit_SN certifies — so it must
+	// not advance Audit_SN; the next fully clean pass will.
 	// Monotonic: a slow pass finishing after a later-begun clean pass
 	// must not regress Audit_SN.
-	if p.beginLSN > db.lastCleanAudit {
+	if p.healed == 0 && p.beginLSN > db.lastCleanAudit {
 		db.lastCleanAudit = p.beginLSN
 	}
 	return nil
 }
+
+// Healed reports how many mismatches the pass repaired in place.
+func (p *AuditPass) Healed() int { return p.healed }
 
 // note records the finished pass's duration and verdict in the metrics
 // registry and emits an obs.AuditPassEvent (plus an obs.CorruptionEvent if
@@ -146,7 +183,7 @@ func (p *AuditPass) note() {
 	if db.reg.HasSinks() {
 		db.reg.Emit(obs.AuditPassEvent{
 			SN: p.sn, Duration: dur, Regions: regions,
-			Mismatches: len(p.mismatches), Clean: clean,
+			Mismatches: len(p.mismatches), Healed: p.healed, Clean: clean,
 		})
 		if !clean {
 			db.reg.Emit(obs.CorruptionEvent{Source: "audit", Mismatches: len(p.mismatches)})

@@ -282,7 +282,9 @@ func TestLocksReleasedOnCompletion(t *testing.T) {
 }
 
 func TestAuditDetectsWildWriteAndLogsIt(t *testing.T) {
-	db := testDB(t, protect.Config{Kind: protect.KindDataCW, RegionSize: 64})
+	// DisableHeal pins detection-only semantics; the healing audit path
+	// has its own tests in heal_test.go.
+	db := testDB(t, protect.Config{Kind: protect.KindDataCW, RegionSize: 64, DisableHeal: true})
 	if err := db.Audit(); err != nil {
 		t.Fatal(err)
 	}
@@ -319,7 +321,7 @@ func TestAuditDetectsWildWriteAndLogsIt(t *testing.T) {
 }
 
 func TestCheckpointRefusedWhenCorrupt(t *testing.T) {
-	db := testDB(t, protect.Config{Kind: protect.KindDataCW, RegionSize: 64})
+	db := testDB(t, protect.Config{Kind: protect.KindDataCW, RegionSize: 64, DisableHeal: true})
 	if err := db.Checkpoint(); err != nil {
 		t.Fatal(err)
 	}

@@ -206,6 +206,16 @@ type DB struct {
 	auditSN        uint64
 	lastCleanAudit wal.LSN // the paper's Audit_SN
 
+	// healAudits arms the audit-path heal ladder: mismatches found by an
+	// audit pass are first offered to the scheme's ECC tier, and only
+	// damage past the correction radius escalates to CorruptionError.
+	healAudits bool
+	// healGen counts image mutations by the ECC tier. The checkpointer
+	// compares it across its snapshot-write-audit window: a heal in that
+	// window may postdate the page capture, so the written image is
+	// re-taken rather than certifying bytes the audit no longer saw.
+	healGen atomic.Uint64
+
 	closed atomic.Bool
 
 	// reg is the database's metrics registry; every subsystem's counters
@@ -224,6 +234,10 @@ type DB struct {
 	mAuditMismatch *obs.Counter
 	mCorruptions   *obs.Counter
 	mCkpts         *obs.Counter
+	mHeals         *obs.Counter
+	mHealRebuilds  *obs.Counter
+	mHealEscalate  *obs.Counter
+	hHealNS        *obs.Histogram
 	hAuditNS       *obs.Histogram
 	hCkptFlushNS   *obs.Histogram
 	hCkptSnapNS    *obs.Histogram
@@ -274,6 +288,15 @@ func build(cfg Config, loaded *RecoveredState) (*DB, error) {
 	pcfg := cfg.Protect
 	pcfg.Obs = reg
 	pcfg.Pool = pool
+	// The scheme is built before the DB exists, so its OnHeal callback
+	// late-binds to the db variable assigned below; no heal can fire
+	// before construction completes (nothing calls Heal until then).
+	var db *DB
+	pcfg.OnHeal = func(res region.RepairResult, d time.Duration) {
+		if db != nil {
+			db.noteHeal(res, d)
+		}
+	}
 	scheme, err := protect.New(arena, pcfg)
 	if err != nil {
 		arena.Close()
@@ -297,7 +320,7 @@ func build(cfg Config, loaded *RecoveredState) (*DB, error) {
 	locks := lockmgr.New(cfg.LockTimeout)
 	locks.SetRegistry(reg)
 
-	db := &DB{
+	db = &DB{
 		cfg:    cfg,
 		arena:  arena,
 		scheme: scheme,
@@ -321,6 +344,10 @@ func build(cfg Config, loaded *RecoveredState) (*DB, error) {
 		mAuditMismatch: reg.Counter(obs.NameAuditMismatches),
 		mCorruptions:   reg.Counter(obs.NameCorruptions),
 		mCkpts:         reg.Counter(obs.NameCheckpoints),
+		mHeals:         reg.Counter(obs.NameHeals),
+		mHealRebuilds:  reg.Counter(obs.NameHealRebuilds),
+		mHealEscalate:  reg.Counter(obs.NameHealEscalations),
+		hHealNS:        reg.Histogram(obs.NameHealNS),
 		hAuditNS:       reg.Histogram(obs.NameAuditPassNS),
 		hCkptFlushNS:   reg.Histogram(obs.NameCkptFlushNS),
 		hCkptSnapNS:    reg.Histogram(obs.NameCkptSnapNS),
@@ -330,6 +357,7 @@ func build(cfg Config, loaded *RecoveredState) (*DB, error) {
 		hCkptCompactNS: reg.Histogram(obs.NameCkptCompactNS),
 		hCkptTotalNS:   reg.Histogram(obs.NameCkptTotalNS),
 	}
+	db.healAudits = schemeHasCodewords(pcfg.Kind) && !pcfg.DisableECC && !pcfg.DisableHeal
 	if loaded != nil {
 		db.att = wal.NewATT(loaded.NextTxnID)
 		if loaded.Meta != nil {
@@ -572,6 +600,39 @@ func (db *DB) Audit() error {
 	return pass.Finish()
 }
 
+// noteHeal is the scheme's OnHeal callback: it accounts for an ECC
+// repair that mutated state outside the logged update path. A repaired
+// word changed arena bytes, so its pages are marked dirty (the next
+// checkpoint snapshot must capture the healed contents — the wild write
+// it undid was never logged) and the heal generation is bumped so an
+// in-flight checkpoint re-takes its image. A plane rebuild touches only
+// codeword-table metadata, which checkpoints never persist (codewords
+// are re-derived at recovery), so it needs neither.
+func (db *DB) noteHeal(res region.RepairResult, d time.Duration) {
+	switch res.Verdict {
+	case region.VerdictRepaired:
+		db.mHeals.Inc()
+		db.hHealNS.Observe(uint64(d.Nanoseconds()))
+		ps := db.cfg.PageSize
+		for p := int(res.Addr) / ps; p <= (int(res.Addr)+7)/ps; p++ {
+			db.ckpts.NoteDirty(mem.PageID(p))
+		}
+		db.healGen.Add(1)
+	case region.VerdictParityStale:
+		db.mHealRebuilds.Inc()
+	}
+	if db.reg.HasSinks() {
+		db.reg.Emit(obs.HealEvent{
+			Region: uint64(res.Region), Verdict: res.Verdict.String(),
+			WordAddr: uint64(res.Addr), Duration: d,
+		})
+	}
+}
+
+// HealGeneration reports the number of in-place ECC repairs performed
+// over the database's life (tests, tools).
+func (db *DB) HealGeneration() uint64 { return db.healGen.Load() }
+
 // LastCleanAuditLSN reports the current Audit_SN: the log position at
 // which the last clean audit began.
 func (db *DB) LastCleanAuditLSN() wal.LSN {
@@ -603,40 +664,57 @@ func (db *DB) Checkpoint() error {
 		return ErrClosed
 	}
 	total := time.Now()
-	db.barrier.Lock()
-	if db.closed.Load() { // see Audit: Close drains the barrier
+	// Snapshot, write and certification-audit form a retry loop against
+	// the ECC tier: a heal landing inside the window may postdate the
+	// snapshot's page capture, so the image on disk could hold the
+	// pre-heal (corrupt) bytes while the audit — which saw the healed
+	// arena — would certify it. A changed heal generation re-takes the
+	// image; the heal marked its pages dirty, so the retried snapshot
+	// captures the repaired contents.
+	var snap *ckpt.Snapshot
+	for attempt := 0; ; attempt++ {
+		healGen := db.healGen.Load()
+		db.barrier.Lock()
+		if db.closed.Load() { // see Audit: Close drains the barrier
+			db.barrier.Unlock()
+			return ErrClosed
+		}
+		phase := time.Now()
+		if err := db.log.Flush(); err != nil {
+			db.barrier.Unlock()
+			return err
+		}
+		db.notePhase("flush", db.hCkptFlushNS, phase)
+		phase = time.Now()
+		// The per-stream stable ends, captured under the exclusive barrier with
+		// every stream just forced, are the epoch barrier: a consistent cut of
+		// the log set that the checkpoint image is update-consistent with.
+		// CKEnds[0] doubles as the historical scalar CK_end.
+		ckEnds := db.log.StableEnds()
+		attBytes := wal.EncodeEntries(db.att.Snapshot())
+		metaBytes := db.encodeMeta()
+		snap = db.ckpts.Begin(db.arena, attBytes, metaBytes, ckEnds)
 		db.barrier.Unlock()
-		return ErrClosed
+		db.notePhase("snapshot", db.hCkptSnapNS, phase)
+
+		phase = time.Now()
+		if err := db.ckpts.Write(snap, db.arena.Size()); err != nil {
+			return err
+		}
+		db.notePhase("write", db.hCkptWriteNS, phase)
+		phase = time.Now()
+		if err := db.Audit(); err != nil {
+			return err // CorruptionError: checkpoint not certified
+		}
+		db.notePhase("audit", db.hCkptAuditNS, phase)
+		if db.healGen.Load() == healGen {
+			break
+		}
+		if attempt >= 2 {
+			return fmt.Errorf("core: checkpoint: ECC heals kept racing the image capture (%d attempts)", attempt+1)
+		}
 	}
 	phase := time.Now()
-	if err := db.log.Flush(); err != nil {
-		db.barrier.Unlock()
-		return err
-	}
-	db.notePhase("flush", db.hCkptFlushNS, phase)
-	phase = time.Now()
-	// The per-stream stable ends, captured under the exclusive barrier with
-	// every stream just forced, are the epoch barrier: a consistent cut of
-	// the log set that the checkpoint image is update-consistent with.
-	// CKEnds[0] doubles as the historical scalar CK_end.
-	ckEnds := db.log.StableEnds()
-	attBytes := wal.EncodeEntries(db.att.Snapshot())
-	metaBytes := db.encodeMeta()
-	snap := db.ckpts.Begin(db.arena, attBytes, metaBytes, ckEnds)
-	db.barrier.Unlock()
-	db.notePhase("snapshot", db.hCkptSnapNS, phase)
-
-	phase = time.Now()
-	if err := db.ckpts.Write(snap, db.arena.Size()); err != nil {
-		return err
-	}
-	db.notePhase("write", db.hCkptWriteNS, phase)
-	phase = time.Now()
-	if err := db.Audit(); err != nil {
-		return err // CorruptionError: checkpoint not certified
-	}
-	db.notePhase("audit", db.hCkptAuditNS, phase)
-	phase = time.Now()
 	if err := db.ckpts.Certify(snap, db.LastCleanAuditLSN()); err != nil {
 		return err
 	}

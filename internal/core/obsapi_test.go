@@ -90,7 +90,9 @@ func TestConfigWorkers(t *testing.T) {
 }
 
 func TestErrorsIsCorruption(t *testing.T) {
-	db := testDB(t, protect.Config{Kind: protect.KindPrecheck, RegionSize: 64})
+	// DisableHeal: this test pins the error taxonomy of a *detected*
+	// corruption; with ECC on, a single-bit flip would be healed instead.
+	db := testDB(t, protect.Config{Kind: protect.KindPrecheck, RegionSize: 64, DisableHeal: true})
 	txn, err := db.Begin()
 	if err != nil {
 		t.Fatal(err)

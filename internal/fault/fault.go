@@ -29,8 +29,9 @@ type Injector struct {
 	prot  mem.Protector
 	rng   *rand.Rand
 
-	events []Event
-	mWild  *obs.Counter
+	events  []Event
+	mWild   *obs.Counter
+	mParity *obs.Counter
 }
 
 // New returns an injector over arena whose writes are subject to prot
@@ -45,6 +46,7 @@ func New(arena *mem.Arena, prot mem.Protector, seed int64) *Injector {
 // campaigns show up alongside the storage-fault and recovery metrics.
 func (in *Injector) SetRegistry(reg *obs.Registry) {
 	in.mWild = reg.Counter(obs.NameFaultWildWrites)
+	in.mParity = reg.Counter(obs.NameFaultParityHits)
 }
 
 func (in *Injector) note(kind string, addr mem.Addr, n int, trapped bool) {

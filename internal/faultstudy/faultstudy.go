@@ -69,15 +69,19 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// Schemes returns the study's scheme configurations.
+// Schemes returns the study's scheme configurations. Healing is
+// disabled: this study reproduces the paper's detect/prevent/recover
+// ladder, and an ECC repair would silently absorb the injected fault
+// before the schemes' responses could be observed. The correction tier
+// has its own campaign (RunHeal).
 func Schemes() []protect.Config {
 	return []protect.Config{
 		{Kind: protect.KindBaseline},
-		{Kind: protect.KindDataCW, RegionSize: 64},
-		{Kind: protect.KindPrecheck, RegionSize: 64},
-		{Kind: protect.KindReadLog, RegionSize: 64},
-		{Kind: protect.KindCWReadLog, RegionSize: 64},
-		{Kind: protect.KindDeferredCW, RegionSize: 64},
+		{Kind: protect.KindDataCW, RegionSize: 64, DisableHeal: true},
+		{Kind: protect.KindPrecheck, RegionSize: 64, DisableHeal: true},
+		{Kind: protect.KindReadLog, RegionSize: 64, DisableHeal: true},
+		{Kind: protect.KindCWReadLog, RegionSize: 64, DisableHeal: true},
+		{Kind: protect.KindDeferredCW, RegionSize: 64, DisableHeal: true},
 		{Kind: protect.KindHW, ForceSimProtect: true},
 	}
 }

@@ -1,0 +1,386 @@
+// The heal campaign: the correction-tier counterpart of the detection
+// study. Where faultstudy.Run asks "does each scheme's response ladder
+// fire?", RunHeal asks "does the ECC tier silently repair what it
+// claims to, and escalate what it must?" — each targeted damage shape
+// lands on a known rung of the ladder:
+//
+//	single-bit    → repairable (smallest syndrome)
+//	single-word   → repairable (the canonical wild write)
+//	double-word   → unrepairable, escalates to delete-transaction recovery
+//	parity-column → parity-stale, planes rebuilt from intact data
+//
+// The acceptance bar (ISSUE 10): >= 99% of single-word wild writes
+// repaired in place with zero delete-transaction recoveries, and
+// multi-word damage demonstrably escalating to the existing recovery
+// path.
+package faultstudy
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"repro/internal/benchtab"
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/heap"
+	"repro/internal/obs"
+	"repro/internal/protect"
+	"repro/internal/recovery"
+	"repro/internal/region"
+)
+
+// HealShape names one targeted damage shape of the campaign.
+type HealShape string
+
+// The campaign's damage shapes, one per rung of the heal/escalate ladder.
+const (
+	ShapeSingleBit  HealShape = "single-bit"
+	ShapeSingleWord HealShape = "single-word"
+	ShapeDoubleWord HealShape = "double-word"
+	ShapeParity     HealShape = "parity-column"
+)
+
+// HealShapes lists the campaign's shapes in report order.
+func HealShapes() []HealShape {
+	return []HealShape{ShapeSingleBit, ShapeSingleWord, ShapeDoubleWord, ShapeParity}
+}
+
+// HealSchemes returns the ECC-bearing scheme configurations the heal
+// campaign runs against (healing on — the default).
+func HealSchemes() []protect.Config {
+	return []protect.Config{
+		{Kind: protect.KindDataCW, RegionSize: 512},
+		{Kind: protect.KindPrecheck, RegionSize: 64},
+		{Kind: protect.KindDeferredCW, RegionSize: 512},
+	}
+}
+
+// HealConfig parameterizes a heal campaign.
+type HealConfig struct {
+	// Injections per scheme x shape (default 50; the escalating
+	// double-word shape runs min(Injections, 6) since each injection
+	// costs a crash and a restart recovery).
+	Injections int
+	// Carriers is the number of carrier transactions run between each
+	// injection and the audit (default 4).
+	Carriers int
+	// Seed makes the campaign reproducible.
+	Seed int64
+	// WorkDir for scratch databases (default: system temp).
+	WorkDir string
+}
+
+func (c HealConfig) withDefaults() HealConfig {
+	if c.Injections == 0 {
+		c.Injections = 50
+	}
+	if c.Carriers == 0 {
+		c.Carriers = 4
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// HealOutcome aggregates one scheme x shape cell of the campaign.
+type HealOutcome struct {
+	Scheme     string    `json:"scheme"`
+	Shape      HealShape `json:"shape"`
+	Injections int       `json:"injections"`
+	// Healed: repaired in place (word reconstructed or planes rebuilt)
+	// and the region verified byte-identical to its pre-damage contents.
+	Healed int `json:"healed"`
+	// Escalated: the ECC tier declared the damage unrepairable and the
+	// database went through crash + delete-transaction recovery.
+	Escalated int `json:"escalated"`
+	// RecoveredClean: escalations whose post-recovery audit was clean.
+	RecoveredClean int `json:"recovered_clean"`
+	// DeletedTxns: transactions deleted by escalation recoveries.
+	DeletedTxns int `json:"deleted_txns"`
+	// HealRate = Healed / Injections.
+	HealRate float64 `json:"heal_rate"`
+	// Repair latency of the in-place heals, from core.heal_ns.
+	HealP50Ns uint64 `json:"heal_p50_ns"`
+	HealP99Ns uint64 `json:"heal_p99_ns"`
+}
+
+// tabler is implemented by every ECC-bearing scheme; the parity shape
+// needs the table to corrupt locator planes.
+type tabler interface {
+	Table() *region.Table
+}
+
+// RunHeal executes the heal campaign: every scheme x shape cell.
+func RunHeal(cfg HealConfig) ([]HealOutcome, error) {
+	cfg = cfg.withDefaults()
+	var out []HealOutcome
+	for _, pc := range HealSchemes() {
+		for _, shape := range HealShapes() {
+			o, err := healCell(cfg, pc, shape)
+			if err != nil {
+				return nil, fmt.Errorf("faultstudy: heal %v/%s: %w", pc.Kind, shape, err)
+			}
+			out = append(out, o)
+		}
+	}
+	return out, nil
+}
+
+// healCell runs one scheme x shape cell. Repairable shapes reuse one
+// database across injections (inject, carry, audit-heal, byte-verify);
+// the escalating double-word shape crashes and recovers per injection.
+func healCell(cfg HealConfig, pc protect.Config, shape HealShape) (o HealOutcome, err error) {
+	o.Shape = shape
+	injections := cfg.Injections
+	if shape == ShapeDoubleWord && injections > 6 {
+		injections = 6 // each injection costs a crash + restart recovery
+	}
+	o.Injections = injections
+
+	dir, err := os.MkdirTemp(cfg.WorkDir, "healstudy-*")
+	if err != nil {
+		return o, err
+	}
+	defer os.RemoveAll(dir)
+	rng := rand.New(rand.NewSource(cfg.Seed + int64(len(shape))*104729))
+
+	const slots = 64
+	const recBytes = 64
+	dbcfg := core.Config{Dir: dir, ArenaSize: 1 << 19, Protect: pc}
+	db, tb, err := healSetup(dbcfg, slots, recBytes)
+	if err != nil {
+		return o, err
+	}
+	defer func() {
+		if db != nil {
+			db.Close()
+		}
+	}()
+	o.Scheme = db.Scheme().Name()
+
+	for i := 0; i < injections; i++ {
+		inj := fault.New(db.Internals().Arena, db.Scheme().Protector(), cfg.Seed+int64(i))
+		inj.SetRegistry(db.Observability())
+		victim := uint32(rng.Intn(slots))
+		addr := tb.RecordAddr(victim) + 16 // inside the record body
+		tab := db.Scheme().(tabler).Table()
+		r := tab.RegionOf(addr)
+		// The differential check covers only the victim's smashed words:
+		// carrier transactions legitimately update neighbouring records in
+		// the same region, so a whole-region shadow would be stale. The
+		// smashed words sit inside the victim's record, which no carrier
+		// touches.
+		w1 := addr &^ 7
+		w2 := w1 + 8
+		if tab.RegionOf(w2) != r {
+			w2 = w1 - 8 // keep both words inside the victim's region
+		}
+		a := db.Internals().Arena
+		pre1 := append([]byte(nil), a.Slice(w1, 8)...)
+		pre2 := append([]byte(nil), a.Slice(w2, 8)...)
+
+		switch shape {
+		case ShapeSingleBit:
+			if _, err := inj.SingleBitFlip(addr, uint(rng.Intn(8))); err != nil {
+				return o, err
+			}
+		case ShapeSingleWord:
+			if _, err := inj.WordSmash(addr, rng.Uint64()); err != nil {
+				return o, err
+			}
+		case ShapeDoubleWord:
+			if _, err := inj.DoubleWordSmash(w1, w2, rng.Uint64(), rng.Uint64()); err != nil {
+				return o, err
+			}
+		case ShapeParity:
+			if tab.NumPlanes() == 0 {
+				o.Healed++ // 8-byte regions have no planes to hit
+				continue
+			}
+			if err := inj.ParityHit(tab, r, rng.Intn(tab.NumPlanes()), rng.Uint64()); err != nil {
+				return o, err
+			}
+		}
+
+		heals0 := healCount(db)
+		// Carrier transactions touch other slots: the engine keeps
+		// running over the damaged image exactly as production would.
+		for c := 0; c < cfg.Carriers; c++ {
+			if err := healCarrier(db, tb, rng, slots, victim); err != nil {
+				return o, err
+			}
+		}
+		switch shape {
+		case ShapeParity:
+			// Plane damage is invisible to the codeword audit (the data
+			// still matches its codeword); the Diagnose sweep — what
+			// dbcheck -heal drives — finds and repairs it.
+			if res := db.Scheme().Heal(r); res.Verdict != region.VerdictParityStale {
+				return o, fmt.Errorf("injection %d: parity hit healed as %v", i, res.Verdict)
+			}
+		default:
+			if err := db.Audit(); err != nil {
+				var ce *core.CorruptionError
+				if !errors.As(err, &ce) {
+					return o, err
+				}
+				// Escalation: the paper's reaction — crash, then restart
+				// recovery deletes the transactions that touched the
+				// corrupt region.
+				o.Escalated++
+				db, tb, err = healEscalate(db, dbcfg, &o)
+				if err != nil {
+					return o, err
+				}
+				continue
+			}
+		}
+		if healCount(db) == heals0 {
+			return o, fmt.Errorf("injection %d: audit clean but nothing healed", i)
+		}
+		if !bytes.Equal(a.Slice(w1, 8), pre1) || !bytes.Equal(a.Slice(w2, 8), pre2) {
+			return o, fmt.Errorf("injection %d: healed words not byte-identical", i)
+		}
+		o.Healed++
+	}
+
+	m := db.Metrics()
+	if h, ok := m.Histograms[obs.NameHealNS]; ok && h.Count > 0 {
+		o.HealP50Ns = h.Quantile(0.5)
+		o.HealP99Ns = h.Quantile(0.99)
+	}
+	o.HealRate = float64(o.Healed) / float64(o.Injections)
+	return o, nil
+}
+
+// healSetup creates a fresh database with a populated heap table and a
+// certified checkpoint.
+func healSetup(dbcfg core.Config, slots, recBytes int) (*core.DB, *heap.Table, error) {
+	db, err := core.Open(dbcfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	cat, err := heap.Open(db)
+	if err != nil {
+		db.Close()
+		return nil, nil, err
+	}
+	tb, err := cat.CreateTable("t", recBytes, slots)
+	if err != nil {
+		db.Close()
+		return nil, nil, err
+	}
+	setup, err := db.Begin()
+	if err != nil {
+		db.Close()
+		return nil, nil, err
+	}
+	for i := 0; i < slots; i++ {
+		rec := make([]byte, recBytes)
+		for j := range rec {
+			rec[j] = byte(i + j)
+		}
+		if _, err := tb.Insert(setup, rec); err != nil {
+			db.Close()
+			return nil, nil, err
+		}
+	}
+	if err := setup.Commit(); err != nil {
+		db.Close()
+		return nil, nil, err
+	}
+	if err := db.Checkpoint(); err != nil {
+		db.Close()
+		return nil, nil, err
+	}
+	return db, tb, nil
+}
+
+// healCarrier runs one read+update transaction over non-victim slots.
+func healCarrier(db *core.DB, tb *heap.Table, rng *rand.Rand, slots int, victim uint32) error {
+	txn, err := db.Begin()
+	if err != nil {
+		return err
+	}
+	slot := uint32(rng.Intn(slots))
+	if slot == victim {
+		slot = (slot + 1) % uint32(slots)
+	}
+	if _, err := tb.Read(txn, heap.RID{Table: tb.ID, Slot: slot}); err != nil {
+		txn.Abort()
+		if errors.Is(err, protect.ErrPrecheckFailed) {
+			// A spanning read hit unrepairable damage: the precheck
+			// refused it, exactly as §3.1 requires. The audit below
+			// escalates.
+			return nil
+		}
+		return err
+	}
+	if err := tb.Update(txn, heap.RID{Table: tb.ID, Slot: slot}, 0, []byte{byte(rng.Intn(256)), 0xAA}); err != nil {
+		txn.Abort()
+		return err
+	}
+	return txn.Commit()
+}
+
+// healEscalate crashes the corrupt database, runs restart recovery
+// (which deletes the transactions that touched the corrupt regions), and
+// reopens a fresh handle for the rest of the cell.
+func healEscalate(db *core.DB, dbcfg core.Config, o *HealOutcome) (*core.DB, *heap.Table, error) {
+	if err := db.Crash(); err != nil {
+		return nil, nil, err
+	}
+	db2, rep, err := recovery.Open(dbcfg, recovery.Options{})
+	if err != nil {
+		return nil, nil, err
+	}
+	o.DeletedTxns += len(rep.Deleted)
+	if db2.Audit() == nil {
+		o.RecoveredClean++
+	}
+	cat, err := heap.Open(db2)
+	if err != nil {
+		db2.Close()
+		return nil, nil, err
+	}
+	tb, err := cat.Table("t")
+	if err != nil {
+		db2.Close()
+		return nil, nil, err
+	}
+	return db2, tb, nil
+}
+
+// healCount reads the database's in-place repair total (words
+// reconstructed plus planes rebuilt).
+func healCount(db *core.DB) uint64 {
+	m := db.Metrics()
+	return m.Counters[obs.NameHeals] + m.Counters[obs.NameHealRebuilds]
+}
+
+// FormatHealOutcomes renders the heal campaign as a table.
+func FormatHealOutcomes(outcomes []HealOutcome) string {
+	var rows [][]string
+	for _, o := range outcomes {
+		rows = append(rows, []string{
+			o.Scheme,
+			string(o.Shape),
+			fmt.Sprint(o.Injections),
+			fmt.Sprint(o.Healed),
+			fmt.Sprintf("%.1f%%", o.HealRate*100),
+			fmt.Sprint(o.Escalated),
+			fmt.Sprint(o.RecoveredClean),
+			fmt.Sprint(o.DeletedTxns),
+			fmt.Sprint(o.HealP50Ns),
+			fmt.Sprint(o.HealP99Ns),
+		})
+	}
+	return benchtab.Format([]string{
+		"Scheme", "Shape", "Injections", "Healed", "Heal-rate",
+		"Escalated", "Recovered-clean", "Deleted-txns", "p50-ns", "p99-ns",
+	}, rows)
+}

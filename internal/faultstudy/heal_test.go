@@ -1,0 +1,153 @@
+package faultstudy
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/heap"
+	"repro/internal/obs"
+	"repro/internal/protect"
+	"repro/internal/recovery"
+)
+
+// TestHealCampaignOutcomes pins the heal campaign's ladder per shape:
+// single-bit and single-word damage is healed in place on every
+// injection with zero delete-transaction recoveries; double-word damage
+// always escalates through crash + restart recovery and comes back
+// clean; parity-column damage is rebuilt from intact data.
+func TestHealCampaignOutcomes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heal campaign is slow")
+	}
+	outcomes, err := RunHeal(HealConfig{Injections: 8, Carriers: 3, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := len(HealSchemes()) * len(HealShapes()); len(outcomes) != want {
+		t.Fatalf("outcomes = %d, want %d", len(outcomes), want)
+	}
+	for _, o := range outcomes {
+		switch o.Shape {
+		case ShapeSingleBit, ShapeSingleWord, ShapeParity:
+			if o.Healed != o.Injections || o.HealRate != 1.0 {
+				t.Errorf("%s/%s: healed %d/%d, want all", o.Scheme, o.Shape, o.Healed, o.Injections)
+			}
+			if o.Escalated != 0 || o.DeletedTxns != 0 {
+				t.Errorf("%s/%s: escalated=%d deleted=%d, want in-place repair only",
+					o.Scheme, o.Shape, o.Escalated, o.DeletedTxns)
+			}
+		case ShapeDoubleWord:
+			if o.Escalated != o.Injections {
+				t.Errorf("%s/%s: escalated %d/%d, want all (damage past the correction radius)",
+					o.Scheme, o.Shape, o.Escalated, o.Injections)
+			}
+			if o.Healed != 0 {
+				t.Errorf("%s/%s: healed=%d, want 0 (no misrepair)", o.Scheme, o.Shape, o.Healed)
+			}
+			if o.RecoveredClean != o.Escalated {
+				t.Errorf("%s/%s: recovered-clean %d of %d escalations",
+					o.Scheme, o.Shape, o.RecoveredClean, o.Escalated)
+			}
+		}
+	}
+	tblStr := FormatHealOutcomes(outcomes)
+	if !strings.Contains(tblStr, "Heal-rate") {
+		t.Fatalf("table missing header:\n%s", tblStr)
+	}
+}
+
+// TestHealTortureVsCheckpoint crash-tortures healing against
+// checkpointing: at every iteration a wild write lands on a freshly
+// dirtied page, a checkpoint runs (its certification audit heals
+// mid-window, forcing the image retake), and then the database crashes.
+// Restart recovery from that checkpoint must always produce a clean,
+// auditable image — the checkpoint must never have certified the
+// corrupt capture.
+func TestHealTortureVsCheckpoint(t *testing.T) {
+	if testing.Short() {
+		t.Skip("torture is slow")
+	}
+	dir := t.TempDir()
+	dbcfg := core.Config{
+		Dir:       dir,
+		ArenaSize: 1 << 18,
+		Protect:   protect.Config{Kind: protect.KindDataCW, RegionSize: 512},
+	}
+	db, err := core.Open(dbcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat, err := heap.Open(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb, err := cat.CreateTable("t", 64, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	setup, err := db.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 64; i++ {
+		rec := make([]byte, 64)
+		rec[0] = byte(i + 1)
+		if _, err := tb.Insert(setup, rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := setup.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	const rounds = 12
+	for i := 0; i < rounds; i++ {
+		// Dirty the victim's page through the prescribed interface...
+		slot := uint32(i % 64)
+		txn, err := db.Begin()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := tb.Update(txn, heap.RID{Table: tb.ID, Slot: slot}, 0, []byte{byte(i), 0xC4}); err != nil {
+			t.Fatal(err)
+		}
+		if err := txn.Commit(); err != nil {
+			t.Fatal(err)
+		}
+		// ...then wild-write the same record so the checkpoint's first
+		// snapshot captures corrupt bytes, and checkpoint: the
+		// certification audit heals and the retry loop must retake the
+		// image before certifying.
+		db.Internals().Arena.Bytes()[tb.RecordAddr(slot)+17] ^= 0x3C
+		if err := db.Checkpoint(); err != nil {
+			t.Fatalf("round %d: checkpoint: %v", i, err)
+		}
+		// Crash; restart recovery replays from the just-certified image.
+		if err := db.Crash(); err != nil {
+			t.Fatal(err)
+		}
+		db2, _, err := recovery.Open(dbcfg, recovery.Options{})
+		if err != nil {
+			t.Fatalf("round %d: recovery: %v", i, err)
+		}
+		if err := db2.Audit(); err != nil {
+			t.Fatalf("round %d: post-recovery audit: %v (checkpoint certified a corrupt image?)", i, err)
+		}
+		db = db2
+		cat, err = heap.Open(db)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tb, err = cat.Table("t")
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := db.Metrics().Counters[obs.NameHeals]; got != 0 {
+		// Heals happen pre-crash in the old handles; the recovered handle
+		// starts clean. Just make sure recovery didn't need to heal.
+		t.Fatalf("recovered handle healed %d times, want 0", got)
+	}
+	db.Close()
+}

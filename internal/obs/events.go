@@ -54,7 +54,8 @@ type AuditPassEvent struct {
 	SN         uint64        // audit sequence number of the pass
 	Duration   time.Duration // wall time of the whole pass
 	Regions    int           // protection regions audited
-	Mismatches int           // codeword mismatches found
+	Mismatches int           // codeword mismatches found (net of heals)
+	Healed     int           // mismatches repaired in place by the ECC tier
 	Clean      bool          // Mismatches == 0
 }
 
@@ -69,6 +70,19 @@ type PrecheckFailEvent struct {
 }
 
 func (PrecheckFailEvent) EventName() string { return "protect.precheck_fail" }
+
+// HealEvent is emitted when the error-correction tier acts on a region:
+// a damaged word repaired in place, stale locator planes rebuilt, or
+// damage past the correction radius escalated to recovery. Verdict is
+// region.Verdict's String() ("repaired", "parity-stale", "unrepairable").
+type HealEvent struct {
+	Region   uint64        // protection region number
+	Verdict  string        // outcome of the repair attempt
+	WordAddr uint64        // arena address of the repaired word (verdict "repaired")
+	Duration time.Duration // time the repair took (zero for escalations)
+}
+
+func (HealEvent) EventName() string { return "core.heal" }
 
 // CorruptionEvent is emitted whenever codeword verification detects
 // direct corruption, regardless of which path found it.

@@ -22,6 +22,13 @@ const (
 	NameAuditMismatches = "core.audit_mismatches"
 	NameCorruptions     = "core.corruptions_detected"
 
+	// internal/core — ECC heal ladder (PR 10): in-place repairs by the
+	// error-correction tier and escalations past its correction radius.
+	NameHeals           = "core.heals"            // regions repaired in place (word reconstructed)
+	NameHealRebuilds    = "core.heal_rebuilds"    // stale locator planes rebuilt (data intact)
+	NameHealEscalations = "core.heal_escalations" // unrepairable damage escalated to recovery
+	NameHealNS          = "core.heal_ns"          // histogram: per-region repair latency
+
 	// internal/core — ping-pong checkpoint phases.
 	NameCheckpoints   = "core.checkpoints"
 	NameCkptFlushNS   = "core.ckpt_flush_ns"    // histogram: log flush under barrier
@@ -78,6 +85,7 @@ const (
 	// internal/protect — scheme-specific costs.
 	NamePrecheckRegions    = "protect.precheck_regions" // regions verified before reads
 	NamePrecheckFailures   = "protect.precheck_failures"
+	NamePrecheckHeals      = "protect.precheck_heals" // precheck failures repaired in place by ECC
 	NameCWCaptures         = "protect.cw_captures" // codewords captured into read log records
 	NameDeferredDrains     = "protect.deferred_drains"
 	NameHWExposes          = "protect.hw_exposes"    // mprotect: pages made writable
@@ -128,6 +136,7 @@ const (
 
 	// internal/fault — memory fault injector (wild writes).
 	NameFaultWildWrites = "fault.wild_writes"
+	NameFaultParityHits = "fault.parity_hits" // locator-plane (ECC metadata) corruptions injected
 
 	// internal/benchtab — Table 1/2 measurement sweeps.
 	NameBenchPairNS = "bench.pair_ns" // histogram: one protect/unprotect pair, nanoseconds

@@ -2,6 +2,7 @@ package protect
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/latch"
 	"repro/internal/mem"
@@ -31,6 +32,8 @@ type codewordScheme struct {
 	prot  *latch.Striped //dbvet:latch protection — the paper's protection latches
 	pool  *region.Pool   // workers for whole-arena scans (recompute, audit)
 
+	onHeal func(region.RepairResult, time.Duration)
+
 	mCWCaptures *obs.Counter // codewords captured for read-log records
 }
 
@@ -45,10 +48,14 @@ func newCodewordScheme(arena *mem.Arena, cfg Config) (*codewordScheme, error) {
 		tab:         tab,
 		prot:        latch.NewStriped(min(cfg.LatchStripes, tab.NumRegions())),
 		pool:        cfg.Pool,
+		onHeal:      cfg.OnHeal,
 		mCWCaptures: cfg.Obs.Counter(obs.NameCWCaptures),
 	}
 	tab.SetRegistry(cfg.Obs)
 	tab.SetPool(cfg.Pool)
+	if !cfg.DisableECC {
+		tab.EnableECC()
+	}
 	s.prot.Instrument(cfg.Obs, "protect",
 		cfg.Obs.Histogram(obs.NameProtLatchWaitNS), cfg.Obs.Counter(obs.NameProtLatchContends))
 	tab.RecomputeAll(arena)
@@ -180,6 +187,23 @@ func (s *codewordScheme) AuditRange(addr mem.Addr, n int) []region.Mismatch {
 		defer l.Unlock()
 		return s.tab.AuditRange(s.arena, s.tab.RegionStart(r), 1)
 	})
+}
+
+// Diagnose classifies region r's ECC syndrome under the audit latching
+// (protection latch exclusive) without mutating anything.
+func (s *codewordScheme) Diagnose(r int) region.RepairResult {
+	l := s.prot.For(uint64(r))
+	l.Lock()
+	defer l.Unlock()
+	return s.tab.Diagnose(s.arena, r)
+}
+
+// Heal attempts in-place correction of region r under the audit latching.
+func (s *codewordScheme) Heal(r int) region.RepairResult {
+	l := s.prot.For(uint64(r))
+	l.Lock()
+	defer l.Unlock()
+	return healRegion(s.tab, s.arena, r, s.onHeal)
 }
 
 // Recompute re-derives all codewords from the image.

@@ -3,6 +3,7 @@ package protect
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"repro/internal/latch"
 	"repro/internal/mem"
@@ -39,6 +40,8 @@ type deferredScheme struct {
 
 	drains uint64
 
+	onHeal func(region.RepairResult, time.Duration)
+
 	mDrains  *obs.Counter
 	gPending *obs.Gauge
 }
@@ -54,11 +57,15 @@ func newDeferredScheme(arena *mem.Arena, cfg Config) (*deferredScheme, error) {
 		prot:           latch.NewStriped(min(cfg.LatchStripes, tab.NumRegions())),
 		pool:           cfg.Pool,
 		drainThreshold: 4096,
+		onHeal:         cfg.OnHeal,
 		mDrains:        cfg.Obs.Counter(obs.NameDeferredDrains),
 		gPending:       cfg.Obs.Gauge(obs.NameRegionDeferredQueue),
 	}
 	tab.SetRegistry(cfg.Obs)
 	tab.SetPool(cfg.Pool)
+	if !cfg.DisableECC {
+		tab.EnableECC()
+	}
 	s.prot.Instrument(cfg.Obs, "protect",
 		cfg.Obs.Histogram(obs.NameProtLatchWaitNS), cfg.Obs.Counter(obs.NameProtLatchContends))
 	tab.RecomputeAll(arena)
@@ -123,7 +130,7 @@ func (s *deferredScheme) Drain() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for _, d := range s.pending {
-		s.tab.XorInto(d.Region, d.Delta)
+		s.tab.XorDelta(d)
 	}
 	s.pending = s.pending[:0]
 	s.drains++
@@ -168,6 +175,27 @@ func (s *deferredScheme) AuditRange(addr mem.Addr, n int) []region.Mismatch {
 	})
 }
 
+// Diagnose classifies region r's ECC syndrome under the audit discipline:
+// protection latch exclusive, drain the queue (stored codewords and
+// planes lag the data between drains), then compute syndromes.
+func (s *deferredScheme) Diagnose(r int) region.RepairResult {
+	l := s.prot.For(uint64(r))
+	l.Lock()
+	defer l.Unlock()
+	s.Drain()
+	return s.tab.Diagnose(s.arena, r)
+}
+
+// Heal attempts in-place correction of region r under the audit
+// discipline (latch exclusive, drain, repair).
+func (s *deferredScheme) Heal(r int) region.RepairResult {
+	l := s.prot.For(uint64(r))
+	l.Lock()
+	defer l.Unlock()
+	s.Drain()
+	return healRegion(s.tab, s.arena, r, s.onHeal)
+}
+
 func (s *deferredScheme) Recompute() error {
 	s.mu.Lock()
 	s.pending = nil
@@ -175,3 +203,6 @@ func (s *deferredScheme) Recompute() error {
 	s.tab.RecomputeAll(s.arena)
 	return nil
 }
+
+// Table exposes the codeword table for white-box tests.
+func (s *deferredScheme) Table() *region.Table { return s.tab }

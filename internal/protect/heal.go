@@ -1,0 +1,22 @@
+package protect
+
+import (
+	"time"
+
+	"repro/internal/mem"
+	"repro/internal/region"
+)
+
+// healRegion is the shared repair step of the codeword schemes' Heal
+// methods: run the table's Repair under the latching the caller already
+// holds, time it, and report mutating outcomes (a repaired word, rebuilt
+// planes) through the OnHeal callback so the database can account for
+// the image change (metrics, checkpoint dirty tracking).
+func healRegion(tab *region.Table, arena *mem.Arena, r int, onHeal func(region.RepairResult, time.Duration)) region.RepairResult {
+	start := time.Now()
+	res := tab.Repair(arena, r)
+	if onHeal != nil && (res.Verdict == region.VerdictRepaired || res.Verdict == region.VerdictParityStale) {
+		onHeal(res, time.Since(start))
+	}
+	return res
+}

@@ -190,6 +190,15 @@ func (s *hwScheme) Read(addr mem.Addr, n int) (ReadInfo, error) {
 func (s *hwScheme) Audit() []region.Mismatch                   { return nil }
 func (s *hwScheme) AuditRange(mem.Addr, int) []region.Mismatch { return nil }
 
+// Diagnose and Heal report VerdictUnsupported: the scheme keeps no
+// codewords, so there is nothing to locate damage with.
+func (s *hwScheme) Diagnose(r int) region.RepairResult {
+	return region.RepairResult{Region: r, Verdict: region.VerdictUnsupported}
+}
+func (s *hwScheme) Heal(r int) region.RepairResult {
+	return region.RepairResult{Region: r, Verdict: region.VerdictUnsupported}
+}
+
 // Recompute re-establishes full protection after recovery rebuilt the
 // image (recovery writes with protection dropped).
 func (s *hwScheme) Recompute() error { return s.protectAll() }

@@ -3,6 +3,7 @@ package protect
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"repro/internal/latch"
 	"repro/internal/mem"
@@ -29,6 +30,10 @@ type precheckScheme struct {
 	reg       *obs.Registry
 	mRegions  *obs.Counter // regions verified before reads (precheck hits)
 	mFailures *obs.Counter // prechecks that caught corruption
+	mHeals    *obs.Counter // precheck failures repaired in place by ECC
+
+	healReads bool // heal on the read path (ECC on, Config.DisableHeal unset)
+	onHeal    func(region.RepairResult, time.Duration)
 }
 
 func newPrecheckScheme(arena *mem.Arena, cfg Config) (*precheckScheme, error) {
@@ -44,9 +49,15 @@ func newPrecheckScheme(arena *mem.Arena, cfg Config) (*precheckScheme, error) {
 		reg:       cfg.Obs,
 		mRegions:  cfg.Obs.Counter(obs.NamePrecheckRegions),
 		mFailures: cfg.Obs.Counter(obs.NamePrecheckFailures),
+		mHeals:    cfg.Obs.Counter(obs.NamePrecheckHeals),
+		healReads: !cfg.DisableECC && !cfg.DisableHeal,
+		onHeal:    cfg.OnHeal,
 	}
 	tab.SetRegistry(cfg.Obs)
 	tab.SetPool(cfg.Pool)
+	if !cfg.DisableECC {
+		tab.EnableECC()
+	}
 	s.prot.Instrument(cfg.Obs, "protect",
 		cfg.Obs.Histogram(obs.NameProtLatchWaitNS), cfg.Obs.Counter(obs.NameProtLatchContends))
 	tab.RecomputeAll(arena)
@@ -103,6 +114,17 @@ func (s *precheckScheme) Read(addr mem.Addr, n int) (ReadInfo, error) {
 	defer g.Release()
 	for r := first; r <= last; r++ {
 		if !s.tab.VerifyRegion(s.arena, r) {
+			// ECC tier: the exclusive latch held for the precheck is exactly
+			// the latching Repair needs, so a locatable single-word damage
+			// is reconstructed in place and the read proceeds — the
+			// transaction never observes the corruption.
+			if s.healReads {
+				if res := healRegion(s.tab, s.arena, r, s.onHeal); res.Verdict == region.VerdictRepaired {
+					s.mHeals.Inc()
+					s.mRegions.Inc()
+					continue
+				}
+			}
 			s.mFailures.Inc()
 			if s.reg.HasSinks() {
 				s.reg.Emit(obs.PrecheckFailEvent{Region: uint64(r), Addr: uint64(addr), Len: n})
@@ -114,6 +136,24 @@ func (s *precheckScheme) Read(addr mem.Addr, n int) (ReadInfo, error) {
 		s.mRegions.Inc()
 	}
 	return ReadInfo{}, nil
+}
+
+// Diagnose classifies region r's ECC syndrome under an exclusive
+// protection latch without mutating anything.
+func (s *precheckScheme) Diagnose(r int) region.RepairResult {
+	l := s.prot.For(uint64(r))
+	l.Lock()
+	defer l.Unlock()
+	return s.tab.Diagnose(s.arena, r)
+}
+
+// Heal attempts in-place correction of region r under an exclusive
+// protection latch.
+func (s *precheckScheme) Heal(r int) region.RepairResult {
+	l := s.prot.For(uint64(r))
+	l.Lock()
+	defer l.Unlock()
+	return healRegion(s.tab, s.arena, r, s.onHeal)
 }
 
 // Audit performs the same check as a read, region by region, under

@@ -139,8 +139,10 @@ func TestCodewordSchemesMaintainAndAudit(t *testing.T) {
 }
 
 func TestPrecheckDetectsOnRead(t *testing.T) {
+	// DisableHeal pins the paper's original §3.1 semantics: detection
+	// stops the read. The ECC heal path has its own test below.
 	a := newTestArena(t, 8192)
-	s, err := New(a, Config{Kind: KindPrecheck, RegionSize: 64})
+	s, err := New(a, Config{Kind: KindPrecheck, RegionSize: 64, DisableHeal: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -159,7 +161,7 @@ func TestPrecheckDetectsOnRead(t *testing.T) {
 
 func TestPrecheckSpanningReadChecksAllRegions(t *testing.T) {
 	a := newTestArena(t, 8192)
-	s, err := New(a, Config{Kind: KindPrecheck, RegionSize: 64})
+	s, err := New(a, Config{Kind: KindPrecheck, RegionSize: 64, DisableHeal: true})
 	if err != nil {
 		t.Fatal(err)
 	}

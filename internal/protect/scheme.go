@@ -105,6 +105,20 @@ type Config struct {
 	// record) then pays one protect/unprotect pair instead of one per
 	// update.
 	HWDeferReprotect bool
+	// DisableECC turns off the error-correction tier for codeword schemes:
+	// no locator planes are maintained, and Diagnose/Heal report
+	// VerdictUnsupported. The detection tier is unaffected.
+	DisableECC bool
+	// DisableHeal keeps the ECC tier's planes maintained but stops the
+	// scheme from repairing in place on its own initiative (today: the
+	// precheck read path). Explicit Heal calls still repair.
+	DisableHeal bool
+	// OnHeal, when non-nil, is invoked after every Heal attempt that
+	// mutated state — a repaired word or rebuilt locator planes — with the
+	// result and the time the repair took. core.Open wires the database's
+	// heal bookkeeping (metrics, checkpoint dirty tracking) in here. Called
+	// while the region's protection latch is still held exclusively.
+	OnHeal func(region.RepairResult, time.Duration)
 	// Obs, when non-nil, receives the scheme's metrics and events
 	// (precheck hits/misses, fold counters, protection-latch waits, page
 	// exposures). core.Open wires the database's registry in here. Nil
@@ -239,6 +253,19 @@ type Scheme interface {
 	// AuditRange audits only regions intersecting [addr, addr+n).
 	AuditRange(addr mem.Addr, n int) []region.Mismatch
 
+	// Diagnose classifies region r's ECC syndrome under the scheme's audit
+	// latching without mutating anything: clean, repairable (with the
+	// located word), parity-stale, or unrepairable. Schemes without an ECC
+	// tier report VerdictUnsupported.
+	Diagnose(r int) region.RepairResult
+	// Heal attempts in-place correction of region r under the scheme's
+	// audit latching: a located single-word damage is reconstructed from
+	// codeword and locator planes, stale planes are rebuilt from intact
+	// data. Damage beyond the correction radius returns
+	// VerdictUnrepairable and the caller escalates to delete-transaction
+	// recovery. Schemes without an ECC tier report VerdictUnsupported.
+	Heal(r int) region.RepairResult
+
 	// Recompute re-derives all codewords from the current image (after
 	// recovery has produced a known-good image) and, for the HW scheme,
 	// re-establishes page protection.
@@ -312,6 +339,12 @@ func (b *baseline) Read(addr mem.Addr, n int) (ReadInfo, error) {
 }
 func (*baseline) Audit() []region.Mismatch                   { return nil }
 func (*baseline) AuditRange(mem.Addr, int) []region.Mismatch { return nil }
-func (*baseline) Recompute() error                           { return nil }
-func (*baseline) RegionSize() int                            { return 0 }
-func (*baseline) Protector() mem.Protector                   { return mem.NopProtector{} }
+func (*baseline) Diagnose(r int) region.RepairResult {
+	return region.RepairResult{Region: r, Verdict: region.VerdictUnsupported}
+}
+func (*baseline) Heal(r int) region.RepairResult {
+	return region.RepairResult{Region: r, Verdict: region.VerdictUnsupported}
+}
+func (*baseline) Recompute() error         { return nil }
+func (*baseline) RegionSize() int          { return 0 }
+func (*baseline) Protector() mem.Protector { return mem.NopProtector{} }

@@ -26,7 +26,9 @@ func Example() {
 	cfg := core.Config{
 		Dir:       dir,
 		ArenaSize: 1 << 18,
-		Protect:   protect.Config{Kind: protect.KindReadLog, RegionSize: 64},
+		// DisableHeal: the example walks the detect → delete-transaction
+		// ladder, which in-place ECC repair would short-circuit.
+		Protect: protect.Config{Kind: protect.KindReadLog, RegionSize: 64, DisableHeal: true},
 	}
 	db, err := core.Open(cfg)
 	if err != nil {

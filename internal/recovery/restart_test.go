@@ -13,8 +13,14 @@ import (
 )
 
 // testConfig returns a small database config in a fresh directory.
+// DisableHeal pins the paper's §4 semantics throughout this package:
+// these tests inject single-word wild writes and assert the
+// detect → crash → delete-transaction ladder, which the ECC tier would
+// otherwise short-circuit by repairing the word in place (that path has
+// its own coverage in core and faultstudy).
 func testConfig(t *testing.T, pc protect.Config) core.Config {
 	t.Helper()
+	pc.DisableHeal = true
 	return core.Config{
 		Dir:       t.TempDir(),
 		ArenaSize: 1 << 18,

@@ -64,7 +64,13 @@ type Table struct {
 	regionSize int
 	shift      uint
 	cws        []Codeword
-	cwLatch    *latch.Striped //dbvet:latch codeword — the paper's "codeword latch"
+	// ECC tier (EnableECC): numPlanes locator planes per region, stored
+	// flat as planes[r*numPlanes : (r+1)*numPlanes] and guarded by the
+	// same codeword-latch stripe as cws[r]. See ecc.go.
+	ecc       bool
+	numPlanes int
+	planes    []uint64
+	cwLatch   *latch.Striped //dbvet:latch codeword — the paper's "codeword latch"
 	// pool runs the table's whole-arena scans (RecomputeAll, AuditRange)
 	// across workers. A nil pool runs them on the calling goroutine.
 	pool *Pool
@@ -182,24 +188,49 @@ func (t *Table) Codeword(r int) Codeword {
 	return cw
 }
 
-// xorInto folds delta into region r's codeword under the codeword latch.
-func (t *Table) xorInto(r int, delta Codeword) {
-	if delta == 0 {
+// xorInto folds a codeword delta and the matching locator-plane deltas
+// into region r under one acquisition of the codeword latch, keeping the
+// (codeword, planes) pair mutually consistent. pd is nil with ECC off.
+func (t *Table) xorInto(r int, delta Codeword, pd []uint64) {
+	if delta == 0 && !anyNonzero(pd) {
 		return
 	}
 	l := t.latchFor(r)
 	l.Lock()
 	t.cws[r] ^= delta
+	t.xorPlanesLocked(r, pd)
 	l.Unlock()
+}
+
+// anyNonzero reports whether any plane delta is nonzero (a delta of two
+// equal word changes cancels in the codeword but not in every plane).
+func anyNonzero(pd []uint64) bool {
+	for _, d := range pd {
+		if d != 0 {
+			return true
+		}
+	}
+	return false
 }
 
 // forEachRegionDelta walks the regions covered by replacing old with new
 // at addr, computing each region's codeword delta with the word-at-a-time
-// kernel and invoking fn(region, delta). It is the shared core of
-// ApplyUpdate and UpdateDeltas.
-func (t *Table) forEachRegionDelta(addr mem.Addr, oldData, newData []byte, fn func(r int, delta Codeword)) error {
+// kernel and invoking fn(region, delta, planeDeltas). With ECC enabled
+// the fused kernel produces the plane deltas in the same pass (the slice
+// is scratch, only valid during the callback); otherwise planeDeltas is
+// nil. It is the shared core of ApplyUpdate and UpdateDeltas.
+func (t *Table) forEachRegionDelta(addr mem.Addr, oldData, newData []byte, fn func(r int, delta Codeword, pd []uint64)) error {
 	if len(oldData) != len(newData) {
 		return fmt.Errorf("region: undo image %d bytes but new image %d bytes", len(oldData), len(newData))
+	}
+	var scratch [16]uint64
+	var planes []uint64
+	if t.ecc && t.numPlanes > 0 {
+		if t.numPlanes <= len(scratch) {
+			planes = scratch[:t.numPlanes]
+		} else {
+			planes = make([]uint64, t.numPlanes)
+		}
 	}
 	i := 0
 	for i < len(oldData) {
@@ -213,8 +244,15 @@ func (t *Table) forEachRegionDelta(addr mem.Addr, oldData, newData []byte, fn fu
 		if end > len(oldData) {
 			end = len(oldData)
 		}
-		delta := foldDeltaKernel(0, oldData[i:end], newData[i:end], int(a&7))
-		fn(r, delta)
+		var delta Codeword
+		if planes != nil {
+			clear(planes)
+			rel := int(a-t.RegionStart(r)) >> 3
+			delta = foldDeltaPlanes(planes, rel, oldData[i:end], newData[i:end], int(a&7))
+		} else {
+			delta = foldDeltaKernel(0, oldData[i:end], newData[i:end], int(a&7))
+		}
+		fn(r, delta, planes)
 		t.mFolds.Inc()
 		t.mFoldBytes.Add(uint64(end - i))
 		i = end
@@ -232,50 +270,82 @@ func (t *Table) ApplyUpdate(addr mem.Addr, oldData, newData []byte) error {
 
 // Delta is a pending codeword change for one region, used by the
 // deferred-maintenance scheme: the XOR that ApplyUpdate would have folded
-// into the region's codeword immediately.
+// into the region's codeword immediately, plus (with ECC enabled) the
+// matching locator-plane deltas.
 type Delta struct {
 	Region int
 	Delta  Codeword
+	Planes []uint64
 }
 
 // UpdateDeltas computes the per-region codeword deltas of replacing old
 // with new at addr, appending them to buf (which may be nil) without
-// touching the table. XorInto applies them later; applying the deltas in
+// touching the table. XorDelta applies them later; applying the deltas in
 // any order and interleaving is correct because XOR commutes.
 func (t *Table) UpdateDeltas(buf []Delta, addr mem.Addr, oldData, newData []byte) ([]Delta, error) {
-	err := t.forEachRegionDelta(addr, oldData, newData, func(r int, delta Codeword) {
-		if delta != 0 {
-			buf = append(buf, Delta{Region: r, Delta: delta})
+	err := t.forEachRegionDelta(addr, oldData, newData, func(r int, delta Codeword, pd []uint64) {
+		if delta != 0 || anyNonzero(pd) {
+			buf = append(buf, Delta{Region: r, Delta: delta, Planes: append([]uint64(nil), pd...)})
 		}
 	})
 	return buf, err
 }
 
-// XorInto folds a previously computed delta into region r's codeword
-// under the codeword latch.
+// XorInto folds a previously computed codeword delta into region r under
+// the codeword latch. Plane-carrying deltas go through XorDelta; XorInto
+// exists for callers outside the ECC tier.
 func (t *Table) XorInto(r int, delta Codeword) {
-	t.xorInto(r, delta)
+	t.xorInto(r, delta, nil)
+}
+
+// XorDelta applies one queued Delta — codeword and locator planes — under
+// a single codeword-latch acquisition.
+func (t *Table) XorDelta(d Delta) {
+	t.xorInto(d.Region, d.Delta, d.Planes)
 }
 
 // Set stores a codeword directly (used when loading a checkpointed table
-// or initializing from a fresh image).
+// or initializing from a fresh image). With ECC enabled the stored
+// planes are left untouched and therefore go stale; callers that install
+// raw codewords must follow with RecomputeAll (which rebuilds planes) or
+// accept VerdictParityStale diagnoses until Repair rebuilds them. Stale
+// planes are safe: they can never cause a miscorrection, only degrade a
+// repairable region to an escalation.
 func (t *Table) Set(r int, cw Codeword) {
 	l := t.latchFor(r)
 	l.Lock()
+	//dbvet:allow cwpair Set installs a raw codeword by design; planes rebuild via RecomputeAll or Repair
 	t.cws[r] = cw
 	l.Unlock()
 }
 
-// RecomputeAll recomputes every codeword from the arena contents. Used at
-// startup and after recovery, when the image is known to be good. When a
-// pool has been attached with SetPool the region range is chunked across
-// its workers; the per-region Set still goes through the codeword latch.
+// recomputeRegion re-derives region r's codeword and locator planes from
+// the arena contents in one pass, storing both under the codeword latch.
+func (t *Table) recomputeRegion(a *mem.Arena, r int) {
+	data := a.Slice(t.RegionStart(r), t.regionSize)
+	if !t.ecc {
+		t.Set(r, Compute(data))
+		return
+	}
+	fresh := make([]uint64, t.numPlanes)
+	cw := computeECC(data, fresh)
+	l := t.latchFor(r)
+	l.Lock()
+	t.cws[r] = cw
+	copy(t.planesLocked(r), fresh)
+	l.Unlock()
+}
+
+// RecomputeAll recomputes every codeword (and, with ECC, every locator
+// plane) from the arena contents. Used at startup and after recovery,
+// when the image is known to be good. When a pool has been attached with
+// SetPool the region range is chunked across its workers; the per-region
+// store still goes through the codeword latch.
 func (t *Table) RecomputeAll(a *mem.Arena) {
 	t.pool.Run(len(t.cws), poolMinGrainBytes/t.regionSize, func(lo, hi int) {
 		done := t.noteThroughput(t.mRecomputeBPS, (hi-lo)*t.regionSize)
 		for r := lo; r < hi; r++ {
-			start := t.RegionStart(r)
-			t.Set(r, Compute(a.Slice(start, t.regionSize)))
+			t.recomputeRegion(a, r)
 		}
 		done()
 	})
